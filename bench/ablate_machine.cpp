@@ -1,0 +1,142 @@
+// A5 — machine-variant ablation: the same strategies priced on the
+// Phytium 2000+ model and two counterfactual machines, isolating which
+// hardware traits cause which SMM behaviours:
+//   - phytium-2000plus:          the paper's machine;
+//   - phytium-2000plus-relaxed:  LRU L2, doubled scheduling queues,
+//                                out-of-order FP issue — how much of the
+//                                edge-kernel/Eigen penalty is the core?
+//   - phytium-2000plus-panel:    one 8-core panel — how much of the
+//                                64-thread loss is NUMA/panel structure?
+#include "bench/bench_common.h"
+#include "src/common/str.h"
+#include "src/kernels/schedules_armv8.h"
+#include "src/sim/pipeline/pipeline_sim.h"
+
+namespace smm::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  sim::PlanPricer base(sim::phytium2000p());
+  sim::PlanPricer relaxed(sim::phytium2000p_relaxed());
+  sim::PlanPricer panel(sim::phytium2000p_panel());
+
+  CsvSink csv(argc, argv, "strategy,m,n,k,threads,eff_base,eff_relaxed");
+  std::printf(
+      "-- A5: strategy efficiency, Phytium model vs relaxed core --\n"
+      "%-10s %16s | base  | relaxed (LRU L2, deep queues, OOO FP)\n",
+      "strategy", "shape");
+  const GemmShape shapes[] = {{40, 40, 40}, {100, 100, 100}, {11, 200, 200}};
+  auto strategies = all_library_models();
+  strategies.push_back(&core::reference_smm());
+  for (const GemmShape shape : shapes) {
+    for (const auto* s : strategies) {
+      const double b = sim::simulate_strategy(*s, shape,
+                                              plan::ScalarType::kF32, 1,
+                                              base)
+                           .efficiency(base.machine());
+      const double r = sim::simulate_strategy(*s, shape,
+                                              plan::ScalarType::kF32, 1,
+                                              relaxed)
+                           .efficiency(relaxed.machine());
+      std::printf("%-10s %4ldx%4ldx%4ld  | %5.1f%% | %5.1f%%\n",
+                  s->traits().name.c_str(), static_cast<long>(shape.m),
+                  static_cast<long>(shape.n), static_cast<long>(shape.k),
+                  100 * b, 100 * r);
+      csv.row(strprintf("%s,%ld,%ld,%ld,1,%.4f,%.4f",
+                        s->traits().name.c_str(),
+                        static_cast<long>(shape.m),
+                        static_cast<long>(shape.n),
+                        static_cast<long>(shape.k), b, r));
+    }
+  }
+
+  std::printf(
+      "\n-- one-panel (8 cores, no cross-panel NUMA) vs full machine, "
+      "blis-like --\n%16s | 8 cores/panel | 64 cores/8 panels\n", "shape");
+  for (const index_t m : {16, 64, 256}) {
+    const GemmShape shape{m, 2048, 2048};
+    const double p8 = sim::simulate_strategy(libs::blis_like(), shape,
+                                             plan::ScalarType::kF32, 8,
+                                             panel)
+                          .efficiency(panel.machine());
+    const double p64 = sim::simulate_strategy(libs::blis_like(), shape,
+                                              plan::ScalarType::kF32, 64,
+                                              base)
+                           .efficiency(base.machine());
+    std::printf("%4ldx2048x2048  |     %5.1f%%   |     %5.1f%%\n",
+                static_cast<long>(m), 100 * p8, 100 * p64);
+    csv.row(strprintf("blis-panel,%ld,2048,2048,8,%.4f,%.4f",
+                      static_cast<long>(m), p8, p64));
+  }
+  std::printf(
+      "\n-- A64FX-like (SVE-512, 48 cores, HBM2): same strategies, other "
+      "ARMv8 many-core --\n%-10s %16s | phytium | a64fx-like\n",
+      "strategy", "shape");
+  sim::PlanPricer a64fx(sim::a64fx_like());
+  for (const GemmShape shape : {GemmShape{40, 40, 40},
+                                GemmShape{100, 100, 100},
+                                GemmShape{8, 200, 200}}) {
+    for (const auto* s : strategies) {
+      const double b = sim::simulate_strategy(*s, shape,
+                                              plan::ScalarType::kF32, 1,
+                                              base)
+                           .efficiency(base.machine());
+      const double a = sim::simulate_strategy(*s, shape,
+                                              plan::ScalarType::kF32, 1,
+                                              a64fx)
+                           .efficiency(a64fx.machine());
+      std::printf("%-10s %4ldx%4ldx%4ld  | %5.1f%% | %5.1f%%\n",
+                  s->traits().name.c_str(), static_cast<long>(shape.m),
+                  static_cast<long>(shape.n), static_cast<long>(shape.k),
+                  100 * b, 100 * a);
+      csv.row(strprintf("%s-a64fx,%ld,%ld,%ld,1,%.4f,%.4f",
+                        s->traits().name.c_str(),
+                        static_cast<long>(shape.m),
+                        static_cast<long>(shape.n),
+                        static_cast<long>(shape.k), b, a));
+    }
+  }
+
+  // Why the Phytium-tuned tiles collapse on SVE-512: a 16x4 f32 tile is
+  // one SVE vector by four accumulators — nowhere near the 2 pipes x 9
+  // cycles = 18 independent chains the FMA latency demands. Eq. 4 with
+  // lanes = 16 allows up to mr*nr = 480; re-selecting the tile recovers
+  // the machine.
+  {
+    const auto m = sim::a64fx_like();
+    const sim::StreamLatency lat{static_cast<double>(m.core.lat_l1),
+                                 static_cast<double>(m.core.lat_l1),
+                                 static_cast<double>(m.core.lat_l1)};
+    std::printf("\n-- a64fx-like steady-state kernel efficiency by tile --\n");
+    for (const auto& [mr, nr] :
+         {std::pair{16, 4}, std::pair{32, 8}, std::pair{64, 6},
+          std::pair{32, 12}}) {
+      kern::ScheduleSpec spec = kern::smm_spec(mr, nr);
+      spec.lanes = 16;
+      const auto sched = kern::build_schedule(spec);
+      const double per_k =
+          sim::steady_state_cycles_per_k(sched, m.core, lat);
+      const double eff = 2.0 * mr * nr /
+                         (per_k * m.peak_flops_per_core_cycle(4));
+      std::printf("  %2dx%-2d: %5.1f%% of the SVE-512 peak (C tile uses "
+                  "%d registers of 32)\n",
+                  mr, nr, 100 * eff, mr * nr / 16);
+      csv.row(strprintf("a64fx-tile,%d,%d,0,1,%.4f,0", mr, nr, eff));
+    }
+  }
+
+  std::printf(
+      "\nheadline: the relaxed core mostly rescues the weak schedules "
+      "(Eigen, edge kernels) but not the packing overhead; staying inside "
+      "one panel recovers part of the multi-thread kernel-efficiency loss "
+      "(Section III-D reasons 1-2). On an SVE-512 machine the Phytium-"
+      "tuned 16x4 tile keeps only ~4 accumulator chains and collapses; "
+      "Eq. 4/5 re-run with lanes = 16 picks far larger tiles and recovers "
+      "the peak — tile selection must follow the vector width.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace smm::bench
+
+int main(int argc, char** argv) { return smm::bench::run(argc, argv); }

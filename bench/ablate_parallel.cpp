@@ -1,0 +1,82 @@
+// A2 — parallelization-method ablation (Section III-D): on fixed SMM
+// shapes with 64 simulated threads, compare
+//   - the OpenBLAS M-split (pr = 64, pc = 1),
+//   - a square 2-D grid (8 x 8, Marker et al.),
+//   - BLIS-style multi-dimensional ways (auto-chosen),
+//   - the reference SMM's run-time decision (which may also cap threads).
+// All four drive the same blis-family padded kernels where applicable, so
+// the differences isolate the parallelization method.
+#include "bench/bench_common.h"
+#include "src/common/str.h"
+#include "src/libs/goto_common.h"
+#include "src/threading/partition.h"
+
+namespace smm::bench {
+namespace {
+
+libs::GotoConfig grid_config() {
+  libs::GotoConfig cfg;
+  cfg.tiles.family = "openblas";
+  cfg.tiles.mr = 16;
+  cfg.tiles.nr = 4;
+  cfg.tiles.m_chunks = {16, 8, 4, 2, 1};
+  cfg.tiles.n_chunks = {4, 2, 1};
+  cfg.tiles.edge = libs::EdgeStrategy::kEdgeKernels;
+  cfg.mc = 128;
+  cfg.kc = 240;
+  cfg.nc = 4096;
+  return cfg;
+}
+
+int run(int argc, char** argv) {
+  sim::PlanPricer pricer(sim::phytium2000p());
+  const auto& machine = pricer.machine();
+  CsvSink csv(argc, argv,
+              "m,n,k,eff_msplit,eff_grid8x8,eff_ways,eff_smmref");
+  std::printf(
+      "-- A2: parallelization methods, 64 threads --\n"
+      "%18s | m-split | grid 8x8 |  ways  | smm-ref\n", "shape");
+  const GemmShape shapes[] = {{16, 2048, 2048},  {64, 2048, 2048},
+                              {128, 2048, 2048}, {2048, 64, 2048},
+                              {256, 256, 2048},  {2048, 2048, 64},
+                              {16, 16, 4096}};  // deep K: smm-ref splits K
+  for (const GemmShape shape : shapes) {
+    auto price_grid = [&](par::Grid2D grid) {
+      plan::GemmPlan plan;
+      plan.strategy = "grid";
+      plan.shape = shape;
+      plan.scalar = plan::ScalarType::kF32;
+      libs::build_grid_parallel(plan, grid_config(), 64, grid);
+      plan.validate();
+      return pricer.price(plan).efficiency(machine);
+    };
+    const double msplit = price_grid({64, 1});
+    const double grid88 = price_grid({8, 8});
+    const double ways = sim::simulate_strategy(libs::blis_like(), shape,
+                                               plan::ScalarType::kF32, 64,
+                                               pricer)
+                            .efficiency(machine);
+    const double ref = sim::simulate_strategy(core::reference_smm(), shape,
+                                              plan::ScalarType::kF32, 64,
+                                              pricer)
+                           .efficiency(machine);
+    std::printf("%5ldx%5ldx%5ld |  %5.1f%% |  %5.1f%%  | %5.1f%% | %5.1f%%\n",
+                static_cast<long>(shape.m), static_cast<long>(shape.n),
+                static_cast<long>(shape.k), 100 * msplit, 100 * grid88,
+                100 * ways, 100 * ref);
+    csv.row(strprintf("%ld,%ld,%ld,%.4f,%.4f,%.4f,%.4f",
+                      static_cast<long>(shape.m), static_cast<long>(shape.n),
+                      static_cast<long>(shape.k), msplit, grid88, ways,
+                      ref));
+  }
+  std::printf(
+      "\nheadline: a fixed split of a small dimension wastes threads on "
+      "edge cases and idle barriers; the multi-dimensional method picks "
+      "loops with enough tiles (paper Section III-D).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace smm::bench
+
+int main(int argc, char** argv) { return smm::bench::run(argc, argv); }

@@ -1,0 +1,66 @@
+// Shared helpers for the experiment binaries: CSV emission, strategy
+// lookup, simple flag parsing.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/core/smm.h"
+#include "src/libs/blasfeo_like/gemm_blasfeo_like.h"
+#include "src/libs/blis_like/gemm_blis_like.h"
+#include "src/libs/eigen_like/gemm_eigen_like.h"
+#include "src/libs/gemm_interface.h"
+#include "src/libs/openblas_like/gemm_openblas_like.h"
+#include "src/sim/exec/pricer.h"
+#include "src/sim/machine.h"
+
+namespace smm::bench {
+
+inline const libs::GemmStrategy* strategy_by_name(const std::string& name) {
+  if (name == "openblas") return &libs::openblas_like();
+  if (name == "blis") return &libs::blis_like();
+  if (name == "blasfeo") return &libs::blasfeo_like();
+  if (name == "eigen") return &libs::eigen_like();
+  if (name == "smm-ref") return &core::reference_smm();
+  return nullptr;
+}
+
+inline std::vector<const libs::GemmStrategy*> all_library_models() {
+  return {&libs::openblas_like(), &libs::blis_like(), &libs::blasfeo_like(),
+          &libs::eigen_like()};
+}
+
+/// "--flag value" lookup; returns fallback when absent.
+inline std::string arg_value(int argc, char** argv, const std::string& flag,
+                             const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (flag == argv[i]) return argv[i + 1];
+  return fallback;
+}
+
+inline bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i)
+    if (flag == argv[i]) return true;
+  return false;
+}
+
+/// Writes rows both to stdout and, when --csv <path> is given, to a file.
+class CsvSink {
+ public:
+  CsvSink(int argc, char** argv, const std::string& header) {
+    const std::string path = arg_value(argc, argv, "--csv", "");
+    if (!path.empty()) file_.open(path);
+    row(header);
+  }
+  void row(const std::string& line) {
+    std::printf("%s\n", line.c_str());
+    if (file_.is_open()) file_ << line << '\n';
+  }
+
+ private:
+  std::ofstream file_;
+};
+
+}  // namespace smm::bench

@@ -1,0 +1,84 @@
+// E1 — Fig. 5: single-thread SMM performance of the four library models
+// on the simulated Phytium 2000+.
+//   (a) square M=N=K = 5..200 step 5
+//   (b) M = 2..40 step 2, N=K=200 (assumed; the paper keeps data < L2)
+//   (c) N = 2..40 step 2, M=K=200 (assumed)
+//   (d) K = 2..40 step 2, M=N=200 (assumed)
+// Usage: fig5_single_thread [--part a|b|c|d|all] [--csv out.csv]
+#include "bench/bench_common.h"
+#include "src/common/str.h"
+
+namespace smm::bench {
+namespace {
+
+void run_part(char part, sim::PlanPricer& pricer, CsvSink& csv,
+              plan::ScalarType scalar) {
+  const auto& machine = pricer.machine();
+  const auto strategies = all_library_models();
+  std::printf("\n-- Fig. 5(%c): efficiency vs size, 1 thread, %s --\n",
+              part, plan::to_string(scalar));
+  auto emit = [&](GemmShape shape, index_t x) {
+    std::string line = strprintf("5%c,%ld", part, static_cast<long>(x));
+    for (const auto* s : strategies) {
+      const auto r = sim::simulate_strategy(*s, shape, scalar, 1, pricer);
+      line += strprintf(",%.4f", r.efficiency(machine));
+    }
+    csv.row(line);
+  };
+  switch (part) {
+    case 'a':
+      for (index_t v = 5; v <= 200; v += 5) emit({v, v, v}, v);
+      break;
+    case 'b':
+      for (index_t v = 2; v <= 40; v += 2) emit({v, 200, 200}, v);
+      break;
+    case 'c':
+      for (index_t v = 2; v <= 40; v += 2) emit({200, v, 200}, v);
+      break;
+    case 'd':
+      for (index_t v = 2; v <= 40; v += 2) emit({200, 200, v}, v);
+      break;
+    default:
+      break;
+  }
+}
+
+int run(int argc, char** argv) {
+  sim::PlanPricer pricer(sim::phytium2000p());
+  const std::string part = arg_value(argc, argv, "--part", "all");
+  // --f64: the dgemm variant (563.2 Gflops machine peak, Section II-A).
+  const auto scalar = has_flag(argc, argv, "--f64")
+                          ? plan::ScalarType::kF64
+                          : plan::ScalarType::kF32;
+  CsvSink csv(argc, argv,
+              "part,size,eff_openblas,eff_blis,eff_blasfeo,eff_eigen");
+  if (part == "all") {
+    for (char p : {'a', 'b', 'c', 'd'}) run_part(p, pricer, csv, scalar);
+  } else {
+    run_part(part[0], pricer, csv, scalar);
+  }
+  // Paper headline numbers for EXPERIMENTS.md.
+  const auto& machine = pricer.machine();
+  double best_blasfeo = 0, best_eigen = 0;
+  for (index_t v = 5; v <= 200; v += 5) {
+    best_blasfeo = std::max(
+        best_blasfeo, sim::simulate_strategy(libs::blasfeo_like(), {v, v, v},
+                                             plan::ScalarType::kF32, 1,
+                                             pricer)
+                          .efficiency(machine));
+    best_eigen = std::max(
+        best_eigen, sim::simulate_strategy(libs::eigen_like(), {v, v, v},
+                                           plan::ScalarType::kF32, 1, pricer)
+                        .efficiency(machine));
+  }
+  std::printf(
+      "\nheadline: best BLASFEO %.1f%% of peak (paper: 96%%), "
+      "best Eigen %.1f%% (paper: 58%%)\n",
+      100 * best_blasfeo, 100 * best_eigen);
+  return 0;
+}
+
+}  // namespace
+}  // namespace smm::bench
+
+int main(int argc, char** argv) { return smm::bench::run(argc, argv); }

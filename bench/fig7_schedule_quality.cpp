@@ -1,0 +1,56 @@
+// E3 — Fig. 7: the literal OpenBLAS 8x4 edge-kernel instruction layout
+// (clustered ldp/ldr bursts, short load-to-use distance) priced by the
+// pipeline model against a software-pipelined layout of the same tile,
+// across operand latencies. Prints the uop listings and a
+// cycles-per-iteration table with dispatch-stall counts.
+#include "bench/bench_common.h"
+#include "src/common/str.h"
+#include "src/kernels/schedules_armv8.h"
+#include "src/sim/pipeline/pipeline_sim.h"
+#include "src/sim/pipeline/uop.h"
+
+namespace smm::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const auto machine = sim::phytium2000p();
+  const auto clustered = kern::fig7_openblas_8x4_schedule();
+  const auto pipelined = kern::build_schedule(kern::smm_spec(8, 4));
+
+  if (has_flag(argc, argv, "--dump")) {
+    std::printf("%s\n", sim::render_schedule(clustered).c_str());
+    std::printf("%s\n", sim::render_schedule(pipelined).c_str());
+  } else {
+    std::printf("(pass --dump for the full uop listings)\n");
+  }
+
+  CsvSink csv(argc, argv,
+              "lat_a,clustered_cyc_per_k,clustered_eff,pipelined_cyc_per_k,"
+              "pipelined_eff,clustered_stall_cycles");
+  std::printf(
+      "\n-- Fig. 7: OpenBLAS 8x4 edge layout vs pipelined 8x4 --\n"
+      "   (A-operand latency = the level the sliver streams from)\n");
+  for (double lat_a : {3.0, 7.5, 12.0, 18.0, 24.0, 32.0, 48.0}) {
+    const sim::StreamLatency lat{lat_a, 3, 3};
+    const double c =
+        sim::steady_state_cycles_per_k(clustered, machine.core, lat);
+    const double p =
+        sim::steady_state_cycles_per_k(pipelined, machine.core, lat);
+    const auto cr = sim::simulate_schedule(clustered, 96, machine.core, lat);
+    const double peak = machine.peak_flops_per_core_cycle(4);
+    csv.row(strprintf("%.1f,%.2f,%.3f,%.2f,%.3f,%.0f", lat_a, c,
+                      64.0 / (c * peak), p, 64.0 / (p * peak),
+                      cr.dispatch_stall_cycles));
+  }
+  std::printf(
+      "\nheadline: at L1 latency both layouts reach the FMA bound; once "
+      "the sliver streams from L2 or further, the clustered layout "
+      "cannot hide its short dependence distances (paper Section "
+      "III-B).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace smm::bench
+
+int main(int argc, char** argv) { return smm::bench::run(argc, argv); }

@@ -1,0 +1,95 @@
+// Machine-model reference card: everything the simulator assumes about a
+// machine, plus derived quantities — peaks per precision, per-level
+// effective latencies, pack/copy throughputs, barrier costs, and the
+// steady-state efficiency of every registered kernel at L1 and
+// L2-streaming latencies. The one-stop answer to "what does the model
+// think this machine is?".
+//
+// Usage: machine_report [--machine phytium|relaxed|panel|a64fx]
+#include "bench/bench_common.h"
+#include "src/common/str.h"
+#include "src/kernels/registry.h"
+#include "src/sim/cache/residency.h"
+#include "src/sim/memory/numa.h"
+#include "src/sim/pipeline/kernel_timing.h"
+
+namespace smm::bench {
+namespace {
+
+sim::MachineConfig pick_machine(const std::string& name) {
+  if (name == "relaxed") return sim::phytium2000p_relaxed();
+  if (name == "panel") return sim::phytium2000p_panel();
+  if (name == "a64fx") return sim::a64fx_like();
+  return sim::phytium2000p();
+}
+
+int run(int argc, char** argv) {
+  const auto m =
+      pick_machine(arg_value(argc, argv, "--machine", "phytium"));
+  std::printf("== %s ==\n", m.name.c_str());
+  std::printf(
+      "cores %d (%d panels x %d), %.1f GHz, %d-bit vectors, %d FMA pipe(s),"
+      " %d load unit(s)\n",
+      m.cores, m.mem.panels, m.mem.cores_per_panel, m.core.freq_ghz,
+      m.core.vec_bytes * 8, m.core.fma_ports, m.core.load_ports);
+  std::printf(
+      "caches: L1 %ld KB/%d-way (%d B lines, lat %d); L2 %ld KB/%d-way "
+      "(%s, shared by %d, lat %d); memory lat %d, %.1f GB/s per panel\n",
+      static_cast<long>(m.l1.size_bytes / 1024), m.l1.ways,
+      m.l1.line_bytes, m.core.lat_l1,
+      static_cast<long>(m.l2.size_bytes / 1024), m.l2.ways,
+      to_string(m.l2.policy), m.l2.shared_by_cores, m.core.lat_l2,
+      m.core.lat_mem, m.mem.panel_bw_gbs);
+  std::printf("peaks: %.1f sp Gflops / %.1f dp Gflops (all cores); "
+              "%.1f sp Gflops per core\n",
+              m.peak_gflops(4, m.cores), m.peak_gflops(8, m.cores),
+              m.peak_gflops(4, 1));
+
+  const sim::ResidencyAnalyzer residency(m);
+  std::printf("\neffective load latencies (streaming-friendly):\n");
+  for (const auto level : {sim::MemLevel::kL1, sim::MemLevel::kL2,
+                           sim::MemLevel::kL2Remote, sim::MemLevel::kMemory})
+    std::printf("  %-10s raw %6.1f  prefetched %6.1f\n",
+                sim::to_string(level), residency.level_latency(level, 4),
+                residency.effective_latency(level, 4, true));
+
+  const sim::MemoryModel memory(m);
+  std::printf("\npack throughput (cycles per 1000 f32 elements):\n");
+  std::printf("  A (streaming, L2 source): %6.0f\n",
+              memory.pack_cycles(1000, 4, sim::MemLevel::kL2, 1, 1));
+  std::printf("  B (transpose gather, L2): %6.0f\n",
+              memory.pack_cycles(1000, 4, sim::MemLevel::kL2, 1, 1, true));
+  std::printf("barriers: %4.0f cycles for 8 threads, %4.0f for 64\n",
+              memory.barrier_cycles(8), memory.barrier_cycles(64));
+
+  std::printf("\nsteady-state kernel efficiency (f32, L1 / L2-stream):\n");
+  sim::KernelTimer timer(m);
+  const auto& reg = kern::KernelRegistry::instance();
+  const sim::StreamLatency l1{static_cast<double>(m.core.lat_l1),
+                              static_cast<double>(m.core.lat_l1),
+                              static_cast<double>(m.core.lat_l1)};
+  const sim::StreamLatency l2 =
+      sim::StreamLatency{residency.effective_latency(sim::MemLevel::kL2, 1,
+                                                     true),
+                         static_cast<double>(m.core.lat_l1),
+                         static_cast<double>(m.core.lat_l1)};
+  for (const char* fam : {"openblas", "blis", "blasfeo", "eigen", "smm"}) {
+    std::printf("  %s:\n", fam);
+    int shown = 0;
+    for (const auto id : reg.family(fam)) {
+      if (shown++ >= 4) break;  // main kernels first (family() sorts)
+      const auto& info = reg.info(id);
+      std::printf("    %-18s %5.1f%% / %5.1f%%\n", info.name.c_str(),
+                  100 * timer.steady_state_efficiency(
+                            id, plan::ScalarType::kF32, l1),
+                  100 * timer.steady_state_efficiency(
+                            id, plan::ScalarType::kF32, l2));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace smm::bench
+
+int main(int argc, char** argv) { return smm::bench::run(argc, argv); }

@@ -1,0 +1,52 @@
+// E9 — the paper's closed-form models as tables: P2C (Eq. 3) across
+// shapes and CMR (Eq. 5) with the register constraint (Eq. 4) across the
+// feasible micro-kernel space.
+#include "bench/bench_common.h"
+#include "src/common/str.h"
+#include "src/model/equations.h"
+#include "src/model/kernel_space.h"
+
+namespace smm::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const auto machine = sim::phytium2000p();
+  CsvSink csv(argc, argv, "table,a,b,value");
+
+  std::printf("-- Eq. 3: P2C = (M+N)/(2MN) --\n        ");
+  const index_t dims[] = {2, 4, 8, 16, 32, 64, 128};
+  for (index_t n : dims) std::printf("N=%-5ld ", static_cast<long>(n));
+  std::printf("\n");
+  for (index_t m : dims) {
+    std::printf("M=%-5ld ", static_cast<long>(m));
+    for (index_t n : dims) {
+      const double v = model::p2c(m, n);
+      std::printf("%.4f  ", v);
+      csv.row(strprintf("p2c,%ld,%ld,%.5f", static_cast<long>(m),
+                        static_cast<long>(n), v));
+    }
+    std::printf("\n");
+  }
+  std::printf("(independent of K; load/FMA widths on this machine: %ld/%ld)\n",
+              static_cast<long>(model::load_width(machine, 4)),
+              static_cast<long>(model::fma_width(machine, 4)));
+
+  std::printf("\n-- Eq. 4 + Eq. 5: feasible micro-kernels by CMR --\n");
+  std::printf("%6s %6s %10s %6s\n", "mr", "nr", "C regs", "CMR");
+  int shown = 0;
+  for (const auto& c : model::enumerate_kernels(4)) {
+    if (shown++ < 16)
+      std::printf("%6ld %6ld %10ld %6.2f\n", static_cast<long>(c.mr),
+                  static_cast<long>(c.nr), static_cast<long>(c.c_registers),
+                  c.cmr);
+    csv.row(strprintf("cmr,%ld,%ld,%.3f", static_cast<long>(c.mr),
+                      static_cast<long>(c.nr), c.cmr));
+  }
+  std::printf("... (%d feasible tiles; 16x8 is excluded by Eq. 4)\n", shown);
+  return 0;
+}
+
+}  // namespace
+}  // namespace smm::bench
+
+int main(int argc, char** argv) { return smm::bench::run(argc, argv); }

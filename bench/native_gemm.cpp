@@ -1,0 +1,130 @@
+// N1 — native sanity benchmarks (google-benchmark): wall-clock of the
+// strategies' native plan execution on the host, against the naive triple
+// loop. Absolute numbers are host numbers (the paper's figures come from
+// the simulator); the value here is the relative ordering of real code.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/core/smm.h"
+#include "src/libs/blasfeo_like/gemm_blasfeo_like.h"
+#include "src/libs/blis_like/gemm_blis_like.h"
+#include "src/libs/eigen_like/gemm_eigen_like.h"
+#include "src/libs/naive.h"
+#include "src/libs/openblas_like/gemm_openblas_like.h"
+#include "src/matrix/matrix.h"
+#include "src/plan/native_executor.h"
+
+namespace smm::bench {
+namespace {
+
+struct Fixture {
+  Matrix<float> a, b, c;
+  Fixture(index_t m, index_t n, index_t k) : a(m, k), b(k, n), c(m, n) {
+    Rng rng(42);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    c.fill_random(rng);
+  }
+};
+
+void bm_naive(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Fixture f(n, n, n);
+  for (auto _ : state) {
+    libs::naive_gemm(1.0f, f.a.cview(), f.b.cview(), 1.0f, f.c.view());
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+
+// Plans are shape-dependent, not data-dependent: each benchmark builds
+// its plan once and runs it many times — the "adaptive code generation"
+// usage pattern of Section IV.
+void bm_openblas(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Fixture f(n, n, n);
+  const plan::GemmPlan plan = libs::openblas_like().make_plan(
+      GemmShape{n, n, n}, plan::ScalarType::kF32, 1);
+  for (auto _ : state) {
+    plan::execute_plan(plan, 1.0f, f.a.cview(), f.b.cview(), 1.0f,
+                       f.c.view());
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+
+void bm_blis(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Fixture f(n, n, n);
+  const plan::GemmPlan plan = libs::blis_like().make_plan(
+      GemmShape{n, n, n}, plan::ScalarType::kF32, 1);
+  for (auto _ : state) {
+    plan::execute_plan(plan, 1.0f, f.a.cview(), f.b.cview(), 1.0f,
+                       f.c.view());
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+
+void bm_blasfeo(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Fixture f(n, n, n);
+  const plan::GemmPlan plan = libs::blasfeo_like().make_plan(
+      GemmShape{n, n, n}, plan::ScalarType::kF32, 1);
+  for (auto _ : state) {
+    plan::execute_plan(plan, 1.0f, f.a.cview(), f.b.cview(), 1.0f,
+                       f.c.view());
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+
+void bm_eigen(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Fixture f(n, n, n);
+  const plan::GemmPlan plan = libs::eigen_like().make_plan(
+      GemmShape{n, n, n}, plan::ScalarType::kF32, 1);
+  for (auto _ : state) {
+    plan::execute_plan(plan, 1.0f, f.a.cview(), f.b.cview(), 1.0f,
+                       f.c.view());
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+
+void bm_smm_ref(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Fixture f(n, n, n);
+  const plan::GemmPlan plan = core::reference_smm().make_plan(
+      GemmShape{n, n, n}, plan::ScalarType::kF32, 1);
+  for (auto _ : state) {
+    plan::execute_plan(plan, 1.0f, f.a.cview(), f.b.cview(), 1.0f,
+                       f.c.view());
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+
+void bm_smm_ref_one_call(benchmark::State& state) {
+  // Plan construction included: what a user pays without plan reuse.
+  const index_t n = state.range(0);
+  Fixture f(n, n, n);
+  for (auto _ : state) {
+    core::smm_gemm(1.0f, f.a.cview(), f.b.cview(), 1.0f, f.c.view());
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+
+BENCHMARK(bm_naive)->Arg(16)->Arg(48)->Arg(96);
+BENCHMARK(bm_openblas)->Arg(16)->Arg(48)->Arg(96)->Arg(192);
+BENCHMARK(bm_blis)->Arg(16)->Arg(48)->Arg(96)->Arg(192);
+BENCHMARK(bm_blasfeo)->Arg(16)->Arg(48)->Arg(96)->Arg(192);
+BENCHMARK(bm_eigen)->Arg(16)->Arg(48)->Arg(96)->Arg(192);
+BENCHMARK(bm_smm_ref)->Arg(16)->Arg(48)->Arg(96)->Arg(192);
+BENCHMARK(bm_smm_ref_one_call)->Arg(16)->Arg(96);
+
+}  // namespace
+}  // namespace smm::bench
+
+BENCHMARK_MAIN();

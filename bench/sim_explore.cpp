@@ -1,0 +1,82 @@
+// Interactive exploration tool: price any (strategy, shape, threads) on
+// the simulated Phytium 2000+ and print the full report — the debugging /
+// calibration companion to the figure benches.
+//
+// Usage: sim_explore [--strategy all|openblas|...] [--m 64 --n 64 --k 64]
+//                    [--threads 1] [--sweep m|n|k|square --from 4 --to 200
+//                     --step 4]
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+#include "src/sim/exec/trace_export.h"
+
+namespace smm::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const auto machine = sim::phytium2000p();
+  sim::PlanPricer pricer(machine);
+
+  const std::string which = arg_value(argc, argv, "--strategy", "all");
+  const index_t m = std::atol(arg_value(argc, argv, "--m", "64").c_str());
+  const index_t n = std::atol(arg_value(argc, argv, "--n", "64").c_str());
+  const index_t k = std::atol(arg_value(argc, argv, "--k", "64").c_str());
+  const int threads =
+      std::atoi(arg_value(argc, argv, "--threads", "1").c_str());
+  const std::string sweep = arg_value(argc, argv, "--sweep", "");
+  const index_t from =
+      std::atol(arg_value(argc, argv, "--from", "5").c_str());
+  const index_t to = std::atol(arg_value(argc, argv, "--to", "200").c_str());
+  const index_t step =
+      std::atol(arg_value(argc, argv, "--step", "5").c_str());
+
+  std::vector<const libs::GemmStrategy*> strategies;
+  if (which == "all") {
+    strategies = all_library_models();
+    strategies.push_back(&core::reference_smm());
+  } else {
+    const libs::GemmStrategy* s = strategy_by_name(which);
+    if (s == nullptr) {
+      std::fprintf(stderr, "unknown strategy '%s'\n", which.c_str());
+      return 1;
+    }
+    strategies.push_back(s);
+  }
+
+  const std::string trace_path = arg_value(argc, argv, "--trace", "");
+  auto emit = [&](GemmShape shape) {
+    for (const auto* s : strategies) {
+      sim::PricerOptions opt;
+      opt.collect_timeline = !trace_path.empty();
+      const auto r = sim::simulate_strategy(*s, shape, plan::ScalarType::kF32,
+                                            threads, pricer, opt);
+      std::printf("%s\n", r.summary(machine).c_str());
+      if (!trace_path.empty()) {
+        const std::string path = strategies.size() == 1
+                                     ? trace_path
+                                     : s->traits().name + "-" + trace_path;
+        sim::write_chrome_trace(r, path);
+        std::printf("  wrote timeline: %s\n", path.c_str());
+      }
+    }
+  };
+
+  if (sweep.empty()) {
+    emit({m, n, k});
+    return 0;
+  }
+  for (index_t v = from; v <= to; v += step) {
+    GemmShape shape{m, n, k};
+    if (sweep == "m") shape.m = v;
+    if (sweep == "n") shape.n = v;
+    if (sweep == "k") shape.k = v;
+    if (sweep == "square") shape = {v, v, v};
+    emit(shape);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace smm::bench
+
+int main(int argc, char** argv) { return smm::bench::run(argc, argv); }

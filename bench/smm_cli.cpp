@@ -1,0 +1,96 @@
+// Command-line front end: run one GEMM natively (with verification) and
+// simulated, with any strategy.
+//
+//   smm_cli --m 64 --n 64 --k 64 [--strategy smm-ref] [--threads 1]
+//           [--alpha 1 --beta 0] [--f64] [--trans-a] [--trans-b]
+//           [--sim-threads 64] [--no-verify]
+#include <cstdlib>
+#include <cstring>
+
+#include "bench/bench_common.h"
+#include "src/common/rng.h"
+#include "src/libs/naive.h"
+#include "src/matrix/compare.h"
+#include "src/matrix/matrix.h"
+
+namespace smm::bench {
+namespace {
+
+template <typename T>
+int run_typed(int argc, char** argv, const libs::GemmStrategy& strategy) {
+  const index_t m = std::atol(arg_value(argc, argv, "--m", "64").c_str());
+  const index_t n = std::atol(arg_value(argc, argv, "--n", "64").c_str());
+  const index_t k = std::atol(arg_value(argc, argv, "--k", "64").c_str());
+  const int threads =
+      std::atoi(arg_value(argc, argv, "--threads", "1").c_str());
+  const int sim_threads =
+      std::atoi(arg_value(argc, argv, "--sim-threads", "1").c_str());
+  const T alpha =
+      static_cast<T>(std::atof(arg_value(argc, argv, "--alpha", "1").c_str()));
+  const T beta =
+      static_cast<T>(std::atof(arg_value(argc, argv, "--beta", "0").c_str()));
+  const Trans ta =
+      has_flag(argc, argv, "--trans-a") ? Trans::kTrans : Trans::kNoTrans;
+  const Trans tb =
+      has_flag(argc, argv, "--trans-b") ? Trans::kTrans : Trans::kNoTrans;
+
+  Rng rng(std::atol(arg_value(argc, argv, "--seed", "1").c_str()));
+  Matrix<T> a(ta == Trans::kTrans ? k : m, ta == Trans::kTrans ? m : k);
+  Matrix<T> b(tb == Trans::kTrans ? n : k, tb == Trans::kTrans ? k : n);
+  Matrix<T> c(m, n);
+  a.fill_random(rng);
+  b.fill_random(rng);
+  c.fill_random(rng);
+  Matrix<T> c_ref = c.clone();
+
+  libs::run(strategy, ta, tb, alpha, a.cview(), b.cview(), beta, c.view(),
+            threads);
+  std::printf("%s: C(%ldx%ld) = %.3g * %s(A) * %s(B) + %.3g * C, k=%ld, "
+              "%d thread(s)\n",
+              strategy.traits().name.c_str(), static_cast<long>(m),
+              static_cast<long>(n), static_cast<double>(alpha),
+              to_string(ta), to_string(tb), static_cast<double>(beta),
+              static_cast<long>(k), threads);
+
+  if (!has_flag(argc, argv, "--no-verify")) {
+    libs::naive_gemm(alpha, apply_trans(ta, a.cview()),
+                     apply_trans(tb, b.cview()), beta, c_ref.view());
+    const double diff = max_abs_diff(c.cview(), c_ref.cview());
+    std::printf("verify: max |diff| vs naive = %.3e (tol %.3e) -> %s\n",
+                diff, gemm_tolerance<T>(k) * 4,
+                diff <= gemm_tolerance<T>(k) * 4 ? "OK" : "MISMATCH");
+    if (diff > gemm_tolerance<T>(k) * 4) return 1;
+  }
+
+  // Simulated view (no-trans shapes only: plans are built from the
+  // effective op() dimensions, which is what the simulator prices).
+  sim::PlanPricer pricer(sim::phytium2000p());
+  const int st = std::min(sim_threads, strategy.traits().max_threads);
+  const auto report = sim::simulate_strategy(
+      strategy, {m, n, k},
+      sizeof(T) == 4 ? plan::ScalarType::kF32 : plan::ScalarType::kF64, st,
+      pricer);
+  std::printf("simulated %s: %s\n", pricer.machine().name.c_str(),
+              report.summary(pricer.machine()).c_str());
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  const std::string name = arg_value(argc, argv, "--strategy", "smm-ref");
+  const libs::GemmStrategy* strategy = strategy_by_name(name);
+  if (strategy == nullptr) {
+    std::fprintf(stderr,
+                 "unknown strategy '%s' (openblas|blis|blasfeo|eigen|"
+                 "smm-ref)\n",
+                 name.c_str());
+    return 2;
+  }
+  if (has_flag(argc, argv, "--f64"))
+    return run_typed<double>(argc, argv, *strategy);
+  return run_typed<float>(argc, argv, *strategy);
+}
+
+}  // namespace
+}  // namespace smm::bench
+
+int main(int argc, char** argv) { return smm::bench::run(argc, argv); }

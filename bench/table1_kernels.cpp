@@ -1,0 +1,42 @@
+// E7 — Table I: static comparison of the library kernels (assembly
+// layers, unrolling factor, mr x nr tiles, plus the packing/edge/parallel
+// traits the paper discusses around it). Also dumps each family's
+// registered kernel lattice.
+#include "bench/bench_common.h"
+#include "src/common/str.h"
+#include "src/kernels/registry.h"
+
+namespace smm::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  std::printf("-- Table I: a comparison of library kernels --\n");
+  std::printf("%-10s | %-10s | %6s | %-16s | %-10s | %-12s | %s\n",
+              "library", "assembly", "unroll", "mr x nr", "packing",
+              "edge cases", "parallelization");
+  for (const auto* s : all_library_models())
+    std::printf("%s\n", libs::traits_table_row(s->traits()).c_str());
+  std::printf("%s\n",
+              libs::traits_table_row(core::reference_smm().traits()).c_str());
+
+  if (has_flag(argc, argv, "--kernels")) {
+    const auto& reg = kern::KernelRegistry::instance();
+    for (const char* fam :
+         {"openblas", "blis", "blasfeo", "eigen", "smm", "smm-direct"}) {
+      std::printf("\nfamily %s:\n", fam);
+      for (const auto id : reg.family(fam)) {
+        const auto& k = reg.info(id);
+        std::printf("  %-18s %s%s\n", k.name.c_str(),
+                    k.sched.describe().c_str(), k.edge ? "  [edge]" : "");
+      }
+    }
+  } else {
+    std::printf("\n(pass --kernels for the full kernel lattice)\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace smm::bench
+
+int main(int argc, char** argv) { return smm::bench::run(argc, argv); }

@@ -1,0 +1,64 @@
+// Batched SMM via the plan cache: multi-head attention-style scoring,
+// where every head is a small GEMM of the same shape — the workload class
+// (DNN building blocks) that motivates the paper. Demonstrates
+// core::batched_smm + PlanCache and the across-batch parallelism that
+// bench/ablate_batch_parallel quantifies.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/batched.h"
+#include "src/core/smm.h"
+#include "src/matrix/matrix.h"
+
+int main() {
+  using namespace smm;
+  // 16 heads, sequence length 64, head dimension 32:
+  // scores_h = Q_h * K_h^T-like product -> here plain (64 x 64 x 32) SMMs.
+  const index_t heads = 16, seq = 64, dim = 32;
+  Rng rng(7);
+
+  std::vector<Matrix<float>> q, kt, scores;
+  q.reserve(heads);
+  kt.reserve(heads);
+  scores.reserve(heads);
+  for (index_t h = 0; h < heads; ++h) {
+    q.emplace_back(seq, dim);
+    kt.emplace_back(dim, seq);
+    scores.emplace_back(seq, seq);
+    q.back().fill_random(rng);
+    kt.back().fill_random(rng);
+    scores.back().fill(0.0f);
+  }
+
+  std::vector<core::GemmBatchItem<float>> items;
+  items.reserve(heads);
+  for (index_t h = 0; h < heads; ++h)
+    items.push_back({q[static_cast<std::size_t>(h)].cview(),
+                     kt[static_cast<std::size_t>(h)].cview(),
+                     scores[static_cast<std::size_t>(h)].view()});
+
+  core::PlanCache cache(core::reference_smm());
+  const int rounds = 50;
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < rounds; ++r)
+    core::batched_smm(1.0f, items, 0.0f, cache, /*nworkers=*/1);
+  const auto stop = std::chrono::steady_clock::now();
+  const double ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+
+  const double flops = 2.0 * heads * seq * seq * dim * rounds;
+  std::printf(
+      "%ld heads of (%ld x %ld x %ld): %d rounds in %.1f ms "
+      "(%.2f Gflop/s native)\n",
+      static_cast<long>(heads), static_cast<long>(seq),
+      static_cast<long>(seq), static_cast<long>(dim), rounds, ms,
+      flops / ms / 1e6);
+  std::printf(
+      "plan cache: %zu plan(s) built for %zu GEMM calls (%zu hits) — the "
+      "'adaptive code generation' dispatch pattern of Section IV.\n",
+      cache.misses(), cache.hits() + cache.misses(), cache.hits());
+  std::printf("scores[0](0,0) = %.4f (anti-DCE)\n", scores[0](0, 0));
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Block-sparse matrix multiplication (the paper's second motivating
+// workload): a Block Compressed Sparse Row (BCSR) matrix times a dense
+// matrix decomposes into one SMM per stored block — fast SMM kernels are
+// the whole game. Dense blocks are 16x16; C += A_bcsr * B.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/smm.h"
+#include "src/libs/naive.h"
+#include "src/matrix/compare.h"
+#include "src/matrix/matrix.h"
+#include "src/plan/native_executor.h"
+
+namespace {
+
+using namespace smm;
+
+constexpr index_t kBlock = 16;
+
+/// Minimal BCSR container: row_ptr/col_idx over kBlock x kBlock blocks.
+struct Bcsr {
+  index_t block_rows = 0;
+  index_t block_cols = 0;
+  std::vector<index_t> row_ptr;
+  std::vector<index_t> col_idx;
+  std::vector<Matrix<float>> blocks;
+
+  static Bcsr random(index_t block_rows, index_t block_cols, double density,
+                     Rng& rng) {
+    Bcsr out;
+    out.block_rows = block_rows;
+    out.block_cols = block_cols;
+    out.row_ptr.push_back(0);
+    for (index_t br = 0; br < block_rows; ++br) {
+      for (index_t bc = 0; bc < block_cols; ++bc) {
+        if (rng.next_double() >= density) continue;
+        out.col_idx.push_back(bc);
+        Matrix<float> blk(kBlock, kBlock);
+        blk.fill_random(rng);
+        out.blocks.push_back(std::move(blk));
+      }
+      out.row_ptr.push_back(static_cast<index_t>(out.col_idx.size()));
+    }
+    return out;
+  }
+
+  [[nodiscard]] Matrix<float> densify() const {
+    Matrix<float> out(block_rows * kBlock, block_cols * kBlock);
+    out.fill(0.0f);
+    for (index_t br = 0; br < block_rows; ++br) {
+      for (index_t e = row_ptr[static_cast<std::size_t>(br)];
+           e < row_ptr[static_cast<std::size_t>(br) + 1]; ++e) {
+        const index_t bc = col_idx[static_cast<std::size_t>(e)];
+        for (index_t j = 0; j < kBlock; ++j)
+          for (index_t i = 0; i < kBlock; ++i)
+            out(br * kBlock + i, bc * kBlock + j) =
+                blocks[static_cast<std::size_t>(e)](i, j);
+      }
+    }
+    return out;
+  }
+};
+
+/// C += A_bcsr * B using one reusable SMM plan per block multiply: every
+/// block product is a (16 x n x 16) GEMM accumulating into C.
+void bcsr_spmm(const Bcsr& a, ConstMatrixView<float> b,
+               MatrixView<float> c) {
+  const index_t n = b.cols();
+  const plan::GemmPlan block_plan = core::reference_smm().make_plan(
+      {kBlock, n, kBlock}, plan::ScalarType::kF32, 1);
+  for (index_t br = 0; br < a.block_rows; ++br) {
+    for (index_t e = a.row_ptr[static_cast<std::size_t>(br)];
+         e < a.row_ptr[static_cast<std::size_t>(br) + 1]; ++e) {
+      const index_t bc = a.col_idx[static_cast<std::size_t>(e)];
+      plan::execute_plan(
+          block_plan, 1.0f,
+          a.blocks[static_cast<std::size_t>(e)].cview(),
+          b.block(bc * kBlock, 0, kBlock, n),
+          1.0f, c.block(br * kBlock, 0, kBlock, n));
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(99);
+  const index_t block_rows = 24, block_cols = 24, n = 32;
+  const double density = 0.15;
+  const Bcsr a = Bcsr::random(block_rows, block_cols, density, rng);
+  Matrix<float> b(block_cols * kBlock, n);
+  b.fill_random(rng);
+  Matrix<float> c(block_rows * kBlock, n);
+  c.fill(0.0f);
+
+  const auto start = std::chrono::steady_clock::now();
+  bcsr_spmm(a, b.cview(), c.view());
+  const auto stop = std::chrono::steady_clock::now();
+
+  // Verify against densified A.
+  Matrix<float> c_ref(block_rows * kBlock, n);
+  c_ref.fill(0.0f);
+  const Matrix<float> dense = a.densify();
+  libs::naive_gemm(1.0f, dense.cview(), b.cview(), 0.0f, c_ref.view());
+  const double diff = max_abs_diff(c.cview(), c_ref.cview());
+
+  const double nnz_blocks = static_cast<double>(a.blocks.size());
+  const double flops = 2.0 * nnz_blocks * kBlock * kBlock * n;
+  const double ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  std::printf(
+      "BCSR %ldx%ld blocks of %ldx%ld, density %.0f%%: %ld stored blocks, "
+      "%.2f Mflop in %.2f ms, max |diff| vs densified %.2e\n",
+      static_cast<long>(block_rows), static_cast<long>(block_cols),
+      static_cast<long>(kBlock), static_cast<long>(kBlock), 100 * density,
+      static_cast<long>(a.blocks.size()), flops / 1e6, ms, diff);
+  std::printf(
+      "each stored block is a %ldx%ldx%ld SMM — the BCSR use case from "
+      "the paper's introduction.\n",
+      static_cast<long>(kBlock), static_cast<long>(n),
+      static_cast<long>(kBlock));
+  return diff < 1e-3 ? 0 : 1;
+}

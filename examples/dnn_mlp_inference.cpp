@@ -1,0 +1,100 @@
+// DNN inference (the paper's first motivating workload): a small MLP's
+// forward pass is a chain of SMM calls — the batch dimension is small
+// (latency-bound inference), the layer widths moderate. Plans are built
+// once per layer shape and reused across requests, the Section-IV
+// "adaptive code generation" usage pattern.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/smm.h"
+#include "src/matrix/matrix.h"
+#include "src/plan/native_executor.h"
+
+namespace {
+
+using namespace smm;
+
+struct Layer {
+  Matrix<float> weights;  // (out x in), col-major
+  Matrix<float> bias;     // (out x 1)
+  plan::GemmPlan plan;    // built once for (out, batch, in)
+};
+
+void relu_inplace(MatrixView<float> x) {
+  for (index_t j = 0; j < x.cols(); ++j)
+    for (index_t i = 0; i < x.rows(); ++i)
+      if (x(i, j) < 0.0f) x(i, j) = 0.0f;
+}
+
+}  // namespace
+
+int main() {
+  // Topology: 256 -> 512 -> 512 -> 128 -> 10, batch 8 (small M regime!
+  // activations are (width x batch), so every GEMM has N = 8).
+  const std::vector<index_t> widths{256, 512, 512, 128, 10};
+  const index_t batch = 8;
+  Rng rng(2026);
+
+  std::vector<Layer> layers;
+  for (std::size_t l = 0; l + 1 < widths.size(); ++l) {
+    Layer layer{Matrix<float>(widths[l + 1], widths[l]),
+                Matrix<float>(widths[l + 1], 1), {}};
+    layer.weights.fill_random(rng, -0.1f, 0.1f);
+    layer.bias.fill_random(rng, -0.1f, 0.1f);
+    layer.plan = core::reference_smm().make_plan(
+        {widths[l + 1], batch, widths[l]}, plan::ScalarType::kF32, 1);
+    layers.push_back(std::move(layer));
+  }
+
+  // Activations ping-pong between two buffers sized for the widest layer.
+  index_t widest = 0;
+  for (const index_t w : widths) widest = std::max(widest, w);
+  Matrix<float> act_a(widest, batch), act_b(widest, batch);
+  act_a.fill_random(rng);
+
+  const int requests = 200;
+  const auto start = std::chrono::steady_clock::now();
+  double checksum = 0.0;
+  for (int r = 0; r < requests; ++r) {
+    MatrixView<float> in =
+        act_a.view().block(0, 0, widths[0], batch);
+    Matrix<float>* front = &act_a;
+    Matrix<float>* back = &act_b;
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+      MatrixView<float> out =
+          back->view().block(0, 0, widths[l + 1], batch);
+      // out = W * in (plan reused across requests).
+      plan::execute_plan(layers[l].plan, 1.0f,
+                         layers[l].weights.cview(),
+                         ConstMatrixView<float>(in), 0.0f, out);
+      for (index_t j = 0; j < batch; ++j)
+        for (index_t i = 0; i < widths[l + 1]; ++i)
+          out(i, j) += layers[l].bias(i, 0);
+      if (l + 1 < layers.size()) relu_inplace(out);
+      std::swap(front, back);
+      in = front->view().block(0, 0, widths[l + 1], batch);
+    }
+    checksum += static_cast<double>(in(0, 0));
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  const double ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+
+  double flops = 0;
+  for (std::size_t l = 0; l + 1 < widths.size(); ++l)
+    flops += 2.0 * static_cast<double>(widths[l + 1]) * batch * widths[l];
+  std::printf(
+      "MLP %ld-%ld-%ld-%ld-%ld, batch %ld: %d requests in %.1f ms "
+      "(%.2f Gflop/s native), checksum %.4f\n",
+      static_cast<long>(widths[0]), static_cast<long>(widths[1]),
+      static_cast<long>(widths[2]), static_cast<long>(widths[3]),
+      static_cast<long>(widths[4]), static_cast<long>(batch), requests,
+      ms, flops * requests / ms / 1e6, checksum);
+  std::printf(
+      "every layer is an SMM with N = %ld — exactly the small-dimension "
+      "regime the paper characterizes.\n",
+      static_cast<long>(batch));
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Strategy advisor: the simulator as a library. Given a GEMM shape (and
+// optional thread budget), price every strategy on the modelled Phytium
+// 2000+ and recommend one — the decision the paper's characterization is
+// meant to inform ("facilitates users to develop efficient SMM
+// optimizations ... and embed them into real-world applications").
+//
+// Usage: strategy_advisor [m n k [threads]]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/core/smm.h"
+#include "src/libs/blasfeo_like/gemm_blasfeo_like.h"
+#include "src/libs/blis_like/gemm_blis_like.h"
+#include "src/libs/eigen_like/gemm_eigen_like.h"
+#include "src/libs/openblas_like/gemm_openblas_like.h"
+#include "src/model/equations.h"
+#include "src/sim/exec/pricer.h"
+
+int main(int argc, char** argv) {
+  using namespace smm;
+  const index_t m = argc > 1 ? std::atol(argv[1]) : 16;
+  const index_t n = argc > 2 ? std::atol(argv[2]) : 200;
+  const index_t k = argc > 3 ? std::atol(argv[3]) : 200;
+  const int threads = argc > 4 ? std::atoi(argv[4]) : 1;
+  const GemmShape shape{m, n, k};
+
+  const auto machine = sim::phytium2000p();
+  sim::PlanPricer pricer(machine);
+  const std::vector<const libs::GemmStrategy*> candidates = {
+      &libs::openblas_like(), &libs::blis_like(), &libs::blasfeo_like(),
+      &libs::eigen_like(), &core::reference_smm()};
+
+  std::printf("shape %ldx%ldx%ld, %d thread(s) on %s\n",
+              static_cast<long>(m), static_cast<long>(n),
+              static_cast<long>(k), threads, machine.name.c_str());
+  std::printf("P2C (Eq. 3) = %.4f -> packing %s amortize (Section III-A)\n\n",
+              model::p2c(m, n),
+              model::p2c(m, n) > 0.05 ? "will NOT" : "should");
+
+  const libs::GemmStrategy* best = nullptr;
+  double best_gflops = -1;
+  for (const auto* s : candidates) {
+    const auto r = sim::simulate_strategy(*s, shape, plan::ScalarType::kF32,
+                                          threads, pricer);
+    std::printf("  %s\n", r.summary(machine).c_str());
+    if (r.gflops(machine) > best_gflops) {
+      best_gflops = r.gflops(machine);
+      best = s;
+    }
+  }
+  std::printf("\nrecommendation: %s (%.1f Gflops predicted)\n",
+              best->traits().name.c_str(), best_gflops);
+  if (best->traits().panel_major_input) {
+    std::printf(
+        "  note: assumes operands already stored panel-major; if not, see "
+        "bench/ablate_packing_optional for the conversion cost.\n");
+  }
+  return 0;
+}

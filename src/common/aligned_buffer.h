@@ -1,0 +1,77 @@
+// RAII buffer with cache-line alignment; backing store for all matrices and
+// packed panels. Alignment matters natively (vector loads) and is assumed by
+// the machine model (packed panels start on a line boundary).
+#pragma once
+
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <type_traits>
+
+#include "src/common/error.h"
+#include "src/common/types.h"
+
+namespace smm {
+
+/// Owning, aligned, non-copyable array of trivially-destructible T.
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "AlignedBuffer only stores trivial scalar types");
+
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(index_t count) { reset(count); }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::move(other.data_)), size_(other.size_) {
+    other.size_ = 0;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    data_ = std::move(other.data_);
+    size_ = other.size_;
+    other.size_ = 0;
+    return *this;
+  }
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  /// Reallocate to hold `count` elements; contents are value-initialized.
+  void reset(index_t count) {
+    SMM_EXPECT(count >= 0, "buffer size must be non-negative");
+    size_ = count;
+    if (count == 0) {
+      data_.reset();
+      return;
+    }
+    const std::size_t bytes =
+        round_up(static_cast<std::size_t>(count) * sizeof(T));
+    void* raw = std::aligned_alloc(kBufferAlignment, bytes);
+    if (raw == nullptr) throw std::bad_alloc();
+    data_.reset(static_cast<T*>(raw));
+    for (index_t i = 0; i < count; ++i) data_.get()[i] = T{};
+  }
+
+  [[nodiscard]] T* data() { return data_.get(); }
+  [[nodiscard]] const T* data() const { return data_.get(); }
+  [[nodiscard]] index_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  T& operator[](index_t i) { return data_.get()[i]; }
+  const T& operator[](index_t i) const { return data_.get()[i]; }
+
+ private:
+  static std::size_t round_up(std::size_t bytes) {
+    return (bytes + kBufferAlignment - 1) / kBufferAlignment *
+           kBufferAlignment;
+  }
+
+  struct FreeDeleter {
+    void operator()(T* p) const { std::free(p); }
+  };
+  std::unique_ptr<T, FreeDeleter> data_;
+  index_t size_ = 0;
+};
+
+}  // namespace smm

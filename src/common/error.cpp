@@ -1,0 +1,15 @@
+#include "src/common/error.h"
+
+#include <sstream>
+
+namespace smm::detail {
+
+void raise_error(const char* cond, const char* file, int line,
+                 const std::string& msg) {
+  std::ostringstream os;
+  os << "smmkit: " << msg << " [failed: " << cond << " at " << file << ':'
+     << line << ']';
+  throw Error(os.str());
+}
+
+}  // namespace smm::detail

@@ -1,0 +1,30 @@
+// Error reporting: SMM_EXPECT for recoverable precondition checks (throws),
+// used at public API boundaries; internal invariants use assert-style checks.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace smm {
+
+/// Exception type thrown on precondition violations at API boundaries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void raise_error(const char* cond, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace smm
+
+/// Precondition check that survives NDEBUG builds: public entry points
+/// validate caller-supplied dimensions/pointers with this.
+#define SMM_EXPECT(cond, msg)                                          \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::smm::detail::raise_error(#cond, __FILE__, __LINE__, (msg));    \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,32 @@
+// Deterministic random number generation (splitmix64 + xoshiro256**).
+// Every randomized test/bench seeds explicitly so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace smm {
+
+/// Small, fast, deterministic PRNG (xoshiro256**). Not for cryptography.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  index_t next_index(index_t bound);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace smm

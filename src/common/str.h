@@ -1,0 +1,17 @@
+// Small string/format helpers (gcc 12 lacks std::format).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace smm {
+
+/// printf-style formatting into a std::string.
+std::string strprintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Join elements with a separator: join({"a","b"}, ",") == "a,b".
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+}  // namespace smm

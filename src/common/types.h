@@ -1,0 +1,38 @@
+// Fundamental scalar and index types used across smmkit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace smm {
+
+/// Signed index type for all matrix dimensions and loop bounds.
+/// Signed (not size_t) so that backwards loops and differences are safe.
+using index_t = std::int64_t;
+
+/// Cycle counts produced by the machine model. Fractional cycles are kept
+/// because plan pricing averages amortized per-iteration costs.
+using cycles_t = double;
+
+/// Cache-line-sized alignment used for all packed buffers.
+inline constexpr std::size_t kBufferAlignment = 64;
+
+/// Dimensions of one GEMM problem C(MxN) = alpha*A(MxK)*B(KxN) + beta*C.
+struct GemmShape {
+  index_t m = 0;
+  index_t n = 0;
+  index_t k = 0;
+
+  /// Number of useful floating-point operations (multiply+add counted
+  /// separately, the convention used for "Gflops" throughout the paper).
+  [[nodiscard]] double flops() const {
+    return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+           static_cast<double>(k);
+  }
+
+  [[nodiscard]] bool valid() const { return m >= 0 && n >= 0 && k >= 0; }
+
+  friend bool operator==(const GemmShape&, const GemmShape&) = default;
+};
+
+}  // namespace smm

@@ -1,0 +1,71 @@
+#include "src/core/autotune.h"
+
+#include "src/common/error.h"
+#include "src/core/parallel_select.h"
+#include "src/core/smm.h"
+#include "src/sim/exec/pricer.h"
+
+namespace smm::core {
+
+plan::GemmPlan build_tuned_plan(GemmShape shape, plan::ScalarType scalar,
+                                const BuildSpec& spec) {
+  plan::GemmPlan plan;
+  plan.strategy = "smm-tuned";
+  plan.shape = shape;
+  plan.scalar = scalar;
+  build_smm_plan(plan, spec);
+  plan.validate();
+  return plan;
+}
+
+TuneResult autotune(GemmShape shape, plan::ScalarType scalar, int nthreads,
+                    const sim::MachineConfig& machine,
+                    const TuneSpace& space) {
+  SMM_EXPECT(shape.valid() && shape.m > 0 && shape.n > 0 && shape.k > 0,
+             "autotune needs a non-degenerate shape");
+  sim::PlanPricer pricer(machine);
+  TuneResult result;
+
+  // Baseline: whatever the heuristic reference SMM would do.
+  result.default_cycles =
+      pricer.price(reference_smm().make_plan(shape, scalar, nthreads))
+          .makespan_cycles;
+
+  result.best_cycles = -1.0;
+  for (const auto& [mr, nr] : space.tiles) {
+    for (const index_t kc : space.kc_values) {
+      for (const bool pack_b : space.pack_b_choices) {
+        BuildSpec spec;
+        spec.mr = mr;
+        spec.nr = nr;
+        spec.kc = kc;
+        spec.mc = 240;
+        spec.nc = 480;
+        spec.pack_b = pack_b;
+        spec.edge_pack_b = !pack_b;
+        spec.pack_a = decide_packing(shape, plan::elem_bytes(scalar), {})
+                          .pack_a;
+        const ParallelChoice par_choice = choose_parallel(
+            shape, std::max(1, nthreads), mr, nr, spec.mc, spec.nc);
+        spec.nthreads = par_choice.nthreads;
+        spec.ways = par_choice.ways;
+        spec.k_parts = par_choice.k_parts;
+        // Cooperative multi-thread plans require packing (shared
+        // buffers); skip inconsistent candidates rather than build them.
+        if (spec.nthreads > 1 && spec.k_parts == 1 && !pack_b) continue;
+
+        const plan::GemmPlan plan = build_tuned_plan(shape, scalar, spec);
+        const double cycles = pricer.price(plan).makespan_cycles;
+        ++result.evaluated;
+        if (result.best_cycles < 0.0 || cycles < result.best_cycles) {
+          result.best_cycles = cycles;
+          result.best = spec;
+        }
+      }
+    }
+  }
+  SMM_EXPECT(result.evaluated > 0, "autotune space was empty");
+  return result;
+}
+
+}  // namespace smm::core

@@ -1,0 +1,57 @@
+#include "src/core/batched.h"
+
+#include <algorithm>
+
+#include "src/common/error.h"
+#include "src/core/smm.h"
+#include "src/plan/native_executor.h"
+#include "src/threading/partition.h"
+#include "src/threading/thread_pool.h"
+
+namespace smm::core {
+
+template <typename T>
+void batched_smm(T alpha, const std::vector<GemmBatchItem<T>>& items,
+                 T beta, PlanCache& cache, int nworkers) {
+  SMM_EXPECT(nworkers >= 1, "batched_smm needs at least one worker");
+  const auto scalar =
+      sizeof(T) == 4 ? plan::ScalarType::kF32 : plan::ScalarType::kF64;
+
+  // Resolve plans up front (single pass warms the cache; repeated shapes
+  // share one plan object).
+  std::vector<std::shared_ptr<const plan::GemmPlan>> plans;
+  plans.reserve(items.size());
+  for (const auto& item : items) {
+    SMM_EXPECT(item.a.rows() == item.c.rows() &&
+                   item.b.cols() == item.c.cols() &&
+                   item.a.cols() == item.b.rows(),
+               "batched_smm: item dimension mismatch");
+    plans.push_back(cache.get(
+        {item.c.rows(), item.c.cols(), item.a.cols()}, scalar,
+        /*nthreads=*/1));
+  }
+
+  const int workers =
+      std::min<int>(nworkers, std::max<std::size_t>(items.size(), 1));
+  par::run_parallel(workers, [&](int w) {
+    const par::Range range = par::split_range(
+        static_cast<index_t>(items.size()), workers, w);
+    for (index_t i = range.begin; i < range.end; ++i) {
+      const auto& item = items[static_cast<std::size_t>(i)];
+      plan::execute_plan(*plans[static_cast<std::size_t>(i)], alpha, item.a,
+                         item.b, beta, item.c);
+    }
+  });
+}
+
+template void batched_smm(float, const std::vector<GemmBatchItem<float>>&,
+                          float, PlanCache&, int);
+template void batched_smm(double, const std::vector<GemmBatchItem<double>>&,
+                          double, PlanCache&, int);
+
+PlanCache& default_plan_cache() {
+  static PlanCache cache(reference_smm());
+  return cache;
+}
+
+}  // namespace smm::core

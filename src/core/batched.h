@@ -1,0 +1,33 @@
+// Batched SMM — the deployment shape of the paper's DNN motivation: many
+// small multiplications of a few distinct shapes. Plans come from a
+// PlanCache; parallelism goes *across* the batch (each item runs its
+// single-thread plan on one worker) because within-GEMM parallelism has
+// nothing to win on small matrices (Sections III-D / IV; quantified by
+// bench/ablate_batch_parallel).
+#pragma once
+
+#include <vector>
+
+#include "src/core/plan_cache.h"
+#include "src/matrix/view.h"
+
+namespace smm::core {
+
+template <typename T>
+struct GemmBatchItem {
+  ConstMatrixView<T> a;
+  ConstMatrixView<T> b;
+  MatrixView<T> c;
+};
+
+/// C_i = alpha * A_i * B_i + beta * C_i for every item. Shapes may differ
+/// per item (each hits the cache separately). `nworkers` > 1 spreads
+/// items across threads; outputs must not alias across items.
+template <typename T>
+void batched_smm(T alpha, const std::vector<GemmBatchItem<T>>& items,
+                 T beta, PlanCache& cache, int nworkers = 1);
+
+/// Convenience: one shared PlanCache over the default reference SMM.
+PlanCache& default_plan_cache();
+
+}  // namespace smm::core

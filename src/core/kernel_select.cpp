@@ -1,0 +1,64 @@
+#include "src/core/kernel_select.h"
+
+#include "src/common/error.h"
+#include "src/common/str.h"
+#include "src/model/equations.h"
+
+namespace smm::core {
+
+const std::vector<std::pair<index_t, index_t>>& smm_main_tiles() {
+  static const std::vector<std::pair<index_t, index_t>> tiles{
+      {16, 4}, {12, 4}, {8, 8}, {8, 4}, {4, 4}};
+  return tiles;
+}
+
+double tile_score(GemmShape shape, index_t mr, index_t nr) {
+  SMM_EXPECT(mr > 0 && nr > 0, "bad tile");
+  if (shape.m == 0 || shape.n == 0) return 0.0;
+  // CMR has diminishing returns once the tile hides the load latency; a
+  // saturating transform keeps edge coverage the deciding factor between
+  // two already-good tiles (raw CMR would pick 8x8 even for M = 12).
+  const double c = model::cmr(mr, nr);
+  const double base = c / (c + 2.0);
+  // Under-filled tiles: a tile taller/wider than the matrix wastes its CMR.
+  const double fill_m =
+      std::min(1.0, static_cast<double>(shape.m) / static_cast<double>(mr));
+  const double fill_n =
+      std::min(1.0, static_cast<double>(shape.n) / static_cast<double>(nr));
+  // Edge fraction: the share of rows/cols handled by smaller edge kernels,
+  // each roughly `edge_penalty` as efficient as the main kernel (small
+  // tiles waste vector lanes and are load-port bound, Section III-B).
+  constexpr double kEdgePenalty = 0.45;
+  const double em = shape.m >= mr
+                        ? static_cast<double>(shape.m % mr) /
+                              static_cast<double>(shape.m)
+                        : 0.0;
+  const double en = shape.n >= nr
+                        ? static_cast<double>(shape.n % nr) /
+                              static_cast<double>(shape.n)
+                        : 0.0;
+  const double edge_factor =
+      (1.0 - em * (1.0 - kEdgePenalty)) * (1.0 - en * (1.0 - kEdgePenalty));
+  return base * fill_m * fill_n * edge_factor;
+}
+
+KernelChoice choose_main_tile(GemmShape shape) {
+  KernelChoice best;
+  best.score = -1.0;
+  for (const auto& [mr, nr] : smm_main_tiles()) {
+    const double s = tile_score(shape, mr, nr);
+    if (s > best.score) {
+      best = {mr, nr, s, ""};
+    }
+  }
+  best.reason = strprintf("%ldx%ld: score %.2f (CMR %.2f) for %ldx%ldx%ld",
+                          static_cast<long>(best.mr),
+                          static_cast<long>(best.nr), best.score,
+                          model::cmr(best.mr, best.nr),
+                          static_cast<long>(shape.m),
+                          static_cast<long>(shape.n),
+                          static_cast<long>(shape.k));
+  return best;
+}
+
+}  // namespace smm::core

@@ -1,0 +1,30 @@
+// Adaptive main-tile selection for the reference SMM (Section IV,
+// "having a set of optimal micro-kernels" + "adaptive code generation").
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace smm::core {
+
+struct KernelChoice {
+  index_t mr = 16;
+  index_t nr = 4;
+  double score = 0.0;
+  std::string reason;
+};
+
+/// Main tiles the smm family provides.
+const std::vector<std::pair<index_t, index_t>>& smm_main_tiles();
+
+/// Score a candidate tile for a shape: CMR (Eq. 5) discounted by edge
+/// coverage losses on M and N.
+double tile_score(GemmShape shape, index_t mr, index_t nr);
+
+/// Pick the best main tile for the shape.
+KernelChoice choose_main_tile(GemmShape shape);
+
+}  // namespace smm::core

@@ -1,0 +1,47 @@
+#include "src/core/parallel_select.h"
+
+#include <algorithm>
+
+#include "src/common/error.h"
+
+namespace smm::core {
+
+ParallelChoice choose_parallel(GemmShape shape, int max_threads, index_t mr,
+                               index_t nr, index_t mc, index_t nc,
+                               index_t min_tiles_per_thread) {
+  SMM_EXPECT(max_threads >= 1, "need at least one thread");
+  ParallelChoice choice;
+  if (shape.m == 0 || shape.n == 0 || shape.k == 0) {
+    choice.nthreads = 1;
+    return choice;
+  }
+  const index_t tiles_m = (shape.m + mr - 1) / mr;
+  const index_t tiles_n = (shape.n + nr - 1) / nr;
+  const index_t tiles = tiles_m * tiles_n;
+  index_t cap = std::max<index_t>(1, tiles / min_tiles_per_thread);
+  cap = std::min<index_t>(cap, max_threads);
+  // Prefer power-of-two counts: they factor cleanly into ways and map onto
+  // the machine's panel structure (8 panels x 8 cores).
+  int threads = 1;
+  while (threads * 2 <= cap) threads *= 2;
+
+  // Deep-K escape hatch: if the tile grid cannot feed the budget but K
+  // can be split into substantial slices (>= 256 each), parallelize K
+  // with a reduction instead.
+  constexpr index_t kMinKSlice = 256;
+  if (threads < max_threads / 2 && shape.k >= 2 * kMinKSlice) {
+    index_t k_cap = std::min<index_t>(max_threads, shape.k / kMinKSlice);
+    int k_parts = 1;
+    while (k_parts * 2 <= k_cap) k_parts *= 2;
+    if (k_parts > threads) {
+      choice.nthreads = k_parts;
+      choice.k_parts = k_parts;
+      return choice;
+    }
+  }
+  choice.nthreads = threads;
+  choice.ways = par::choose_ways(shape, threads, mr, nr, mc, nc);
+  return choice;
+}
+
+}  // namespace smm::core

@@ -1,0 +1,27 @@
+// Run-time parallelization decision for the reference SMM (Section IV,
+// "multi-dimensional parallelization ... make a run-time decision based on
+// the input matrices").
+#pragma once
+
+#include "src/common/types.h"
+#include "src/threading/partition.h"
+
+namespace smm::core {
+
+struct ParallelChoice {
+  int nthreads = 1;
+  par::Ways ways;
+  /// > 1: split K instead (deep-K shapes whose M x N tile grid cannot
+  /// feed the cores); nthreads == k_parts in that case.
+  int k_parts = 1;
+};
+
+/// Decide how many threads are worth using and how to spread them.
+/// The thread count is capped so every thread keeps at least
+/// `min_tiles_per_thread` micro-tiles (synchronizing 64 threads over a
+/// 4-tile problem is exactly the pathology Table II exposes).
+ParallelChoice choose_parallel(GemmShape shape, int max_threads, index_t mr,
+                               index_t nr, index_t mc, index_t nc,
+                               index_t min_tiles_per_thread = 4);
+
+}  // namespace smm::core

@@ -1,0 +1,33 @@
+// Plan assembly for the reference SMM: the packing-optional single-thread
+// path (with Fig. 8 edge packing) and the multi-dimensional parallel path.
+#pragma once
+
+#include "src/core/smm.h"
+#include "src/plan/plan.h"
+#include "src/threading/partition.h"
+
+namespace smm::core {
+
+struct BuildSpec {
+  index_t mr = 16;
+  index_t nr = 4;
+  index_t mc = 256;
+  index_t kc = 512;
+  index_t nc = 512;
+  bool pack_a = false;
+  bool pack_b = true;
+  bool edge_pack_b = false;  ///< only meaningful when !pack_b
+  int nthreads = 1;
+  par::Ways ways;
+  /// K-split parallelism (> 1): the K range is divided among k_parts
+  /// threads computing partial products into private slabs, folded into C
+  /// by a reduction — the only way to use many cores on deep-K SMM shapes
+  /// (M, N small, K large) where the tile grid cannot feed them.
+  int k_parts = 1;
+};
+
+/// Build the plan (thread_ops, buffers, barriers) into `plan`, whose
+/// shape/scalar/strategy must already be set.
+void build_smm_plan(plan::GemmPlan& plan, const BuildSpec& spec);
+
+}  // namespace smm::core

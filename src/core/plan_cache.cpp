@@ -1,0 +1,60 @@
+#include "src/core/plan_cache.h"
+
+#include "src/common/error.h"
+
+namespace smm::core {
+
+PlanCache::PlanCache(const libs::GemmStrategy& strategy,
+                     std::size_t capacity)
+    : strategy_(strategy), capacity_(capacity) {
+  SMM_EXPECT(capacity > 0, "plan cache needs capacity");
+}
+
+std::shared_ptr<const plan::GemmPlan> PlanCache::get(
+    GemmShape shape, plan::ScalarType scalar, int nthreads) {
+  const Key key{shape.m, shape.n, shape.k, static_cast<int>(scalar),
+                nthreads};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);  // bump to front
+      return it->second->second;
+    }
+  }
+  // Build outside the lock: plan construction can be expensive and two
+  // threads racing on the same shape just do redundant work once.
+  auto plan = std::make_shared<const plan::GemmPlan>(
+      strategy_.make_plan(shape, scalar, nthreads));
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  ++misses_;
+  lru_.emplace_front(key, std::move(plan));
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  return lru_.front().second;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace smm::core

@@ -1,0 +1,55 @@
+// Plan dispatch cache — the practical form of the paper's "adaptive code
+// generation" recommendation (Section IV): like LIBXSMM's JIT dispatch,
+// the expensive shape-specific artifact (here a GemmPlan instead of
+// machine code) is built once per shape and looked up on every call.
+// Thread-safe; LRU-bounded.
+#pragma once
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/libs/gemm_interface.h"
+#include "src/plan/plan.h"
+
+namespace smm::core {
+
+class PlanCache {
+ public:
+  /// Caches plans produced by `strategy` (which must outlive the cache).
+  explicit PlanCache(const libs::GemmStrategy& strategy,
+                     std::size_t capacity = 256);
+
+  /// The plan for (shape, scalar, nthreads): cached, or built and
+  /// inserted. Returned as shared_ptr so an entry may be evicted while
+  /// callers still execute it.
+  std::shared_ptr<const plan::GemmPlan> get(GemmShape shape,
+                                            plan::ScalarType scalar,
+                                            int nthreads);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] std::size_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  void clear();
+
+ private:
+  struct Key {
+    index_t m, n, k;
+    int scalar;
+    int nthreads;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  const libs::GemmStrategy& strategy_;
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  // LRU: most recent at front; map points into the list.
+  std::list<std::pair<Key, std::shared_ptr<const plan::GemmPlan>>> lru_;
+  std::map<Key, decltype(lru_)::iterator> index_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace smm::core

@@ -1,0 +1,183 @@
+#include "src/core/smm.h"
+
+#include <algorithm>
+
+#include "src/common/error.h"
+#include "src/core/kernel_select.h"
+#include "src/core/parallel_select.h"
+#include "src/core/plan_builder.h"
+#include "src/plan/native_executor.h"
+
+namespace smm::core {
+
+namespace {
+
+// Blocking of the reference SMM: mc/nc divisible by every main tile,
+// kc large enough that SMM-sized K never splits.
+constexpr index_t kMc = 240;
+constexpr index_t kKc = 512;
+constexpr index_t kNc = 480;
+
+/// A block bigger than this (bytes) no longer fits comfortably next to the
+/// other operands in the 2 MB shared L2 — only then is packing A worth it.
+constexpr index_t kPackAThresholdBytes = 1024 * 1024;
+
+/// B reuse count (M / mr) below which packing B cannot amortize: the P2C
+/// ratio (M+N)/(2MN) says small M makes the packed elements too rarely
+/// reused (Section III-A).
+constexpr index_t kPackBMinReuseRows = 48;
+
+/// B footprint below which packing buys nothing even with reuse: the
+/// whole matrix already sits in the shared L2, so direct access is as
+/// fast as a packed buffer and strictly cheaper (no copy) — the "small"
+/// regime where the paper says to avoid packing altogether.
+constexpr index_t kPackBFootprintBytes = 1024 * 1024;
+
+class ReferenceSmm final : public libs::GemmStrategy {
+ public:
+  explicit ReferenceSmm(SmmOptions options) : options_(options) {
+    traits_.name = "smm-ref";
+    traits_.assembly_layers = "Layer 4-7";
+    traits_.unroll = 8;
+    traits_.kernel_tiles = "adaptive(16x4,12x4,8x8,...)";
+    traits_.packs_a = false;
+    traits_.packs_b = true;  // when it pays off
+    traits_.edge = libs::EdgeStrategy::kEdgeKernels;
+    traits_.parallel = libs::ParallelMethod::kMultiDim;
+  }
+
+  [[nodiscard]] const libs::LibraryTraits& traits() const override {
+    return traits_;
+  }
+
+  [[nodiscard]] plan::GemmPlan make_plan(GemmShape shape,
+                                         plan::ScalarType scalar,
+                                         int nthreads) const override {
+    plan::GemmPlan plan;
+    plan.strategy = traits_.name;
+    plan.shape = shape;
+    plan.scalar = scalar;
+
+    BuildSpec spec;
+    if (options_.adaptive_kernel) {
+      const KernelChoice choice = choose_main_tile(shape);
+      spec.mr = choice.mr;
+      spec.nr = choice.nr;
+    } else {
+      spec.mr = 16;
+      spec.nr = 4;
+    }
+    spec.mc = kMc;
+    spec.kc = kKc;
+    spec.nc = kNc;
+
+    int max_threads = nthreads;
+    if (options_.thread_cap > 0)
+      max_threads = std::min(max_threads, options_.thread_cap);
+    const ParallelChoice par_choice = choose_parallel(
+        shape, std::max(1, max_threads), spec.mr, spec.nr, spec.mc, spec.nc);
+    spec.nthreads = par_choice.nthreads;
+    spec.ways = par_choice.ways;
+    spec.k_parts = par_choice.k_parts;
+
+    const PackingDecision pd =
+        decide_packing(shape, plan::elem_bytes(scalar), options_);
+    spec.pack_a = pd.pack_a;
+    spec.pack_b = pd.pack_b;
+    spec.edge_pack_b = pd.edge_pack_b;
+
+    build_smm_plan(plan, spec);
+    plan.validate();
+    return plan;
+  }
+
+ private:
+  SmmOptions options_;
+  libs::LibraryTraits traits_;
+};
+
+}  // namespace
+
+PackingDecision decide_packing(GemmShape shape, index_t elem_bytes,
+                               const SmmOptions& options) {
+  PackingDecision out;
+  switch (options.pack_a) {
+    case SmmOptions::Packing::kAlways:
+      out.pack_a = true;
+      break;
+    case SmmOptions::Packing::kNever:
+      out.pack_a = false;
+      break;
+    case SmmOptions::Packing::kAuto:
+      out.pack_a = shape.m * shape.k * elem_bytes > kPackAThresholdBytes;
+      break;
+  }
+  switch (options.pack_b) {
+    case SmmOptions::Packing::kAlways:
+      out.pack_b = true;
+      break;
+    case SmmOptions::Packing::kNever:
+      out.pack_b = false;
+      break;
+    case SmmOptions::Packing::kAuto:
+      out.pack_b = shape.m >= kPackBMinReuseRows &&
+                   shape.k * shape.n * elem_bytes > kPackBFootprintBytes;
+      break;
+  }
+  out.edge_pack_b = !out.pack_b && options.edge_pack;
+  return out;
+}
+
+const libs::GemmStrategy& reference_smm() {
+  static const ReferenceSmm instance{SmmOptions{}};
+  return instance;
+}
+
+std::unique_ptr<libs::GemmStrategy> make_reference_smm(SmmOptions options) {
+  return std::make_unique<ReferenceSmm>(options);
+}
+
+template <typename T>
+void smm_gemm(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
+              MatrixView<T> c, int nthreads, const SmmOptions& options) {
+  SMM_EXPECT(a.rows() == c.rows() && b.cols() == c.cols() &&
+                 a.cols() == b.rows(),
+             "smm_gemm dimension mismatch");
+  const ReferenceSmm strategy{options};
+  const GemmShape shape{c.rows(), c.cols(), a.cols()};
+  const auto scalar = sizeof(T) == 4 ? plan::ScalarType::kF32
+                                     : plan::ScalarType::kF64;
+  const plan::GemmPlan p = strategy.make_plan(shape, scalar, nthreads);
+  plan::execute_plan(p, alpha, a, b, beta, c);
+}
+
+template void smm_gemm(float, ConstMatrixView<float>, ConstMatrixView<float>,
+                       float, MatrixView<float>, int, const SmmOptions&);
+template void smm_gemm(double, ConstMatrixView<double>,
+                       ConstMatrixView<double>, double, MatrixView<double>,
+                       int, const SmmOptions&);
+
+template <typename T>
+void smm_gemm(Trans trans_a, Trans trans_b, T alpha, ConstMatrixView<T> a,
+              ConstMatrixView<T> b, T beta, MatrixView<T> c, int nthreads,
+              const SmmOptions& options) {
+  SmmOptions adjusted = options;
+  // A transposed col-major input reads op(A) with strided rows, which
+  // only the scalar generic kernel can consume in place: pack it instead
+  // (the pack absorbs the transpose at copy cost).
+  if (trans_a == Trans::kTrans &&
+      adjusted.pack_a == SmmOptions::Packing::kAuto) {
+    adjusted.pack_a = SmmOptions::Packing::kAlways;
+  }
+  smm_gemm(alpha, apply_trans(trans_a, a), apply_trans(trans_b, b), beta, c,
+           nthreads, adjusted);
+}
+
+template void smm_gemm(Trans, Trans, float, ConstMatrixView<float>,
+                       ConstMatrixView<float>, float, MatrixView<float>,
+                       int, const SmmOptions&);
+template void smm_gemm(Trans, Trans, double, ConstMatrixView<double>,
+                       ConstMatrixView<double>, double, MatrixView<double>,
+                       int, const SmmOptions&);
+
+}  // namespace smm::core

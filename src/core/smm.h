@@ -1,0 +1,68 @@
+// Reference SMM implementation (paper Section IV).
+//
+// The paper's four recommendations, realized:
+//  1. *Packing-optional SMM*: an auto heuristic driven by the P2C analysis
+//     (Section III-A) decides per shape whether packing A/B pays off; when
+//     it does not, kernels read the operands in place.
+//  2. *A set of optimal micro-kernels*: the "smm" kernel family —
+//     register-feasible tiles (Eq. 4) with pipelined schedules, plus a full
+//     lattice of vectorized edge kernels (the Fig. 7 pitfalls avoided).
+//  3. *Adaptive code generation*: the plan builder selects the main tile
+//     and the kernel mix per input shape at plan time (the JIT stand-in:
+//     instead of emitting instructions, it composes the kernel plan and
+//     precomputes every operand offset).
+//  4. *Multi-dimensional parallelization*: run-time ways selection that
+//     refuses to parallelize small dimensions and caps the thread count
+//     when the tile grid cannot feed more threads.
+#pragma once
+
+#include <memory>
+
+#include "src/libs/gemm_interface.h"
+#include "src/matrix/view.h"
+
+namespace smm::core {
+
+struct SmmOptions {
+  enum class Packing { kAuto, kAlways, kNever };
+  Packing pack_a = Packing::kAuto;
+  Packing pack_b = Packing::kAuto;
+  /// Fig. 8: when B stays unpacked and N % nr != 0, pack just the edge
+  /// columns so the edge kernels keep contiguous vector access.
+  bool edge_pack = true;
+  /// Choose the main tile per shape (false pins 16x4).
+  bool adaptive_kernel = true;
+  /// Hard thread cap; 0 derives the cap from the tile grid.
+  int thread_cap = 0;
+};
+
+/// Process-wide instance with default options.
+const libs::GemmStrategy& reference_smm();
+
+/// A strategy with explicit options (ablation benches).
+std::unique_ptr<libs::GemmStrategy> make_reference_smm(SmmOptions options);
+
+/// Convenience one-call API: C = alpha*A*B + beta*C with the reference SMM.
+template <typename T>
+void smm_gemm(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
+              MatrixView<T> c, int nthreads = 1,
+              const SmmOptions& options = {});
+
+/// BLAS-style: C = alpha * op(A) * op(B) + beta * C. Transposition is a
+/// view; a transposed A makes the packing-optional heuristic prefer
+/// packing (strided rows defeat the vector kernels otherwise).
+template <typename T>
+void smm_gemm(Trans trans_a, Trans trans_b, T alpha, ConstMatrixView<T> a,
+              ConstMatrixView<T> b, T beta, MatrixView<T> c,
+              int nthreads = 1, const SmmOptions& options = {});
+
+/// The packing decisions the auto heuristic would take (tests/benches).
+struct PackingDecision {
+  bool pack_a = false;
+  bool pack_b = false;
+  bool edge_pack_b = false;
+};
+PackingDecision decide_packing(GemmShape shape, index_t elem_bytes,
+                               const SmmOptions& options);
+
+}  // namespace smm::core

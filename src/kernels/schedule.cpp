@@ -1,0 +1,304 @@
+#include "src/kernels/schedule.h"
+
+#include "src/common/error.h"
+#include "src/common/str.h"
+
+namespace smm::kern {
+
+namespace {
+
+// Register-id conventions (architectural ids; the pipeline model renames):
+//   0..39   C accumulators
+//   40..55  A operand registers (two banks of 8 for pipelined schedules)
+//   60..75  B operand registers (two banks of 8)
+//   80..89  epilogue temporaries
+//   90..95  fmul temporaries (non-fused codegen)
+//   100..   integer registers (pointers, loop counter)
+constexpr std::int16_t kAccBase = 0;
+constexpr std::int16_t kARegBase = 40;
+constexpr std::int16_t kBRegBase = 60;
+constexpr std::int16_t kBankStride = 8;
+constexpr std::int16_t kEpiBase = 80;
+constexpr std::int16_t kMulTmpBase = 90;
+constexpr std::int16_t kIntPA = 100;
+constexpr std::int16_t kIntPB = 101;
+constexpr std::int16_t kIntCounter = 102;
+constexpr std::int16_t kIntPC = 103;
+
+struct Builder {
+  const ScheduleSpec& spec;
+  int n_avec;    // A registers per k-iteration
+  int n_breg;    // B registers per k-iteration
+  int n_acc;     // accumulator registers
+
+  explicit Builder(const ScheduleSpec& s)
+      : spec(s),
+        n_avec((s.mr + s.lanes - 1) / s.lanes),
+        n_breg(b_regs_per_iter(s)),
+        n_acc(((s.mr + s.lanes - 1) / s.lanes) * s.nr) {}
+
+  static int b_regs_per_iter(const ScheduleSpec& s) {
+    switch (s.b_access) {
+      case BAccess::kPackedVec:
+        return (s.nr + s.lanes - 1) / s.lanes;
+      case BAccess::kScalarPairs:
+        return (s.nr + 1) / 2;
+      case BAccess::kStridedScalar:
+        return s.nr;
+    }
+    return s.nr;
+  }
+
+  // Register holding B element j of the current iteration, given the bank.
+  [[nodiscard]] std::int16_t b_reg_for(int j, int bank) const {
+    int slot = 0;
+    switch (spec.b_access) {
+      case BAccess::kPackedVec:
+        slot = j / spec.lanes;
+        break;
+      case BAccess::kScalarPairs:
+        slot = j / 2;
+        break;
+      case BAccess::kStridedScalar:
+        slot = j;
+        break;
+    }
+    return static_cast<std::int16_t>(kBRegBase + bank * kBankStride + slot);
+  }
+
+  [[nodiscard]] std::int16_t a_reg_for(int rv, int bank) const {
+    return static_cast<std::int16_t>(kARegBase + bank * kBankStride + rv);
+  }
+
+  // Loads for one k-iteration into the given register bank, B first then A
+  // (the order the paper's Fig. 7 listing uses).
+  [[nodiscard]] std::vector<Uop> iteration_loads(int bank) const {
+    std::vector<Uop> out;
+    switch (spec.b_access) {
+      case BAccess::kPackedVec:
+        for (int s = 0; s < n_breg; ++s)
+          out.push_back({UopKind::kLoadVec, Stream::kB,
+                         static_cast<std::int16_t>(kBRegBase +
+                                                   bank * kBankStride + s),
+                         kIntPB, -1, -1});
+        break;
+      case BAccess::kScalarPairs:
+        for (int s = 0; s < n_breg; ++s)
+          out.push_back({UopKind::kLoadPair, Stream::kB,
+                         static_cast<std::int16_t>(kBRegBase +
+                                                   bank * kBankStride + s),
+                         kIntPB, -1, -1});
+        break;
+      case BAccess::kStridedScalar:
+        for (int s = 0; s < n_breg; ++s)
+          out.push_back({UopKind::kLoadScalar, Stream::kB,
+                         static_cast<std::int16_t>(kBRegBase +
+                                                   bank * kBankStride + s),
+                         kIntPB, -1, -1});
+        break;
+    }
+    const bool scalar_a = spec.mr < spec.lanes;
+    for (int rv = 0; rv < n_avec; ++rv)
+      out.push_back({scalar_a ? UopKind::kLoadScalar : UopKind::kLoadVec,
+                     Stream::kA, a_reg_for(rv, bank), kIntPA, -1, -1});
+    return out;
+  }
+
+  // FMAs for one k-iteration reading the given bank, grouped by B element
+  // (Fig. 7 order: all row-vectors for b[0], then b[1], ...). With
+  // broadcast_b, each B element is first spread across a register (dup).
+  [[nodiscard]] std::vector<Uop> iteration_fmas(int bank) const {
+    std::vector<Uop> out;
+    int tmp = 0;
+    for (int j = 0; j < spec.nr; ++j) {
+      std::int16_t breg = b_reg_for(j, bank);
+      if (spec.broadcast_b) {
+        const auto bcast =
+            static_cast<std::int16_t>(kMulTmpBase + 6 + (j % 4));
+        out.push_back({UopKind::kDup, Stream::kNone, bcast, breg, -1, -1});
+        breg = bcast;
+      }
+      for (int rv = 0; rv < n_avec; ++rv) {
+        const auto acc =
+            static_cast<std::int16_t>(kAccBase + j * n_avec + rv);
+        const std::int16_t areg = a_reg_for(rv, bank);
+        if (spec.fuse_mul_add) {
+          out.push_back({UopKind::kFma, Stream::kNone, acc, areg, breg, acc});
+        } else {
+          const auto t =
+              static_cast<std::int16_t>(kMulTmpBase + (tmp++ % 6));
+          out.push_back({UopKind::kFmul, Stream::kNone, t, areg, breg, -1});
+          out.push_back({UopKind::kFadd, Stream::kNone, acc, acc, t, -1});
+        }
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<Uop> loop_overhead() const {
+    return {
+        {UopKind::kInt, Stream::kNone, kIntPA, kIntPA, -1, -1},
+        {UopKind::kInt, Stream::kNone, kIntPB, kIntPB, -1, -1},
+        {UopKind::kInt, Stream::kNone, kIntCounter, kIntCounter, -1, -1},
+        {UopKind::kBranch, Stream::kNone, -1, kIntCounter, -1, -1},
+    };
+  }
+
+  [[nodiscard]] std::vector<Uop> make_prologue(bool preload_bank0) const {
+    std::vector<Uop> out;
+    // Address setup.
+    out.push_back({UopKind::kInt, Stream::kNone, kIntPA, -1, -1, -1});
+    out.push_back({UopKind::kInt, Stream::kNone, kIntPB, -1, -1, -1});
+    out.push_back({UopKind::kInt, Stream::kNone, kIntPC, -1, -1, -1});
+    out.push_back({UopKind::kInt, Stream::kNone, kIntCounter, -1, -1, -1});
+    for (int i = 0; i < n_acc; ++i)
+      out.push_back({UopKind::kVZero, Stream::kNone,
+                     static_cast<std::int16_t>(kAccBase + i), -1, -1, -1});
+    if (preload_bank0) {
+      auto loads = iteration_loads(/*bank=*/0);
+      out.insert(out.end(), loads.begin(), loads.end());
+    }
+    return out;
+  }
+
+  // C-tile writeback: load C vector, fold in the accumulator, store
+  // (Algorithm 1 lines 11-13), plus the alpha scaling.
+  [[nodiscard]] std::vector<Uop> make_epilogue() const {
+    std::vector<Uop> out;
+    out.push_back({UopKind::kInt, Stream::kNone, kIntPC, kIntPC, -1, -1});
+    for (int i = 0; i < n_acc; ++i) {
+      const auto acc = static_cast<std::int16_t>(kAccBase + i);
+      const auto tmp = static_cast<std::int16_t>(kEpiBase + (i % 8));
+      out.push_back({UopKind::kLoadVec, Stream::kC, tmp, kIntPC, -1, -1});
+      out.push_back({UopKind::kFma, Stream::kNone, acc, tmp, acc, acc});
+      out.push_back({UopKind::kStoreVec, Stream::kC, -1, acc, kIntPC, -1});
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+const char* to_string(ScheduleStyle style) {
+  switch (style) {
+    case ScheduleStyle::kPipelined:
+      return "pipelined";
+    case ScheduleStyle::kClustered:
+      return "clustered";
+    case ScheduleStyle::kSimple:
+      return "simple";
+  }
+  return "?";
+}
+
+const char* to_string(BAccess access) {
+  switch (access) {
+    case BAccess::kPackedVec:
+      return "packed-vec";
+    case BAccess::kScalarPairs:
+      return "scalar-pairs";
+    case BAccess::kStridedScalar:
+      return "strided-scalar";
+  }
+  return "?";
+}
+
+std::string ScheduleSpec::describe() const {
+  return strprintf("%dx%d u%d %s %s%s%s", mr, nr, unroll, to_string(style),
+                   to_string(b_access), fuse_mul_add ? "" : " no-fma",
+                   broadcast_b ? " dup-b" : "");
+}
+
+KernelSchedule build_schedule(const ScheduleSpec& spec) {
+  SMM_EXPECT(spec.mr > 0 && spec.nr > 0 && spec.unroll > 0 && spec.lanes > 0,
+             "schedule spec dims must be positive");
+  SMM_EXPECT(spec.style != ScheduleStyle::kPipelined || spec.unroll % 2 == 0,
+             "pipelined schedules need an even unroll (bank rotation)");
+  Builder b(spec);
+  SMM_EXPECT(b.n_avec <= kBankStride && b.n_breg <= kBankStride,
+             "tile too wide for the schedule register banks");
+
+  KernelSchedule sched;
+  sched.mr = spec.mr;
+  sched.nr = spec.nr;
+  sched.name = spec.describe();
+
+  std::vector<Uop> body;
+  switch (spec.style) {
+    case ScheduleStyle::kPipelined: {
+      sched.unroll = spec.unroll;
+      // Iteration t computes from bank t%2 while its loads for t+1 fill the
+      // other bank, spread between the FMAs. Bank 0 is preloaded in the
+      // prologue; after an even unroll the banks line up again.
+      for (int t = 0; t < spec.unroll; ++t) {
+        const int bank = t % 2;
+        auto fmas = b.iteration_fmas(bank);
+        auto loads = b.iteration_loads(1 - bank);
+        const std::size_t gap =
+            loads.empty() ? 1 : (fmas.size() + loads.size() - 1) /
+                                     loads.size();
+        std::size_t li = 0;
+        for (std::size_t fi = 0; fi < fmas.size(); ++fi) {
+          // Interleave: a load after every `gap` FMAs, starting early so
+          // the last load lands well before the next iteration needs it.
+          if (li < loads.size() && fi % gap == 0) body.push_back(loads[li++]);
+          body.push_back(fmas[fi]);
+        }
+        while (li < loads.size()) body.push_back(loads[li++]);
+      }
+      auto tail = b.loop_overhead();
+      body.insert(body.end(), tail.begin(), tail.end());
+      sched.prologue = b.make_prologue(/*preload_bank0=*/true);
+      break;
+    }
+    case ScheduleStyle::kClustered: {
+      sched.unroll = spec.unroll;
+      // Fig. 7 layout: every iteration reloads the same single bank right
+      // before its FMAs — minimal load-to-use distance.
+      for (int t = 0; t < spec.unroll; ++t) {
+        auto loads = b.iteration_loads(/*bank=*/0);
+        auto fmas = b.iteration_fmas(/*bank=*/0);
+        body.insert(body.end(), loads.begin(), loads.end());
+        body.insert(body.end(), fmas.begin(), fmas.end());
+      }
+      auto tail = b.loop_overhead();
+      body.insert(body.end(), tail.begin(), tail.end());
+      sched.prologue = b.make_prologue(/*preload_bank0=*/false);
+      break;
+    }
+    case ScheduleStyle::kSimple: {
+      sched.unroll = 1;
+      // Compiler-style: one k per loop trip, full loop control each trip.
+      auto loads = b.iteration_loads(/*bank=*/0);
+      auto fmas = b.iteration_fmas(/*bank=*/0);
+      body.insert(body.end(), loads.begin(), loads.end());
+      body.insert(body.end(), fmas.begin(), fmas.end());
+      auto tail = b.loop_overhead();
+      body.insert(body.end(), tail.begin(), tail.end());
+      sched.prologue = b.make_prologue(/*preload_bank0=*/false);
+      break;
+    }
+  }
+  sched.body = std::move(body);
+  sched.epilogue = b.make_epilogue();
+  sched.fma_per_body = b.n_avec * spec.nr * sched.unroll;
+  return sched;
+}
+
+KernelSchedule fig7_openblas_8x4_schedule() {
+  // ldp s12,s13,[pB]; ldp s14,s15,[pB]; ldr q4,[pA]; ldr q5,[pA];
+  // fmla v16,v4,v12[0]; fmla v17,v5,v12[0]; ... fmla v29,v5,v15[0]
+  // == clustered 8x4 with scalar-pair B loads.
+  ScheduleSpec spec;
+  spec.style = ScheduleStyle::kClustered;
+  spec.mr = 8;
+  spec.nr = 4;
+  spec.unroll = 2;
+  spec.lanes = 4;
+  spec.b_access = BAccess::kScalarPairs;
+  KernelSchedule sched = build_schedule(spec);
+  sched.name = "openblas-fig7-8x4";
+  return sched;
+}
+
+}  // namespace smm::kern

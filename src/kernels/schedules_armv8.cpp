@@ -1,0 +1,60 @@
+#include "src/kernels/schedules_armv8.h"
+
+namespace smm::kern {
+
+namespace {
+ScheduleSpec base(ScheduleStyle style, int mr, int nr, int unroll,
+                  BAccess b_access) {
+  ScheduleSpec s;
+  s.style = style;
+  s.mr = mr;
+  s.nr = nr;
+  s.unroll = unroll;
+  s.lanes = 4;  // f32 reference; kernel_spec<T>() rescales for f64
+  s.b_access = b_access;
+  return s;
+}
+}  // namespace
+
+ScheduleSpec openblas_main_spec(int mr, int nr) {
+  // Table I: OpenBLAS unrolls by 8 and pipelines its main sgemm kernels.
+  return base(ScheduleStyle::kPipelined, mr, nr, 8, BAccess::kPackedVec);
+}
+
+ScheduleSpec openblas_edge_spec(int mr, int nr) {
+  // Fig. 7: clustered ldp/ldr bursts feeding back-to-back fmla — "the
+  // distance between the two dependent instructions is too close".
+  return base(ScheduleStyle::kClustered, mr, nr, 2, BAccess::kScalarPairs);
+}
+
+ScheduleSpec blis_spec(int mr, int nr) {
+  return base(ScheduleStyle::kPipelined, mr, nr, 4, BAccess::kPackedVec);
+}
+
+ScheduleSpec blasfeo_spec(int mr, int nr) {
+  return base(ScheduleStyle::kPipelined, mr, nr, 4, BAccess::kPackedVec);
+}
+
+ScheduleSpec eigen_spec(int mr, int nr) {
+  // Table I: no assembly layers, unroll factor 1. Eigen still packs, so B
+  // is contiguous, but the compiler-scheduled loop reloads operands right
+  // before use, pays loop control every iteration, and broadcasts B
+  // elements through a dup instead of the by-lane fmla form.
+  ScheduleSpec s =
+      base(ScheduleStyle::kSimple, mr, nr, 1, BAccess::kPackedVec);
+  s.broadcast_b = true;
+  return s;
+}
+
+ScheduleSpec smm_spec(int mr, int nr) {
+  // Section IV: hand-scheduled for the modelled pipeline; unroll 8 keeps
+  // the loop overhead negligible while fitting the 32 KB L1I comfortably.
+  return base(ScheduleStyle::kPipelined, mr, nr, 8, BAccess::kPackedVec);
+}
+
+ScheduleSpec smm_direct_b_spec(int mr, int nr) {
+  return base(ScheduleStyle::kPipelined, mr, nr, 4,
+              BAccess::kStridedScalar);
+}
+
+}  // namespace smm::kern

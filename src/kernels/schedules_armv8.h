@@ -1,0 +1,35 @@
+// Schedule presets for the ARMv8 kernel families evaluated in the paper
+// (Table I): instruction-layout style, unroll factor and B-access pattern
+// for each library's assembly (or, for Eigen, compiler-generated) kernels.
+#pragma once
+
+#include "src/kernels/schedule.h"
+
+namespace smm::kern {
+
+/// OpenBLAS main kernels: assembly Layers 4-7, unroll 8, software-pipelined.
+ScheduleSpec openblas_main_spec(int mr, int nr);
+
+/// OpenBLAS edge kernels: the Fig. 7 layout — clustered loads, scalar-pair
+/// B access, short unroll, no software pipelining.
+ScheduleSpec openblas_edge_spec(int mr, int nr);
+
+/// BLIS micro-kernel: assembly Layers 6-7, unroll 4, pipelined.
+ScheduleSpec blis_spec(int mr, int nr);
+
+/// BLASFEO micro-kernel: assembly Layers 6-7, unroll 4, pipelined; operands
+/// arrive panel-major so all loads are full aligned vectors.
+ScheduleSpec blasfeo_spec(int mr, int nr);
+
+/// Eigen: no assembly, unroll 1, compiler-style layout.
+ScheduleSpec eigen_spec(int mr, int nr);
+
+/// Reference SMM kernels (Section IV): pipelined, unroll tuned per tile.
+ScheduleSpec smm_spec(int mr, int nr);
+
+/// Reference SMM packing-free variant: B read directly from col-major
+/// storage (strided scalar loads) — used when the packing-optional
+/// heuristic decides packing would cost more than it saves.
+ScheduleSpec smm_direct_b_spec(int mr, int nr);
+
+}  // namespace smm::kern

@@ -1,0 +1,132 @@
+#include "src/libs/blasfeo_like/gemm_blasfeo_like.h"
+
+#include <algorithm>
+
+#include "src/common/error.h"
+#include "src/kernels/registry.h"
+#include "src/plan/plan.h"
+
+namespace smm::libs {
+
+namespace {
+
+constexpr index_t kPs = 4;  // BLASFEO panel height
+
+class BlasfeoLike final : public GemmStrategy {
+ public:
+  BlasfeoLike() {
+    traits_.name = "blasfeo";
+    traits_.assembly_layers = "Layer 6-7";
+    traits_.unroll = 4;
+    traits_.kernel_tiles = "16x4,8x8";
+    traits_.packs_a = false;
+    traits_.packs_b = false;
+    traits_.panel_major_input = true;
+    traits_.edge = EdgeStrategy::kPadding;
+    traits_.parallel = ParallelMethod::kSingleThread;
+    traits_.max_threads = 1;
+  }
+
+  [[nodiscard]] const LibraryTraits& traits() const override {
+    return traits_;
+  }
+
+  [[nodiscard]] plan::GemmPlan make_plan(GemmShape shape,
+                                         plan::ScalarType scalar,
+                                         int nthreads) const override {
+    SMM_EXPECT(nthreads <= 1, "blasfeo-like SMM routines are single-threaded");
+    plan::GemmPlan plan;
+    plan.strategy = traits_.name;
+    plan.shape = shape;
+    plan.scalar = scalar;
+    plan.nthreads = 1;
+    plan.thread_ops.assign(1, {});
+    plan.conversion_outside_timing = true;
+    plan.blocking = {shape.m, shape.k, shape.n, 16, kPs};
+    if (shape.m == 0 || shape.n == 0) {
+      plan.validate();
+      return plan;
+    }
+    auto& ops = plan.thread_ops[0];
+    if (shape.k == 0) {
+      ops.push_back(plan::ScaleCOp{0, 0, shape.m, shape.n});
+      plan.validate();
+      return plan;
+    }
+
+    // Panel-major A (M x K) and Bt (N x K); rows padded to ps.
+    const index_t m_pad = pad_up(shape.m);
+    const index_t n_pad = pad_up(shape.n);
+    const int buf_a = plan::add_buffer(plan, m_pad * shape.k);
+    const int buf_bt = plan::add_buffer(plan, n_pad * shape.k);
+    {
+      plan::ConvertOp conv_a;
+      conv_a.which = plan::ConvertOp::Which::kA;
+      conv_a.buffer = buf_a;
+      conv_a.ps = kPs;
+      conv_a.transpose = false;
+      ops.push_back(conv_a);
+      plan::ConvertOp conv_b;
+      conv_b.which = plan::ConvertOp::Which::kB;
+      conv_b.buffer = buf_bt;
+      conv_b.ps = kPs;
+      conv_b.transpose = true;  // store Bt so kernels load B rows as vectors
+      ops.push_back(conv_b);
+    }
+
+    // No outer blocking (Fig. 4 Layers 1-3 skipped): straight GEBP over
+    // the padded extents with kc = K.
+    const auto& registry = kern::KernelRegistry::instance();
+    const std::vector<index_t> m_tiles{16, 8, 4};
+    for (index_t j0 = 0; j0 < n_pad; j0 += kPs) {
+      const index_t useful_n = std::min<index_t>(kPs, shape.n - j0);
+      for (index_t i0 = 0; i0 < m_pad;) {
+        index_t tile = 4;
+        for (const index_t cand : m_tiles) {
+          if (i0 + cand <= m_pad) {
+            tile = cand;
+            break;
+          }
+        }
+        plan::KernelOp op;
+        op.kernel = registry.find_tile("blasfeo", static_cast<int>(tile), 4);
+        op.kc = shape.k;
+        op.i0 = i0;
+        op.j0 = j0;
+        op.useful_m = std::min(tile, shape.m - i0);
+        op.useful_n = useful_n;
+        op.first_k_block = true;
+        op.a.kind = plan::OperandRef::Kind::kBuffer;
+        op.a.buffer = buf_a;
+        op.a.offset = (i0 / kPs) * kPs * shape.k;
+        op.a.ps = kPs;
+        op.a.pstride = kPs * shape.k;
+        op.a.kstride = kPs;
+        op.b.kind = plan::OperandRef::Kind::kBuffer;
+        op.b.buffer = buf_bt;
+        op.b.offset = (j0 / kPs) * kPs * shape.k;
+        op.b.ps = kPs;
+        op.b.pstride = kPs * shape.k;
+        op.b.kstride = kPs;
+        ops.push_back(op);
+        i0 += tile;
+      }
+    }
+    plan.validate();
+    return plan;
+  }
+
+ private:
+  static index_t pad_up(index_t x) { return (x + kPs - 1) / kPs * kPs; }
+
+  LibraryTraits traits_;
+};
+
+}  // namespace
+
+const GemmStrategy& blasfeo_like() {
+  static const BlasfeoLike instance;
+  return instance;
+}
+
+}  // namespace smm::libs

@@ -1,0 +1,25 @@
+// BLASFEO-style GEMM strategy (paper Table I column 3):
+//  - operands live in panel-major format (ps = 4, Fig. 3); inside the call
+//    there is NO packing and the outer three blocking loops are skipped
+//    (the matrices are small enough to stream from cache directly);
+//  - assembly micro-kernels 16x4 / 8x8, unroll 4, reading panels with
+//    aligned vector loads; row/column edges absorbed by the panel zero
+//    padding (computed, store-masked);
+//  - single-threaded (the paper: "BLASFEO currently provides only
+//    single-threaded routines for SMMs").
+//
+// The plan carries up-front ConvertOps so it can execute from col-major
+// inputs, but — matching BLASFEO's contract that the application already
+// stores panel-major — they are flagged conversion_outside_timing and the
+// pricer excludes them unless explicitly asked (ablation A3 includes them
+// to quantify the Related-Work caveat that the format "is not necessarily
+// useful in practical applications").
+#pragma once
+
+#include "src/libs/gemm_interface.h"
+
+namespace smm::libs {
+
+const GemmStrategy& blasfeo_like();
+
+}  // namespace smm::libs

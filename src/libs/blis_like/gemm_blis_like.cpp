@@ -1,0 +1,79 @@
+#include "src/libs/blis_like/gemm_blis_like.h"
+
+#include "src/common/error.h"
+#include "src/libs/goto_common.h"
+#include "src/threading/partition.h"
+
+namespace smm::libs {
+
+namespace {
+
+GotoConfig blis_config(plan::ScalarType scalar) {
+  GotoConfig cfg;
+  cfg.tiles.family = "blis";
+  cfg.tiles.mr = 8;
+  cfg.tiles.nr = 12;
+  cfg.tiles.edge = EdgeStrategy::kPadding;
+  cfg.mc = 120;  // multiple of mr, sized for a slice of the shared 2 MB L2
+  cfg.kc = 256;
+  cfg.nc = 1020;  // multiple of nr; jc ways split N before nc blocking
+  (void)scalar;  // the 8x12 tile serves both precisions in this model
+  return cfg;
+}
+
+class BlisLike final : public GemmStrategy {
+ public:
+  BlisLike() {
+    traits_.name = "blis";
+    traits_.assembly_layers = "Layer 6-7";
+    traits_.unroll = 4;
+    traits_.kernel_tiles = "8x12";
+    traits_.packs_a = true;
+    traits_.packs_b = true;
+    traits_.edge = EdgeStrategy::kPadding;
+    traits_.parallel = ParallelMethod::kMultiDim;
+  }
+
+  [[nodiscard]] const LibraryTraits& traits() const override {
+    return traits_;
+  }
+
+  [[nodiscard]] plan::GemmPlan make_plan(GemmShape shape,
+                                         plan::ScalarType scalar,
+                                         int nthreads) const override {
+    plan::GemmPlan plan;
+    plan.strategy = traits_.name;
+    plan.shape = shape;
+    plan.scalar = scalar;
+    const GotoConfig cfg = blis_config(scalar);
+    if (nthreads <= 1) {
+      build_singlethread(plan, cfg);
+    } else {
+      const par::Ways ways = par::choose_ways(
+          shape, nthreads, cfg.tiles.mr, cfg.tiles.nr, cfg.mc, cfg.nc);
+      SMM_EXPECT(ways.total() == nthreads, "ways must use every thread");
+      build_ways_parallel(plan, cfg, ways);
+    }
+    plan.validate();
+    return plan;
+  }
+
+ private:
+  LibraryTraits traits_;
+};
+
+}  // namespace
+
+const GemmStrategy& blis_like() {
+  static const BlisLike instance;
+  return instance;
+}
+
+par::Ways blis_ways_for(GemmShape shape, int nthreads,
+                        plan::ScalarType scalar) {
+  const GotoConfig cfg = blis_config(scalar);
+  return par::choose_ways(shape, nthreads, cfg.tiles.mr, cfg.tiles.nr,
+                          cfg.mc, cfg.nc);
+}
+
+}  // namespace smm::libs

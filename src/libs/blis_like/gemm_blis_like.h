@@ -1,0 +1,23 @@
+// BLIS-style GEMM strategy (paper Table I column 2):
+//  - Goto blocking, col-major loop order;
+//  - packs A and B with zero padding to full tiles (edge cases computed
+//    as padded full tiles, store masked);
+//  - single assembly micro-kernel 8x12, unroll 4 (Layers 6-7);
+//  - multi-dimensional parallelization: ways chosen per loop (jc/ic/jr/ir)
+//    at plan time from the matrix shape — small dimensions are simply not
+//    parallelized, and packing barriers involve only the threads sharing
+//    the buffer (Section III-D).
+#pragma once
+
+#include "src/libs/gemm_interface.h"
+#include "src/threading/partition.h"
+
+namespace smm::libs {
+
+const GemmStrategy& blis_like();
+
+/// The ways the strategy would pick (exposed for tests and the A2 bench).
+par::Ways blis_ways_for(GemmShape shape, int nthreads,
+                        plan::ScalarType scalar);
+
+}  // namespace smm::libs

@@ -1,0 +1,67 @@
+#include "src/libs/eigen_like/gemm_eigen_like.h"
+
+#include "src/libs/goto_common.h"
+
+namespace smm::libs {
+
+namespace {
+
+class EigenLike final : public GemmStrategy {
+ public:
+  EigenLike() {
+    traits_.name = "eigen";
+    traits_.assembly_layers = "none";
+    traits_.unroll = 1;
+    traits_.kernel_tiles = "12x4";
+    traits_.packs_a = true;
+    traits_.packs_b = true;
+    traits_.edge = EdgeStrategy::kEdgeKernels;
+    traits_.parallel = ParallelMethod::kGrid2D;
+
+    cfg_.tiles.family = "eigen";
+    cfg_.tiles.mr = 12;
+    cfg_.tiles.nr = 4;
+    cfg_.tiles.m_chunks = {12, 8, 4, 2, 1};
+    cfg_.tiles.n_chunks = {4, 2, 1};
+    cfg_.tiles.edge = EdgeStrategy::kEdgeKernels;
+    cfg_.mc = 192;  // multiple of 12
+    cfg_.kc = 256;
+    cfg_.nc = 512;
+    cfg_.block_from_m = true;
+  }
+
+  [[nodiscard]] const LibraryTraits& traits() const override {
+    return traits_;
+  }
+
+  [[nodiscard]] plan::GemmPlan make_plan(GemmShape shape,
+                                         plan::ScalarType scalar,
+                                         int nthreads) const override {
+    plan::GemmPlan plan;
+    plan.strategy = traits_.name;
+    plan.shape = shape;
+    plan.scalar = scalar;
+    GotoConfig cfg = cfg_;
+    if (scalar == plan::ScalarType::kF64) {
+      cfg.tiles.mr = 8;
+      cfg.tiles.m_chunks = {8, 4, 2, 1};
+      cfg.mc = 192;
+    }
+    build_grid_parallel(plan, cfg, nthreads);
+    plan.validate();
+    return plan;
+  }
+
+ private:
+  LibraryTraits traits_;
+  GotoConfig cfg_;
+};
+
+}  // namespace
+
+const GemmStrategy& eigen_like() {
+  static const EigenLike instance;
+  return instance;
+}
+
+}  // namespace smm::libs

@@ -1,0 +1,17 @@
+// Eigen-style GEMM strategy (paper Table I column 4):
+//  - row-major mindset: outermost blocking over M (ii -> kk -> jj);
+//  - packs both operands like the others, but the kernel is plain C++
+//    ("none" assembly layers): unroll 1, compiler scheduling, B elements
+//    broadcast through dup instead of by-lane FMA;
+//  - main tile 12x4 with smaller compiler-generated edge fallbacks;
+//  - fixed 2-D grid parallelization (the paper groups Eigen with OpenBLAS
+//    in Section III-D).
+#pragma once
+
+#include "src/libs/gemm_interface.h"
+
+namespace smm::libs {
+
+const GemmStrategy& eigen_like();
+
+}  // namespace smm::libs

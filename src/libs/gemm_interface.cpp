@@ -1,0 +1,68 @@
+#include "src/libs/gemm_interface.h"
+
+#include "src/common/error.h"
+#include "src/common/str.h"
+#include "src/plan/native_executor.h"
+
+namespace smm::libs {
+
+const char* to_string(EdgeStrategy e) {
+  return e == EdgeStrategy::kEdgeKernels ? "edge-kernels" : "zero-padding";
+}
+
+const char* to_string(ParallelMethod p) {
+  switch (p) {
+    case ParallelMethod::kSingleThread:
+      return "single-thread";
+    case ParallelMethod::kGrid2D:
+      return "2d-grid";
+    case ParallelMethod::kMultiDim:
+      return "multi-dimensional";
+  }
+  return "?";
+}
+
+template <typename T>
+void run(const GemmStrategy& strategy, T alpha, ConstMatrixView<T> a,
+         ConstMatrixView<T> b, T beta, MatrixView<T> c, int nthreads) {
+  SMM_EXPECT(a.rows() == c.rows() && b.cols() == c.cols() &&
+                 a.cols() == b.rows(),
+             "gemm dimension mismatch");
+  const GemmShape shape{c.rows(), c.cols(), a.cols()};
+  const auto scalar = sizeof(T) == 4 ? plan::ScalarType::kF32
+                                     : plan::ScalarType::kF64;
+  const int threads = std::min(nthreads, strategy.traits().max_threads);
+  plan::GemmPlan p = strategy.make_plan(shape, scalar, threads);
+  plan::execute_plan(p, alpha, a, b, beta, c);
+}
+
+template void run(const GemmStrategy&, float, ConstMatrixView<float>,
+                  ConstMatrixView<float>, float, MatrixView<float>, int);
+template void run(const GemmStrategy&, double, ConstMatrixView<double>,
+                  ConstMatrixView<double>, double, MatrixView<double>, int);
+
+template <typename T>
+void run(const GemmStrategy& strategy, Trans trans_a, Trans trans_b, T alpha,
+         ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
+         MatrixView<T> c, int nthreads) {
+  run(strategy, alpha, apply_trans(trans_a, a), apply_trans(trans_b, b),
+      beta, c, nthreads);
+}
+
+template void run(const GemmStrategy&, Trans, Trans, float,
+                  ConstMatrixView<float>, ConstMatrixView<float>, float,
+                  MatrixView<float>, int);
+template void run(const GemmStrategy&, Trans, Trans, double,
+                  ConstMatrixView<double>, ConstMatrixView<double>, double,
+                  MatrixView<double>, int);
+
+std::string traits_table_row(const LibraryTraits& traits) {
+  return strprintf("%-10s | %-10s | %6d | %-16s | %-5s%-5s | %-12s | %s",
+                   traits.name.c_str(), traits.assembly_layers.c_str(),
+                   traits.unroll, traits.kernel_tiles.c_str(),
+                   traits.packs_a ? "packA" : "-",
+                   traits.packs_b ? " packB" : " -",
+                   to_string(traits.edge), to_string(traits.parallel));
+}
+
+}  // namespace smm::libs

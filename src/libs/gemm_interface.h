@@ -1,0 +1,71 @@
+// Strategy interface: each of the paper's libraries (and the Section-IV
+// reference SMM) is modelled as a GemmStrategy that compiles problems into
+// GemmPlans. Table I's rows live in LibraryTraits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/matrix/view.h"
+#include "src/plan/plan.h"
+
+namespace smm::libs {
+
+/// How a strategy handles tiles that do not fill the micro-kernel
+/// (Section III-B).
+enum class EdgeStrategy {
+  kEdgeKernels,  ///< dedicated smaller kernels (OpenBLAS, Eigen)
+  kPadding       ///< compute a zero-padded full tile (BLIS, BLASFEO)
+};
+
+/// Section III-D's two parallelization methods (+ none).
+enum class ParallelMethod { kSingleThread, kGrid2D, kMultiDim };
+
+const char* to_string(EdgeStrategy e);
+const char* to_string(ParallelMethod p);
+
+struct LibraryTraits {
+  std::string name;
+  std::string assembly_layers;  ///< Table I row "Layers of assembly"
+  int unroll = 1;               ///< Table I row "unrolling factor"
+  std::string kernel_tiles;     ///< Table I row "mr x nr"
+  bool packs_a = true;
+  bool packs_b = true;
+  bool panel_major_input = false;  ///< BLASFEO
+  EdgeStrategy edge = EdgeStrategy::kEdgeKernels;
+  ParallelMethod parallel = ParallelMethod::kGrid2D;
+  int max_threads = 4096;
+};
+
+class GemmStrategy {
+ public:
+  virtual ~GemmStrategy() = default;
+
+  [[nodiscard]] virtual const LibraryTraits& traits() const = 0;
+
+  /// Compile a plan for this problem. nthreads is clamped to
+  /// traits().max_threads (BLASFEO's SMM routines are single-threaded).
+  [[nodiscard]] virtual plan::GemmPlan make_plan(GemmShape shape,
+                                                 plan::ScalarType scalar,
+                                                 int nthreads) const = 0;
+};
+
+/// Convenience: plan + native execution of C = alpha*A*B + beta*C.
+template <typename T>
+void run(const GemmStrategy& strategy, T alpha, ConstMatrixView<T> a,
+         ConstMatrixView<T> b, T beta, MatrixView<T> c, int nthreads = 1);
+
+/// Full BLAS-style entry: C = alpha * op(A) * op(B) + beta * C.
+/// Transposition costs nothing up front (op() is a view); strategies that
+/// pack absorb it in the pack, the packing-free paths fall back to the
+/// generic kernel for strided rows.
+template <typename T>
+void run(const GemmStrategy& strategy, Trans trans_a, Trans trans_b, T alpha,
+         ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
+         MatrixView<T> c, int nthreads = 1);
+
+/// One formatted row of the Table I comparison.
+std::string traits_table_row(const LibraryTraits& traits);
+
+}  // namespace smm::libs

@@ -1,0 +1,36 @@
+#include "src/libs/naive.h"
+
+#include "src/common/error.h"
+
+namespace smm::libs {
+
+template <typename T>
+void naive_gemm(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
+                MatrixView<T> c) {
+  SMM_EXPECT(a.rows() == c.rows() && b.cols() == c.cols() &&
+                 a.cols() == b.rows(),
+             "naive_gemm dimension mismatch");
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = a.cols();
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (index_t p = 0; p < k; ++p)
+        acc += static_cast<double>(a(i, p)) * static_cast<double>(b(p, j));
+      const double base =
+          (beta == T(0)) ? 0.0
+                         : static_cast<double>(beta) *
+                               static_cast<double>(c(i, j));
+      c(i, j) = static_cast<T>(static_cast<double>(alpha) * acc + base);
+    }
+  }
+}
+
+template void naive_gemm(float, ConstMatrixView<float>,
+                         ConstMatrixView<float>, float, MatrixView<float>);
+template void naive_gemm(double, ConstMatrixView<double>,
+                         ConstMatrixView<double>, double,
+                         MatrixView<double>);
+
+}  // namespace smm::libs

@@ -1,0 +1,15 @@
+// Reference triple-loop GEMM — the numerical oracle for the test suite.
+#pragma once
+
+#include "src/common/types.h"
+#include "src/matrix/view.h"
+
+namespace smm::libs {
+
+/// C = alpha * A * B + beta * C, straightforward i/j/k loops, accumulation
+/// in double regardless of T for a tighter oracle.
+template <typename T>
+void naive_gemm(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
+                MatrixView<T> c);
+
+}  // namespace smm::libs

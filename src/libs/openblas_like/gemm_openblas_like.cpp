@@ -1,0 +1,72 @@
+#include "src/libs/openblas_like/gemm_openblas_like.h"
+
+#include "src/libs/goto_common.h"
+#include "src/threading/partition.h"
+
+namespace smm::libs {
+
+namespace {
+
+class OpenblasLike final : public GemmStrategy {
+ public:
+  OpenblasLike() {
+    traits_.name = "openblas";
+    traits_.assembly_layers = "Layer 4-7";
+    traits_.unroll = 8;
+    traits_.kernel_tiles = "16x4,8x8,4x4";
+    traits_.packs_a = true;
+    traits_.packs_b = true;
+    traits_.edge = EdgeStrategy::kEdgeKernels;
+    traits_.parallel = ParallelMethod::kGrid2D;
+
+    // Blocking modelled after OpenBLAS's ARMV8 sgemm parameters; kc sized
+    // so a 16 x kc sliver of A plus a kc x 4 sliver of B stay in L1.
+    cfg_.tiles.family = "openblas";
+    cfg_.tiles.mr = 16;
+    cfg_.tiles.nr = 4;
+    cfg_.tiles.m_chunks = {16, 8, 4, 2, 1};
+    cfg_.tiles.n_chunks = {4, 2, 1};
+    cfg_.tiles.edge = EdgeStrategy::kEdgeKernels;
+    cfg_.mc = 128;
+    cfg_.kc = 240;
+    cfg_.nc = 4096;
+  }
+
+  [[nodiscard]] const LibraryTraits& traits() const override {
+    return traits_;
+  }
+
+  [[nodiscard]] plan::GemmPlan make_plan(GemmShape shape,
+                                         plan::ScalarType scalar,
+                                         int nthreads) const override {
+    plan::GemmPlan plan;
+    plan.strategy = traits_.name;
+    plan.shape = shape;
+    plan.scalar = scalar;
+    GotoConfig cfg = cfg_;
+    if (scalar == plan::ScalarType::kF64) {
+      // Same register budget, half the lanes: halve mr (OpenBLAS dgemm
+      // uses 8x4 on ARMv8).
+      cfg.tiles.mr = 8;
+      cfg.tiles.m_chunks = {8, 4, 2, 1};
+    }
+    // The paper (Section III-D): OpenBLAS uses all threads on the M
+    // dimension — per-thread workload mc/64 x nc x kc.
+    build_grid_parallel(plan, cfg, nthreads, par::Grid2D{nthreads, 1});
+    plan.validate();
+    return plan;
+  }
+
+ private:
+  LibraryTraits traits_;
+  GotoConfig cfg_;
+};
+
+}  // namespace
+
+const GemmStrategy& openblas_like() {
+  static const OpenblasLike instance;
+  return instance;
+}
+
+}  // namespace smm::libs

@@ -1,0 +1,16 @@
+// OpenBLAS-style GEMM strategy (paper Table I column 1):
+//  - Goto blocking, col-major, jj -> kk -> ii loop order;
+//  - packs A and B (A chunked at edge-kernel sizes);
+//  - assembly Layers 4-7, main kernel 16x4 unroll 8 (software-pipelined);
+//  - dedicated edge micro-kernels with the weak Fig. 7 instruction layout;
+//  - fixed 2-D grid parallelization (Marker et al.).
+#pragma once
+
+#include "src/libs/gemm_interface.h"
+
+namespace smm::libs {
+
+/// Process-wide instance.
+const GemmStrategy& openblas_like();
+
+}  // namespace smm::libs

@@ -1,0 +1,77 @@
+// Owning dense matrix with aligned storage plus fill helpers.
+#pragma once
+
+#include <utility>
+
+#include "src/common/aligned_buffer.h"
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/matrix/view.h"
+
+namespace smm {
+
+/// Owning dense matrix. Leading dimension equals the minor extent (packed).
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(index_t rows, index_t cols, Layout layout = Layout::kColMajor)
+      : rows_(rows), cols_(cols), layout_(layout), store_(rows * cols) {
+    SMM_EXPECT(rows >= 0 && cols >= 0, "matrix dims must be non-negative");
+  }
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] Layout layout() const { return layout_; }
+  [[nodiscard]] index_t ld() const {
+    return layout_ == Layout::kColMajor ? rows_ : cols_;
+  }
+  [[nodiscard]] T* data() { return store_.data(); }
+  [[nodiscard]] const T* data() const { return store_.data(); }
+
+  [[nodiscard]] MatrixView<T> view() {
+    return MatrixView<T>(store_.data(), rows_, cols_, ld(), layout_);
+  }
+  [[nodiscard]] ConstMatrixView<T> view() const {
+    return ConstMatrixView<T>(store_.data(), rows_, cols_, ld(), layout_);
+  }
+  [[nodiscard]] ConstMatrixView<T> cview() const { return view(); }
+
+  T& operator()(index_t i, index_t j) { return view()(i, j); }
+  const T& operator()(index_t i, index_t j) const { return view()(i, j); }
+
+  /// All elements set to `value`.
+  void fill(T value) {
+    for (index_t i = 0; i < store_.size(); ++i) store_[i] = value;
+  }
+
+  /// Deterministic pseudo-random fill, uniform in [lo, hi).
+  void fill_random(Rng& rng, T lo = T(-1), T hi = T(1)) {
+    for (index_t i = 0; i < store_.size(); ++i)
+      store_[i] = static_cast<T>(
+          rng.uniform(static_cast<double>(lo), static_cast<double>(hi)));
+  }
+
+  /// Element (i,j) = i*cols + j; handy for exactness tests.
+  void fill_iota() {
+    for (index_t j = 0; j < cols_; ++j)
+      for (index_t i = 0; i < rows_; ++i)
+        (*this)(i, j) = static_cast<T>(i * cols_ + j);
+  }
+
+  /// Deep copy with identical layout.
+  [[nodiscard]] Matrix clone() const {
+    Matrix out(rows_, cols_, layout_);
+    for (index_t i = 0; i < store_.size(); ++i) out.store_[i] = store_[i];
+    return out;
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  Layout layout_ = Layout::kColMajor;
+  AlignedBuffer<T> store_;
+};
+
+}  // namespace smm

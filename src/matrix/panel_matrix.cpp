@@ -1,0 +1,40 @@
+#include "src/matrix/panel_matrix.h"
+
+#include "src/common/error.h"
+
+namespace smm {
+
+template <typename T>
+PanelMatrix<T>::PanelMatrix(index_t rows, index_t cols, index_t ps)
+    : rows_(rows), cols_(cols), ps_(ps) {
+  SMM_EXPECT(rows >= 0 && cols >= 0, "panel matrix dims must be >= 0");
+  SMM_EXPECT(ps > 0, "panel height must be positive");
+  store_.reset(stored_size());
+}
+
+template <typename T>
+PanelMatrix<T> to_panel_major(ConstMatrixView<T> src, index_t ps) {
+  PanelMatrix<T> out(src.rows(), src.cols(), ps);
+  // Padding rows are already zero (value-initialized storage).
+  for (index_t j = 0; j < src.cols(); ++j)
+    for (index_t i = 0; i < src.rows(); ++i) out(i, j) = src(i, j);
+  return out;
+}
+
+template <typename T>
+void from_panel_major(const PanelMatrix<T>& src, MatrixView<T> dst) {
+  SMM_EXPECT(dst.rows() == src.rows() && dst.cols() == src.cols(),
+             "from_panel_major: destination shape mismatch");
+  for (index_t j = 0; j < src.cols(); ++j)
+    for (index_t i = 0; i < src.rows(); ++i) dst(i, j) = src(i, j);
+}
+
+template class PanelMatrix<float>;
+template class PanelMatrix<double>;
+template PanelMatrix<float> to_panel_major(ConstMatrixView<float>, index_t);
+template PanelMatrix<double> to_panel_major(ConstMatrixView<double>, index_t);
+template void from_panel_major(const PanelMatrix<float>&, MatrixView<float>);
+template void from_panel_major(const PanelMatrix<double>&,
+                               MatrixView<double>);
+
+}  // namespace smm

@@ -1,0 +1,78 @@
+// BLASFEO's panel-major storage format (paper Fig. 3).
+//
+// The matrix is cut into horizontal panels of a fixed height `ps` (panel
+// size). Within a panel, elements are stored column by column, each column
+// contiguous and exactly `ps` elements tall; panels follow each other
+// top-to-bottom. Rows are implicitly zero-padded up to a multiple of ps, so
+// a micro-kernel whose mr is a multiple of ps can always issue full aligned
+// vector loads — this is exactly why BLASFEO needs no packing step inside
+// the GEMM call.
+#pragma once
+
+#include "src/common/aligned_buffer.h"
+#include "src/common/types.h"
+#include "src/matrix/view.h"
+
+namespace smm {
+
+/// Owning matrix in panel-major format with panel height `ps`.
+template <typename T>
+class PanelMatrix {
+ public:
+  PanelMatrix() = default;
+
+  PanelMatrix(index_t rows, index_t cols, index_t ps);
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] index_t ps() const { return ps_; }
+  /// Number of row panels (rows rounded up to ps).
+  [[nodiscard]] index_t num_panels() const { return (rows_ + ps_ - 1) / ps_; }
+  /// Total elements stored, including the zero padding rows.
+  [[nodiscard]] index_t stored_size() const {
+    return num_panels() * ps_ * cols_;
+  }
+
+  [[nodiscard]] T* data() { return store_.data(); }
+  [[nodiscard]] const T* data() const { return store_.data(); }
+
+  /// Linear offset of logical element (i, j).
+  [[nodiscard]] index_t offset(index_t i, index_t j) const {
+    const index_t panel = i / ps_;
+    const index_t within = i % ps_;
+    return panel * ps_ * cols_ + j * ps_ + within;
+  }
+
+  [[nodiscard]] T& operator()(index_t i, index_t j) {
+    return store_[offset(i, j)];
+  }
+  [[nodiscard]] const T& operator()(index_t i, index_t j) const {
+    return store_[offset(i, j)];
+  }
+
+  /// Pointer to the start of panel `p` (its first column).
+  [[nodiscard]] const T* panel_ptr(index_t p) const {
+    return store_.data() + p * ps_ * cols_;
+  }
+  [[nodiscard]] T* panel_ptr(index_t p) {
+    return store_.data() + p * ps_ * cols_;
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ps_ = 4;
+  AlignedBuffer<T> store_;
+};
+
+/// Convert a dense view into panel-major form (the "format conversion at
+/// the very beginning" the paper describes for BLASFEO). Pad rows with 0.
+template <typename T>
+PanelMatrix<T> to_panel_major(ConstMatrixView<T> src, index_t ps);
+
+/// Convert panel-major back to a col-major dense matrix view (dst must be
+/// rows x cols). Used by tests to verify round-trips.
+template <typename T>
+void from_panel_major(const PanelMatrix<T>& src, MatrixView<T> dst);
+
+}  // namespace smm

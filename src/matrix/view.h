@@ -1,0 +1,159 @@
+// Non-owning strided matrix views. All smmkit GEMM entry points take views,
+// so callers can pass sub-blocks of larger allocations (the SMM use case:
+// many small blocks carved out of one arena).
+#pragma once
+
+#include "src/common/error.h"
+#include "src/common/types.h"
+
+namespace smm {
+
+/// Storage order of a dense matrix.
+enum class Layout { kColMajor, kRowMajor };
+
+inline const char* to_string(Layout layout) {
+  return layout == Layout::kColMajor ? "col-major" : "row-major";
+}
+
+/// Transposition request for one GEMM operand (BLAS 'N'/'T').
+enum class Trans { kNoTrans, kTrans };
+
+inline const char* to_string(Trans trans) {
+  return trans == Trans::kNoTrans ? "N" : "T";
+}
+
+/// Mutable view over dense storage. `ld` is the leading dimension:
+/// distance between consecutive columns (col-major) or rows (row-major).
+template <typename T>
+class MatrixView {
+ public:
+  MatrixView() = default;
+
+  MatrixView(T* data, index_t rows, index_t cols, index_t ld,
+             Layout layout = Layout::kColMajor)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld), layout_(layout) {
+    SMM_EXPECT(rows >= 0 && cols >= 0, "matrix dims must be non-negative");
+    SMM_EXPECT(ld >= (layout == Layout::kColMajor ? rows : cols),
+               "leading dimension too small");
+  }
+
+  [[nodiscard]] T* data() const { return data_; }
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] index_t ld() const { return ld_; }
+  [[nodiscard]] Layout layout() const { return layout_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  /// Element access (i = row, j = column), layout-aware.
+  [[nodiscard]] T& operator()(index_t i, index_t j) const {
+    return data_[offset(i, j)];
+  }
+
+  /// Linear offset of element (i, j) in the underlying storage.
+  [[nodiscard]] index_t offset(index_t i, index_t j) const {
+    return layout_ == Layout::kColMajor ? i + j * ld_ : i * ld_ + j;
+  }
+
+  /// Stride between vertically adjacent elements (rows i, i+1).
+  [[nodiscard]] index_t row_stride() const {
+    return layout_ == Layout::kColMajor ? 1 : ld_;
+  }
+  /// Stride between horizontally adjacent elements (cols j, j+1).
+  [[nodiscard]] index_t col_stride() const {
+    return layout_ == Layout::kColMajor ? ld_ : 1;
+  }
+
+  /// Sub-block view of size (r x c) anchored at (i0, j0).
+  [[nodiscard]] MatrixView block(index_t i0, index_t j0, index_t r,
+                                 index_t c) const {
+    SMM_EXPECT(i0 >= 0 && j0 >= 0 && i0 + r <= rows_ && j0 + c <= cols_,
+               "block out of range");
+    return MatrixView(data_ + offset(i0, j0), r, c, ld_, layout_);
+  }
+
+ private:
+  T* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 0;
+  Layout layout_ = Layout::kColMajor;
+};
+
+/// Read-only view; same semantics as MatrixView.
+template <typename T>
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+
+  ConstMatrixView(const T* data, index_t rows, index_t cols, index_t ld,
+                  Layout layout = Layout::kColMajor)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld), layout_(layout) {
+    SMM_EXPECT(rows >= 0 && cols >= 0, "matrix dims must be non-negative");
+    SMM_EXPECT(ld >= (layout == Layout::kColMajor ? rows : cols),
+               "leading dimension too small");
+  }
+
+  // Implicit widening from a mutable view.
+  ConstMatrixView(MatrixView<T> v)  // NOLINT(google-explicit-constructor)
+      : data_(v.data()),
+        rows_(v.rows()),
+        cols_(v.cols()),
+        ld_(v.ld()),
+        layout_(v.layout()) {}
+
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] index_t ld() const { return ld_; }
+  [[nodiscard]] Layout layout() const { return layout_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  [[nodiscard]] const T& operator()(index_t i, index_t j) const {
+    return data_[offset(i, j)];
+  }
+
+  [[nodiscard]] index_t offset(index_t i, index_t j) const {
+    return layout_ == Layout::kColMajor ? i + j * ld_ : i * ld_ + j;
+  }
+
+  [[nodiscard]] index_t row_stride() const {
+    return layout_ == Layout::kColMajor ? 1 : ld_;
+  }
+  [[nodiscard]] index_t col_stride() const {
+    return layout_ == Layout::kColMajor ? ld_ : 1;
+  }
+
+  [[nodiscard]] ConstMatrixView block(index_t i0, index_t j0, index_t r,
+                                      index_t c) const {
+    SMM_EXPECT(i0 >= 0 && j0 >= 0 && i0 + r <= rows_ && j0 + c <= cols_,
+               "block out of range");
+    return ConstMatrixView(data_ + offset(i0, j0), r, c, ld_, layout_);
+  }
+
+ private:
+  const T* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 0;
+  Layout layout_ = Layout::kColMajor;
+};
+
+/// The transpose as a view: no copy — a col-major matrix's transpose is
+/// the same storage read row-major (and vice versa). This is how the GEMM
+/// entry points implement op(A)/op(B).
+template <typename T>
+[[nodiscard]] ConstMatrixView<T> transposed(ConstMatrixView<T> v) {
+  return ConstMatrixView<T>(v.data(), v.cols(), v.rows(), v.ld(),
+                            v.layout() == Layout::kColMajor
+                                ? Layout::kRowMajor
+                                : Layout::kColMajor);
+}
+
+/// op(v): v itself or its transposed view.
+template <typename T>
+[[nodiscard]] ConstMatrixView<T> apply_trans(Trans trans,
+                                             ConstMatrixView<T> v) {
+  return trans == Trans::kNoTrans ? v : transposed(v);
+}
+
+}  // namespace smm

@@ -1,0 +1,61 @@
+#include "src/model/equations.h"
+
+#include "src/common/error.h"
+
+namespace smm::model {
+
+index_t load_width(const sim::MachineConfig& machine, index_t elem_bytes) {
+  return machine.core.vec_bytes / elem_bytes;
+}
+
+index_t fma_width(const sim::MachineConfig& machine, index_t elem_bytes) {
+  return 2 * machine.core.vec_bytes / elem_bytes;
+}
+
+double num_load(GemmShape shape, index_t lw) {
+  SMM_EXPECT(lw > 0, "load width must be positive");
+  const double m = static_cast<double>(shape.m);
+  const double n = static_cast<double>(shape.n);
+  const double k = static_cast<double>(shape.k);
+  // Elements of A (M*K) and B (K*N) — see the header note on the paper's
+  // printed numerator.
+  return (m * k + k * n) / static_cast<double>(lw);
+}
+
+double num_fma(GemmShape shape, index_t fw) {
+  SMM_EXPECT(fw > 0, "FMA width must be positive");
+  const double m = static_cast<double>(shape.m);
+  const double n = static_cast<double>(shape.n);
+  const double k = static_cast<double>(shape.k);
+  return m * n * k / static_cast<double>(fw);
+}
+
+double p2c(index_t m, index_t n) {
+  SMM_EXPECT(m > 0 && n > 0, "P2C needs positive dims");
+  const double md = static_cast<double>(m);
+  const double nd = static_cast<double>(n);
+  return (md + nd) / (2.0 * md * nd);
+}
+
+double p2c_from_counts(GemmShape shape, index_t lw, index_t fw) {
+  return num_load(shape, lw) / num_fma(shape, fw);
+}
+
+index_t c_tile_registers(index_t mr, index_t nr, index_t lanes) {
+  SMM_EXPECT(lanes > 0, "lanes must be positive");
+  return (mr * nr + lanes - 1) / lanes;
+}
+
+bool kernel_fits_registers(index_t mr, index_t nr, index_t lanes,
+                           index_t total_regs, index_t reserved) {
+  return c_tile_registers(mr, nr, lanes) <= total_regs - reserved;
+}
+
+double cmr(index_t mr, index_t nr) {
+  SMM_EXPECT(mr > 0 && nr > 0, "CMR needs positive tile dims");
+  const double m = static_cast<double>(mr);
+  const double n = static_cast<double>(nr);
+  return 2.0 * m * n / (m + n);
+}
+
+}  // namespace smm::model

@@ -1,0 +1,54 @@
+// The paper's analytical models:
+//   Eq. 1  Num_Load = (M*N + K*N) / Load_width
+//   Eq. 2  Num_FMA  = (M*N*K) / FMA_width
+//   Eq. 3  P2C      = Num_Load / Num_FMA = (M+N) / (2*M*N)
+//   Eq. 4  register constraint: mr*nr/lanes <= 32 - 2
+//   Eq. 5  CMR      = 2*mr*nr / (mr+nr)
+#pragma once
+
+#include "src/common/types.h"
+#include "src/sim/machine.h"
+
+namespace smm::model {
+
+/// Elements one load request fetches (Eq. 1 denominator): vector bytes /
+/// element bytes. 4 for f32 on Phytium 2000+.
+index_t load_width(const sim::MachineConfig& machine, index_t elem_bytes);
+
+/// "Floating-point data a FMA instruction can compute" (Eq. 2): the paper
+/// counts both the multiply and add lane results, 2 * vec_bytes / elem.
+/// 8 for f32 on Phytium 2000+.
+index_t fma_width(const sim::MachineConfig& machine, index_t elem_bytes);
+
+/// Eq. 1: load requests for packing both inputs. The paper prints the
+/// numerator as "M*N + K*N" but defines it as "the total number of data
+/// elements for the matrix A and B", which is M*K + K*N (A is M x K); we
+/// implement the definition. With it, Eq. 1/Eq. 2 reproduces Eq. 3's shape
+/// exactly: P2C proportional to (M+N)/(M*N), independent of K.
+double num_load(GemmShape shape, index_t lw);
+
+/// Eq. 2.
+double num_fma(GemmShape shape, index_t fw);
+
+/// Eq. 3 in its closed form (M+N)/(2*M*N). Independent of K — exactly why
+/// Fig. 6 shows negligible packing share for small K.
+double p2c(index_t m, index_t n);
+
+/// Eq. 3 computed from Eq. 1 / Eq. 2. Note the constant: with the paper's
+/// widths (lw=4, fw=8) this equals 4 * p2c() — the closed form printed in
+/// the paper absorbs a factor the derivation does not; the *shape* (and
+/// every conclusion drawn from it) is identical. Tests pin the ratio.
+double p2c_from_counts(GemmShape shape, index_t lw, index_t fw);
+
+/// Eq. 4: vector registers needed by an mr x nr micro-kernel's C tile.
+index_t c_tile_registers(index_t mr, index_t nr, index_t lanes);
+
+/// Eq. 4 feasibility: mr*nr/lanes <= total_regs - reserved (32 - 2).
+bool kernel_fits_registers(index_t mr, index_t nr, index_t lanes,
+                           index_t total_regs = 32,
+                           index_t reserved = 2);
+
+/// Eq. 5: compute-to-memory ratio of an mr x nr tile.
+double cmr(index_t mr, index_t nr);
+
+}  // namespace smm::model

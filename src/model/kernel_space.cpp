@@ -1,0 +1,47 @@
+#include "src/model/kernel_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.h"
+#include "src/model/equations.h"
+
+namespace smm::model {
+
+std::vector<KernelCandidate> enumerate_kernels(index_t lanes, index_t mr_max,
+                                               index_t nr_max,
+                                               index_t total_regs,
+                                               index_t reserved) {
+  SMM_EXPECT(lanes > 0, "lanes must be positive");
+  std::vector<KernelCandidate> out;
+  for (index_t mr = lanes; mr <= mr_max; mr += lanes) {
+    for (index_t nr = 1; nr <= nr_max; ++nr) {
+      if (!kernel_fits_registers(mr, nr, lanes, total_regs, reserved))
+        continue;
+      KernelCandidate cand;
+      cand.mr = mr;
+      cand.nr = nr;
+      cand.c_registers = c_tile_registers(mr, nr, lanes);
+      cand.cmr = cmr(mr, nr);
+      out.push_back(cand);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const KernelCandidate& a, const KernelCandidate& b) {
+              if (a.cmr != b.cmr) return a.cmr > b.cmr;
+              const auto squareness = [](const KernelCandidate& c) {
+                return std::abs(static_cast<double>(c.mr) -
+                                static_cast<double>(c.nr));
+              };
+              return squareness(a) < squareness(b);
+            });
+  return out;
+}
+
+KernelCandidate best_kernel(index_t lanes) {
+  auto all = enumerate_kernels(lanes);
+  SMM_EXPECT(!all.empty(), "no feasible kernels");
+  return all.front();
+}
+
+}  // namespace smm::model

@@ -1,0 +1,31 @@
+// Enumeration of the register-feasible micro-kernel design space
+// (Section III-C): all (mr, nr) satisfying Eq. 4, ranked by CMR (Eq. 5).
+// Used by the reference SMM's kernel selector and the A1 ablation bench.
+#pragma once
+
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace smm::model {
+
+struct KernelCandidate {
+  index_t mr = 0;
+  index_t nr = 0;
+  index_t c_registers = 0;  ///< registers the C tile occupies (Eq. 4 LHS)
+  double cmr = 0.0;         ///< Eq. 5
+};
+
+/// All feasible (mr, nr) with mr a multiple of `mr_step` (vector width —
+/// rows must fill whole vectors) and nr in [1, nr_max], sorted by CMR
+/// descending, ties broken toward squarer tiles.
+std::vector<KernelCandidate> enumerate_kernels(index_t lanes,
+                                               index_t mr_max = 32,
+                                               index_t nr_max = 32,
+                                               index_t total_regs = 32,
+                                               index_t reserved = 2);
+
+/// The best candidate by CMR.
+KernelCandidate best_kernel(index_t lanes);
+
+}  // namespace smm::model

@@ -1,0 +1,27 @@
+#include "src/model/peak.h"
+
+#include "src/common/error.h"
+
+namespace smm::model {
+
+double gflops_from_cycles(double flops, double cycles, double freq_ghz) {
+  SMM_EXPECT(cycles > 0, "cycles must be positive");
+  return flops / cycles * freq_ghz;
+}
+
+double efficiency(const sim::MachineConfig& machine, index_t elem_bytes,
+                  int cores, double flops, double cycles) {
+  SMM_EXPECT(cores > 0, "core count must be positive");
+  const double peak_per_cycle =
+      machine.peak_flops_per_core_cycle(elem_bytes) * cores;
+  return flops / (cycles * peak_per_cycle);
+}
+
+double ideal_cycles(const sim::MachineConfig& machine, index_t elem_bytes,
+                    int cores, double flops) {
+  const double peak_per_cycle =
+      machine.peak_flops_per_core_cycle(elem_bytes) * cores;
+  return flops / peak_per_cycle;
+}
+
+}  // namespace smm::model

@@ -1,0 +1,23 @@
+// Peak-performance bookkeeping: every figure in the paper reports
+// efficiency = achieved Gflops / machine peak; this module centralizes the
+// conversion.
+#pragma once
+
+#include "src/common/types.h"
+#include "src/sim/machine.h"
+
+namespace smm::model {
+
+/// Achieved Gflops for `flops` useful flops in `cycles` on one core.
+double gflops_from_cycles(double flops, double cycles, double freq_ghz);
+
+/// Efficiency (0..1) of `flops` useful flops in `cycles` across `cores`
+/// cores of `machine` (cycles = makespan in core cycles).
+double efficiency(const sim::MachineConfig& machine, index_t elem_bytes,
+                  int cores, double flops, double cycles);
+
+/// Cycles a perfect machine would need (flops at full FMA throughput).
+double ideal_cycles(const sim::MachineConfig& machine, index_t elem_bytes,
+                    int cores, double flops);
+
+}  // namespace smm::model

@@ -1,0 +1,52 @@
+// Closed-form performance prediction in the spirit of the paper's
+// Section III analysis (and the "analytical modeling is enough" line of
+// work it cites): combine the P2C packing model (Eq. 3), the kernel
+// steady-state efficiency, and per-call overheads into a single-thread
+// efficiency estimate — no plan construction, no pipeline simulation.
+//
+// bench/validate_prediction compares these estimates against the full
+// plan pricer across the Fig. 5 sweep; the test suite pins the agreement.
+#pragma once
+
+#include "src/common/types.h"
+#include "src/sim/machine.h"
+
+namespace smm::model {
+
+/// Inputs describing a strategy analytically.
+struct StrategyModel {
+  index_t mr = 16;
+  index_t nr = 4;
+  /// Steady-state kernel efficiency for a full tile (0..1), e.g. from
+  /// KernelTimer::steady_state_efficiency or measured once.
+  double kernel_efficiency = 0.95;
+  /// Relative efficiency of edge kernels vs the main kernel.
+  double edge_efficiency = 0.55;
+  bool packs_a = true;
+  bool packs_b = true;
+  /// Effective packing throughput in elements per cycle (A streams,
+  /// B transposes-gathers).
+  double pack_a_elems_per_cycle = 2.5;
+  double pack_b_elems_per_cycle = 0.77;
+  /// Fixed cycles per micro-kernel invocation (call + ramp + epilogue).
+  double per_call_overhead = 60.0;
+};
+
+/// Analytical single-thread estimate for one shape.
+struct Prediction {
+  double kernel_cycles = 0.0;
+  double pack_cycles = 0.0;
+  double total_cycles = 0.0;
+  double efficiency = 0.0;   ///< useful flops / (total * peak)
+  double pack_share = 0.0;   ///< pack_cycles / total_cycles
+};
+
+Prediction predict(const StrategyModel& strategy,
+                   const sim::MachineConfig& machine, GemmShape shape,
+                   index_t elem_bytes);
+
+/// The analytical model of the paper's openblas-like configuration, with
+/// the kernel efficiencies taken from the pipeline model once.
+StrategyModel openblas_like_model();
+
+}  // namespace smm::model

@@ -1,0 +1,36 @@
+#include "src/pack/edge_pack.h"
+
+#include "src/common/error.h"
+#include "src/matrix/view.h"
+#include "src/pack/pack.h"
+
+namespace smm::pack {
+
+template <typename T>
+void pack_b_edge_columns(ConstMatrixView<T> b, index_t edge_cols, index_t nr,
+                         T* dst) {
+  SMM_EXPECT(edge_cols > 0 && edge_cols <= nr && edge_cols <= b.cols(),
+             "pack_b_edge_columns: bad edge width");
+  pack_b(b.block(0, b.cols() - edge_cols, b.rows(), edge_cols), nr,
+         /*pad=*/true, dst);
+}
+
+template <typename T>
+void pack_a_edge_rows(ConstMatrixView<T> a, index_t edge_rows, index_t mr,
+                      T* dst) {
+  SMM_EXPECT(edge_rows > 0 && edge_rows <= mr && edge_rows <= a.rows(),
+             "pack_a_edge_rows: bad edge height");
+  pack_a(a.block(a.rows() - edge_rows, 0, edge_rows, a.cols()), mr,
+         /*pad=*/true, dst);
+}
+
+template void pack_b_edge_columns(ConstMatrixView<float>, index_t, index_t,
+                                  float*);
+template void pack_b_edge_columns(ConstMatrixView<double>, index_t, index_t,
+                                  double*);
+template void pack_a_edge_rows(ConstMatrixView<float>, index_t, index_t,
+                               float*);
+template void pack_a_edge_rows(ConstMatrixView<double>, index_t, index_t,
+                               double*);
+
+}  // namespace smm::pack

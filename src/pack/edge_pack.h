@@ -1,0 +1,26 @@
+// Edge packing (paper Fig. 8): when N % nr leaves a narrow remainder, the
+// unpacked edge columns of B are discontiguous (stride ldb apart), which
+// blocks full FMA utilization. Packing just the edge columns into one
+// zero-padded nr panel restores contiguous vector access at a cost of only
+// O(K * edge) moves — the paper's recommended compromise between
+// "avoid packing" (III-A) and "vectorize the edge" (III-B).
+#pragma once
+
+#include "src/common/types.h"
+#include "src/matrix/view.h"
+
+namespace smm::pack {
+
+/// Pack the trailing `edge_cols` columns of B (all K rows) into a single
+/// nr-wide zero-padded panel at dst (size K * nr elements).
+template <typename T>
+void pack_b_edge_columns(ConstMatrixView<T> b, index_t edge_cols, index_t nr,
+                         T* dst);
+
+/// Pack the trailing `edge_rows` rows of A (all K columns) into a single
+/// mr-tall zero-padded panel at dst (size K * mr elements).
+template <typename T>
+void pack_a_edge_rows(ConstMatrixView<T> a, index_t edge_rows, index_t mr,
+                      T* dst);
+
+}  // namespace smm::pack

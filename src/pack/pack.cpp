@@ -1,0 +1,139 @@
+#include "src/pack/pack.h"
+
+#include <algorithm>
+
+#include "src/common/error.h"
+
+namespace smm::pack {
+
+namespace {
+index_t ceil_div(index_t a, index_t b) { return (a + b - 1) / b; }
+}  // namespace
+
+index_t packed_a_size(index_t mc, index_t kc, index_t mr, bool pad) {
+  SMM_EXPECT(mc >= 0 && kc >= 0 && mr > 0, "bad pack_a geometry");
+  if (pad) return ceil_div(mc, mr) * mr * kc;
+  return mc * kc;
+}
+
+index_t packed_b_size(index_t kc, index_t nc, index_t nr, bool pad) {
+  SMM_EXPECT(kc >= 0 && nc >= 0 && nr > 0, "bad pack_b geometry");
+  if (pad) return ceil_div(nc, nr) * nr * kc;
+  return kc * nc;
+}
+
+index_t packed_a_panel_offset(index_t p, index_t mc, index_t kc, index_t mr,
+                              bool pad) {
+  // All panels before p are full (mr rows) in both layouts; only the last
+  // panel can be short, so the offset formula is shared.
+  (void)mc;
+  (void)pad;
+  return p * mr * kc;
+}
+
+index_t packed_b_panel_offset(index_t q, index_t kc, index_t nc, index_t nr,
+                              bool pad) {
+  (void)nc;
+  (void)pad;
+  return q * nr * kc;
+}
+
+index_t packed_a_panel_rows(index_t p, index_t mc, index_t mr, bool pad) {
+  if (pad) return mr;
+  const index_t start = p * mr;
+  return start + mr <= mc ? mr : mc - start;
+}
+
+index_t packed_b_panel_cols(index_t q, index_t nc, index_t nr, bool pad) {
+  if (pad) return nr;
+  const index_t start = q * nr;
+  return start + nr <= nc ? nr : nc - start;
+}
+
+template <typename T>
+void pack_a(ConstMatrixView<T> a_block, index_t mr, bool pad, T* dst) {
+  const index_t mc = a_block.rows();
+  const index_t kc = a_block.cols();
+  const index_t panels = ceil_div(mc, mr);
+  for (index_t p = 0; p < panels; ++p) {
+    const index_t i0 = p * mr;
+    const index_t rows_here = std::min(mr, mc - i0);
+    const index_t stored = pad ? mr : rows_here;
+    T* panel = dst + packed_a_panel_offset(p, mc, kc, mr, pad);
+    for (index_t k = 0; k < kc; ++k) {
+      T* col = panel + k * stored;
+      for (index_t i = 0; i < rows_here; ++i) col[i] = a_block(i0 + i, k);
+      for (index_t i = rows_here; i < stored; ++i) col[i] = T(0);
+    }
+  }
+}
+
+template <typename T>
+void pack_b(ConstMatrixView<T> b_block, index_t nr, bool pad, T* dst) {
+  const index_t kc = b_block.rows();
+  const index_t nc = b_block.cols();
+  const index_t panels = ceil_div(nc, nr);
+  for (index_t q = 0; q < panels; ++q) {
+    const index_t j0 = q * nr;
+    const index_t cols_here = std::min(nr, nc - j0);
+    const index_t stored = pad ? nr : cols_here;
+    T* panel = dst + packed_b_panel_offset(q, kc, nc, nr, pad);
+    for (index_t k = 0; k < kc; ++k) {
+      T* row = panel + k * stored;
+      for (index_t j = 0; j < cols_here; ++j) row[j] = b_block(k, j0 + j);
+      for (index_t j = cols_here; j < stored; ++j) row[j] = T(0);
+    }
+  }
+}
+
+template <typename T>
+void pack_a_chunked(ConstMatrixView<T> a_block,
+                    const std::vector<index_t>& heights, T* dst) {
+  const index_t kc = a_block.cols();
+  index_t i0 = 0;
+  T* panel = dst;
+  for (const index_t h : heights) {
+    SMM_EXPECT(h > 0 && i0 + h <= a_block.rows(),
+               "pack_a_chunked: heights exceed the block");
+    for (index_t k = 0; k < kc; ++k)
+      for (index_t i = 0; i < h; ++i) panel[k * h + i] = a_block(i0 + i, k);
+    i0 += h;
+    panel += h * kc;
+  }
+  SMM_EXPECT(i0 == a_block.rows(),
+             "pack_a_chunked: heights must cover the block");
+}
+
+template <typename T>
+void pack_b_chunked(ConstMatrixView<T> b_block,
+                    const std::vector<index_t>& widths, T* dst) {
+  const index_t kc = b_block.rows();
+  index_t j0 = 0;
+  T* panel = dst;
+  for (const index_t w : widths) {
+    SMM_EXPECT(w > 0 && j0 + w <= b_block.cols(),
+               "pack_b_chunked: widths exceed the block");
+    for (index_t k = 0; k < kc; ++k)
+      for (index_t j = 0; j < w; ++j) panel[k * w + j] = b_block(k, j0 + j);
+    j0 += w;
+    panel += w * kc;
+  }
+  SMM_EXPECT(j0 == b_block.cols(),
+             "pack_b_chunked: widths must cover the block");
+}
+
+template void pack_a_chunked(ConstMatrixView<float>,
+                             const std::vector<index_t>&, float*);
+template void pack_a_chunked(ConstMatrixView<double>,
+                             const std::vector<index_t>&, double*);
+template void pack_b_chunked(ConstMatrixView<float>,
+                             const std::vector<index_t>&, float*);
+template void pack_b_chunked(ConstMatrixView<double>,
+                             const std::vector<index_t>&, double*);
+
+template void pack_a(ConstMatrixView<float>, index_t, bool, float*);
+template void pack_a(ConstMatrixView<double>, index_t, bool, double*);
+template void pack_b(ConstMatrixView<float>, index_t, bool, float*);
+template void pack_b(ConstMatrixView<double>, index_t, bool, double*);
+
+}  // namespace smm::pack

@@ -1,0 +1,72 @@
+// Data packing (paper Fig. 2): copying blocks of A and B into contiguous
+// panel buffers so micro-kernels stream them with unit stride. For SMM the
+// cost of this step is the paper's first impact factor (Section III-A).
+//
+// Packed A layout (mr-panels): the mc x kc block is cut into row panels of
+// height mr; panel p occupies a contiguous region, column-by-column, each
+// column exactly `mr` (padded) or `rows_in_panel` (tight) elements.
+// Packed B layout (nr-panels): the kc x nc block is cut into column panels
+// of width nr; panel q stores row-by-row, nr elements per row.
+#pragma once
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/matrix/view.h"
+
+namespace smm::pack {
+
+/// Elements required for a packed mc x kc A block.
+/// With `pad` every panel is mr tall (zero-filled), matching kernels that
+/// always compute a full tile (BLIS/BLASFEO strategy); without it the last
+/// panel stores only the remaining rows (OpenBLAS edge-kernel strategy).
+index_t packed_a_size(index_t mc, index_t kc, index_t mr, bool pad);
+
+/// Elements required for a packed kc x nc B block (same padding rule on
+/// the nc dimension).
+index_t packed_b_size(index_t kc, index_t nc, index_t nr, bool pad);
+
+/// Element offset of A panel `p` within the packed block.
+index_t packed_a_panel_offset(index_t p, index_t mc, index_t kc, index_t mr,
+                              bool pad);
+
+/// Element offset of B panel `q` within the packed block.
+index_t packed_b_panel_offset(index_t q, index_t kc, index_t nc, index_t nr,
+                              bool pad);
+
+/// Rows stored for A panel `p` (mr, or the tail when not padding).
+index_t packed_a_panel_rows(index_t p, index_t mc, index_t mr, bool pad);
+
+/// Columns stored for B panel `q`.
+index_t packed_b_panel_cols(index_t q, index_t nc, index_t nr, bool pad);
+
+/// Pack an mc x kc block of A into mr-panels at `dst` (layout above).
+/// `dst` must hold packed_a_size() elements.
+template <typename T>
+void pack_a(ConstMatrixView<T> a_block, index_t mr, bool pad, T* dst);
+
+/// Pack a kc x nc block of B into nr-panels at `dst`.
+template <typename T>
+void pack_b(ConstMatrixView<T> b_block, index_t nr, bool pad, T* dst);
+
+/// Pack A into panels of explicitly given heights (sum == block rows).
+/// This is how OpenBLAS lays out edge regions: full mr panels followed by
+/// mini-panels matching its edge-kernel sizes (e.g. 75 -> 16,16,16,16,8,2,1)
+/// so each edge kernel still reads a contiguous sliver.
+template <typename T>
+void pack_a_chunked(ConstMatrixView<T> a_block,
+                    const std::vector<index_t>& heights, T* dst);
+
+/// Pack B into panels of explicitly given widths (sum == block cols).
+template <typename T>
+void pack_b_chunked(ConstMatrixView<T> b_block,
+                    const std::vector<index_t>& widths, T* dst);
+
+/// Bytes moved by a pack of `rows x cols` elements of T (read + write),
+/// used by the plan pricer.
+template <typename T>
+index_t pack_traffic_bytes(index_t rows, index_t cols) {
+  return 2 * rows * cols * static_cast<index_t>(sizeof(T));
+}
+
+}  // namespace smm::pack

@@ -1,0 +1,230 @@
+#include "src/plan/native_executor.h"
+
+#include <memory>
+#include <vector>
+
+#include "src/common/aligned_buffer.h"
+#include "src/common/error.h"
+#include "src/kernels/microkernel.h"
+#include "src/kernels/registry.h"
+#include "src/pack/pack.h"
+#include "src/threading/barrier.h"
+#include "src/threading/thread_pool.h"
+
+namespace smm::plan {
+
+namespace {
+
+template <typename T>
+struct ExecContext {
+  const GemmPlan& plan;
+  T alpha;
+  ConstMatrixView<T> a;
+  ConstMatrixView<T> b;
+  T beta;
+  MatrixView<T> c;
+  std::vector<AlignedBuffer<T>> buffers;
+  std::vector<std::unique_ptr<par::Barrier>> barriers;
+
+  ExecContext(const GemmPlan& p, T al, ConstMatrixView<T> av,
+              ConstMatrixView<T> bv, T be, MatrixView<T> cv)
+      : plan(p), alpha(al), a(av), b(bv), beta(be), c(cv) {
+    buffers.reserve(plan.buffers.size());
+    for (const auto& decl : plan.buffers) buffers.emplace_back(decl.elems);
+    barriers.reserve(plan.barriers.size());
+    for (const auto& decl : plan.barriers)
+      barriers.push_back(std::make_unique<par::Barrier>(decl.participants));
+  }
+};
+
+template <typename T>
+struct OpRunner {
+  ExecContext<T>& ctx;
+
+  void operator()(const PackAOp& op) const {
+    T* dst = ctx.buffers[static_cast<std::size_t>(op.buffer)].data() +
+             op.dst_offset;
+    const auto block = ctx.a.block(op.i0, op.k0, op.mc, op.kc);
+    if (op.chunks.empty()) {
+      pack::pack_a(block, op.mr, op.pad, dst);
+    } else {
+      pack::pack_a_chunked(block, op.chunks, dst);
+    }
+  }
+
+  void operator()(const PackBOp& op) const {
+    T* dst = ctx.buffers[static_cast<std::size_t>(op.buffer)].data() +
+             op.dst_offset;
+    const auto block = ctx.b.block(op.k0, op.j0, op.kc, op.nc);
+    if (op.chunks.empty()) {
+      pack::pack_b(block, op.nr, op.pad, dst);
+    } else {
+      pack::pack_b_chunked(block, op.chunks, dst);
+    }
+  }
+
+  void operator()(const ConvertOp& op) const {
+    T* dst = ctx.buffers[static_cast<std::size_t>(op.buffer)].data();
+    const bool is_a = op.which == ConvertOp::Which::kA;
+    ConstMatrixView<T> src = is_a ? ctx.a : ctx.b;
+    const index_t rows = op.transpose ? src.cols() : src.rows();
+    const index_t cols = op.transpose ? src.rows() : src.cols();
+    // Panel-major layout: (i, j) -> (i/ps)*ps*cols + j*ps + i%ps, rows
+    // zero-padded to a panel multiple (padding was zeroed at allocation).
+    for (index_t j = 0; j < cols; ++j) {
+      for (index_t i = 0; i < rows; ++i) {
+        const T v = op.transpose ? src(j, i) : src(i, j);
+        dst[(i / op.ps) * op.ps * cols + j * op.ps + (i % op.ps)] = v;
+      }
+    }
+  }
+
+  void bind_operand(const OperandRef& ref, bool is_a, index_t tile_extent,
+                    kern::KernelOperands<T>& ops, index_t anchor_row,
+                    index_t anchor_col) const {
+    switch (ref.kind) {
+      case OperandRef::Kind::kBuffer: {
+        const T* base =
+            ctx.buffers[static_cast<std::size_t>(ref.buffer)].data() +
+            ref.offset;
+        if (is_a) {
+          ops.a = base;
+          ops.a_ps = ref.ps;
+          ops.a_pstride = ref.pstride;
+          ops.a_kstride = ref.kstride;
+        } else {
+          ops.b = base;
+          ops.b_ps = ref.ps;
+          ops.b_pstride = ref.pstride;
+          ops.b_kstride = ref.kstride;
+        }
+        break;
+      }
+      case OperandRef::Kind::kDirectA: {
+        SMM_EXPECT(is_a, "kDirectA bound to the B slot");
+        if (ctx.a.row_stride() == 1) {
+          kern::set_direct_a_colmajor(ops, &ctx.a(ref.row0, ref.col0),
+                                      ctx.a.col_stride(), tile_extent);
+        } else {
+          // op(A) of a transposed input: rows strided, generic kernel
+          // territory (run() falls through to it below).
+          kern::set_direct_a_rowmajor(ops, &ctx.a(ref.row0, ref.col0),
+                                      ctx.a.row_stride(), tile_extent);
+        }
+        (void)anchor_row;
+        (void)anchor_col;
+        break;
+      }
+      case OperandRef::Kind::kDirectB: {
+        SMM_EXPECT(!is_a, "kDirectB bound to the A slot");
+        if (ctx.b.layout() == Layout::kColMajor) {
+          kern::set_direct_b_colmajor(ops, &ctx.b(ref.row0, ref.col0),
+                                      ctx.b.ld());
+        } else {
+          kern::set_direct_b_rowmajor(ops, &ctx.b(ref.row0, ref.col0),
+                                      ctx.b.ld(), tile_extent);
+        }
+        break;
+      }
+    }
+  }
+
+  void operator()(const KernelOp& op) const {
+    const auto& info = kern::KernelRegistry::instance().info(op.kernel);
+    kern::KernelOperands<T> ops;
+    bind_operand(op.a, /*is_a=*/true, info.mr, ops, op.i0, 0);
+    bind_operand(op.b, /*is_a=*/false, info.nr, ops, 0, op.j0);
+    T beta_call = op.first_k_block ? ctx.beta : T(1);
+    if (op.c_buffer >= 0) {
+      // K-split: accumulate into the private slab; the caller's beta is
+      // applied by the reduction, so a fresh tile starts from zero.
+      ops.c = ctx.buffers[static_cast<std::size_t>(op.c_buffer)].data() +
+              op.c_offset;
+      ops.c_rs = 1;
+      ops.c_cs = op.c_ld;
+      beta_call = op.first_k_block ? T(0) : T(1);
+    } else {
+      ops.c = &ctx.c(op.i0, op.j0);
+      ops.c_rs = ctx.c.row_stride();
+      ops.c_cs = ctx.c.col_stride();
+    }
+    // Full tiles with contiguous A run the kernel's specialized
+    // implementation; masked (edge) updates and strided-row A (transposed
+    // direct input) fall back to the generic kernel, which honours any
+    // addressing. Numerically both compute the same values.
+    const bool tile_ok = op.useful_m == info.mr && op.useful_n == info.nr &&
+                         ops.a_istride == 1;
+    if (tile_ok) {
+      kern::kernel_fn<T>(op.kernel)(op.kc, ctx.alpha, beta_call, ops,
+                                    op.useful_m, op.useful_n);
+    } else {
+      kern::generic_microkernel<T>(op.kc, ctx.alpha, beta_call, ops,
+                                   op.useful_m, op.useful_n);
+    }
+  }
+
+  void operator()(const BarrierOp& op) const {
+    ctx.barriers[static_cast<std::size_t>(op.barrier)]->arrive_and_wait();
+  }
+
+  void operator()(const ScaleCOp& op) const {
+    for (index_t j = 0; j < op.cols; ++j) {
+      for (index_t i = 0; i < op.rows; ++i) {
+        T& v = ctx.c(op.i0 + i, op.j0 + j);
+        v = (ctx.beta == T(0)) ? T(0) : v * ctx.beta;
+      }
+    }
+  }
+
+  void operator()(const ReduceCOp& op) const {
+    const T* slabs =
+        ctx.buffers[static_cast<std::size_t>(op.buffer)].data() + op.offset;
+    for (index_t j = 0; j < op.cols; ++j) {
+      for (index_t i = 0; i < op.rows; ++i) {
+        double acc = 0;
+        for (int p = 0; p < op.parts; ++p)
+          acc += static_cast<double>(
+              slabs[p * op.part_stride + j * op.ld + i]);
+        T& c = ctx.c(op.i0 + i, op.j0 + j);
+        const double base = ctx.beta == T(0)
+                                ? 0.0
+                                : static_cast<double>(ctx.beta) *
+                                      static_cast<double>(c);
+        c = static_cast<T>(acc + base);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+template <typename T>
+void execute_plan(const GemmPlan& plan, T alpha, ConstMatrixView<T> a,
+                  ConstMatrixView<T> b, T beta, MatrixView<T> c) {
+  SMM_EXPECT(a.rows() == plan.shape.m && a.cols() == plan.shape.k,
+             "A shape does not match the plan");
+  SMM_EXPECT(b.rows() == plan.shape.k && b.cols() == plan.shape.n,
+             "B shape does not match the plan");
+  SMM_EXPECT(c.rows() == plan.shape.m && c.cols() == plan.shape.n,
+             "C shape does not match the plan");
+  const bool want_f32 = plan.scalar == ScalarType::kF32;
+  SMM_EXPECT(want_f32 == (sizeof(T) == 4),
+             "scalar type does not match the plan");
+
+  ExecContext<T> ctx(plan, alpha, a, b, beta, c);
+  par::run_parallel(plan.nthreads, [&](int tid) {
+    OpRunner<T> runner{ctx};
+    for (const auto& op :
+         plan.thread_ops[static_cast<std::size_t>(tid)])
+      std::visit(runner, op);
+  });
+}
+
+template void execute_plan(const GemmPlan&, float, ConstMatrixView<float>,
+                           ConstMatrixView<float>, float,
+                           MatrixView<float>);
+template void execute_plan(const GemmPlan&, double, ConstMatrixView<double>,
+                           ConstMatrixView<double>, double,
+                           MatrixView<double>);
+
+}  // namespace smm::plan

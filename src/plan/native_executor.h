@@ -1,0 +1,19 @@
+// Native plan execution: runs a GemmPlan against real matrices, producing
+// C = alpha * A * B + beta * C. This is the correctness path — every
+// strategy's plan is executed through here in the test suite, and the
+// examples use it via the strategy convenience wrappers.
+#pragma once
+
+#include "src/matrix/view.h"
+#include "src/plan/plan.h"
+
+namespace smm::plan {
+
+/// Execute `plan` (built for exactly these shapes/layouts). Spawns
+/// plan.nthreads threads when the plan is parallel. Throws smm::Error on
+/// shape mismatch.
+template <typename T>
+void execute_plan(const GemmPlan& plan, T alpha, ConstMatrixView<T> a,
+                  ConstMatrixView<T> b, T beta, MatrixView<T> c);
+
+}  // namespace smm::plan

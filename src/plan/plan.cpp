@@ -1,0 +1,159 @@
+#include "src/plan/plan.h"
+
+#include <map>
+
+#include "src/common/error.h"
+#include "src/common/str.h"
+
+namespace smm::plan {
+
+index_t elem_bytes(ScalarType scalar) {
+  return scalar == ScalarType::kF32 ? 4 : 8;
+}
+
+const char* to_string(ScalarType scalar) {
+  return scalar == ScalarType::kF32 ? "f32" : "f64";
+}
+
+int add_buffer(GemmPlan& plan, index_t elems) {
+  SMM_EXPECT(elems >= 0, "buffer size must be non-negative");
+  plan.buffers.push_back(BufferDecl{elems});
+  return static_cast<int>(plan.buffers.size()) - 1;
+}
+
+int add_barrier(GemmPlan& plan, int participants) {
+  SMM_EXPECT(participants > 0, "barrier needs participants");
+  plan.barriers.push_back(BarrierDecl{participants});
+  return static_cast<int>(plan.barriers.size()) - 1;
+}
+
+namespace {
+
+struct Validator {
+  const GemmPlan& plan;
+  std::map<int, int> barrier_arrivals;
+
+  void check_buffer(int buffer, index_t end_offset, const char* what) const {
+    SMM_EXPECT(buffer >= 0 &&
+                   buffer < static_cast<int>(plan.buffers.size()),
+               strprintf("%s references unknown buffer %d", what, buffer));
+    SMM_EXPECT(end_offset <=
+                   plan.buffers[static_cast<std::size_t>(buffer)].elems,
+               strprintf("%s overflows buffer %d", what, buffer));
+  }
+
+  static index_t chunk_total(const std::vector<index_t>& chunks) {
+    index_t total = 0;
+    for (const index_t c : chunks) total += c;
+    return total;
+  }
+
+  void operator()(const PackAOp& op) const {
+    SMM_EXPECT(op.i0 >= 0 && op.k0 >= 0 && op.i0 + op.mc <= plan.shape.m &&
+                   op.k0 + op.kc <= plan.shape.k,
+               "PackAOp block out of A");
+    SMM_EXPECT(op.chunks.empty() || chunk_total(op.chunks) == op.mc,
+               "PackAOp chunks must cover the block");
+    const index_t panels = (op.mc + op.mr - 1) / op.mr;
+    const index_t elems = (op.pad && op.chunks.empty())
+                              ? panels * op.mr * op.kc
+                              : op.mc * op.kc;
+    check_buffer(op.buffer, op.dst_offset + elems, "PackAOp");
+  }
+
+  void operator()(const PackBOp& op) const {
+    SMM_EXPECT(op.k0 >= 0 && op.j0 >= 0 && op.k0 + op.kc <= plan.shape.k &&
+                   op.j0 + op.nc <= plan.shape.n,
+               "PackBOp block out of B");
+    SMM_EXPECT(op.chunks.empty() || chunk_total(op.chunks) == op.nc,
+               "PackBOp chunks must cover the block");
+    const index_t panels = (op.nc + op.nr - 1) / op.nr;
+    const index_t elems = (op.pad && op.chunks.empty())
+                              ? panels * op.nr * op.kc
+                              : op.kc * op.nc;
+    check_buffer(op.buffer, op.dst_offset + elems, "PackBOp");
+  }
+
+  void operator()(const ConvertOp& op) const {
+    const index_t rows = op.which == ConvertOp::Which::kA
+                             ? plan.shape.m
+                             : (op.transpose ? plan.shape.n : plan.shape.k);
+    const index_t cols = op.which == ConvertOp::Which::kA
+                             ? plan.shape.k
+                             : (op.transpose ? plan.shape.k : plan.shape.n);
+    const index_t panels = (rows + op.ps - 1) / op.ps;
+    check_buffer(op.buffer, panels * op.ps * cols, "ConvertOp");
+  }
+
+  void operator()(const KernelOp& op) const {
+    const auto& info = kern::KernelRegistry::instance().info(op.kernel);
+    SMM_EXPECT(op.useful_m >= 1 && op.useful_m <= info.mr &&
+                   op.useful_n >= 1 && op.useful_n <= info.nr,
+               "KernelOp useful extent outside the kernel tile");
+    SMM_EXPECT(op.i0 >= 0 && op.j0 >= 0 &&
+                   op.i0 + op.useful_m <= plan.shape.m &&
+                   op.j0 + op.useful_n <= plan.shape.n,
+               "KernelOp C tile out of range");
+    SMM_EXPECT(op.kc >= 1 && op.kc <= plan.shape.k, "KernelOp bad kc");
+    if (op.a.kind == OperandRef::Kind::kBuffer)
+      check_buffer(op.a.buffer, op.a.offset, "KernelOp A operand");
+    if (op.b.kind == OperandRef::Kind::kBuffer)
+      check_buffer(op.b.buffer, op.b.offset, "KernelOp B operand");
+    if (op.c_buffer >= 0) {
+      SMM_EXPECT(op.c_ld >= info.mr, "KernelOp scratch C ld too small");
+      check_buffer(op.c_buffer,
+                   op.c_offset + (op.useful_n - 1) * op.c_ld + op.useful_m,
+                   "KernelOp scratch C");
+    }
+  }
+
+  void operator()(const ReduceCOp& op) const {
+    SMM_EXPECT(op.parts >= 1 && op.rows >= 0 && op.cols >= 0 && op.ld > 0,
+               "ReduceCOp geometry invalid");
+    SMM_EXPECT(op.i0 >= 0 && op.j0 >= 0 && op.i0 + op.rows <= plan.shape.m &&
+                   op.j0 + op.cols <= plan.shape.n,
+               "ReduceCOp region out of C");
+    check_buffer(op.buffer,
+                 op.offset + (op.parts - 1) * op.part_stride +
+                     (op.cols > 0 ? (op.cols - 1) * op.ld + op.rows : 0),
+                 "ReduceCOp");
+  }
+
+  void operator()(const BarrierOp& op) {
+    SMM_EXPECT(op.barrier >= 0 &&
+                   op.barrier < static_cast<int>(plan.barriers.size()),
+               "BarrierOp references unknown barrier");
+    ++barrier_arrivals[op.barrier];
+  }
+
+  void operator()(const ScaleCOp& op) const {
+    SMM_EXPECT(op.i0 >= 0 && op.j0 >= 0 &&
+                   op.i0 + op.rows <= plan.shape.m &&
+                   op.j0 + op.cols <= plan.shape.n,
+               "ScaleCOp region out of C");
+  }
+};
+
+}  // namespace
+
+void GemmPlan::validate() const {
+  SMM_EXPECT(shape.valid(), "plan shape invalid");
+  SMM_EXPECT(nthreads >= 1, "plan needs at least one thread");
+  SMM_EXPECT(static_cast<int>(thread_ops.size()) == nthreads,
+             "plan must carry one op list per thread");
+  Validator v{*this, {}};
+  for (const auto& ops : thread_ops)
+    for (const auto& op : ops) std::visit(v, op);
+  // Every barrier must be arrived at a multiple of its participant count
+  // (each participant hits it the same number of times).
+  for (const auto& [id, arrivals] : v.barrier_arrivals) {
+    const int participants =
+        barriers[static_cast<std::size_t>(id)].participants;
+    SMM_EXPECT(arrivals % participants == 0,
+               strprintf("barrier %d arrivals (%d) not a multiple of its %d "
+                         "participants",
+                         id, arrivals, participants));
+  }
+}
+
+}  // namespace smm::plan

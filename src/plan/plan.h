@@ -1,0 +1,174 @@
+// Execution plans.
+//
+// Every GEMM strategy (the four library models and the reference SMM)
+// compiles a problem (shape, scalar type, thread count) into a GemmPlan: a
+// per-thread sequence of pack / kernel / barrier / scale operations over
+// declared scratch buffers. The native executor (native_executor.h) runs a
+// plan against real matrices and produces the numerical result; the plan
+// pricer (sim/exec/pricer.h) walks the same ops and produces the cycle
+// cost on a modelled machine. One description of *what a library does*,
+// two consumers — so the simulated results can never drift from the code
+// that is tested for correctness.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/kernels/registry.h"
+#include "src/matrix/view.h"
+
+namespace smm::plan {
+
+enum class ScalarType { kF32, kF64 };
+
+index_t elem_bytes(ScalarType scalar);
+const char* to_string(ScalarType scalar);
+
+/// How a kernel op locates one input operand.
+struct OperandRef {
+  enum class Kind : std::uint8_t {
+    kBuffer,   ///< packed/converted scratch buffer, explicit addressing
+    kDirectA,  ///< read straight from the unpacked A argument
+    kDirectB   ///< read straight from the unpacked B argument
+  };
+  Kind kind = Kind::kBuffer;
+  int buffer = -1;     ///< kBuffer: index into GemmPlan::buffers
+  index_t offset = 0;  ///< kBuffer: element offset of the sliver
+  /// kBuffer: generalized panel addressing (see kernels/microkernel.h).
+  index_t ps = 0;
+  index_t pstride = 0;
+  index_t kstride = 0;
+  /// kDirect*: anchor element in the source matrix (row, col).
+  index_t row0 = 0;
+  index_t col0 = 0;
+};
+
+/// Pack an mc x kc block of A (anchor i0, k0) into mr-panels, or — when
+/// `chunks` is non-empty — into panels of exactly those heights (the
+/// OpenBLAS edge layout; chunks must sum to mc).
+struct PackAOp {
+  int buffer = -1;
+  index_t dst_offset = 0;
+  index_t i0 = 0, k0 = 0;
+  index_t mc = 0, kc = 0;
+  index_t mr = 0;
+  bool pad = false;
+  std::vector<index_t> chunks;
+};
+
+/// Pack a kc x nc block of B (anchor k0, j0) into nr-panels, or into
+/// panels of the given widths when `chunks` is non-empty.
+struct PackBOp {
+  int buffer = -1;
+  index_t dst_offset = 0;
+  index_t k0 = 0, j0 = 0;
+  index_t kc = 0, nc = 0;
+  index_t nr = 0;
+  bool pad = false;
+  std::vector<index_t> chunks;
+};
+
+/// Convert a whole input matrix to panel-major (BLASFEO's up-front format
+/// conversion). `transpose` stores the transpose (B becomes Bt so the
+/// nt-style kernels read contiguous vectors).
+struct ConvertOp {
+  enum class Which : std::uint8_t { kA, kB };
+  Which which = Which::kA;
+  int buffer = -1;
+  index_t ps = 4;
+  bool transpose = false;
+};
+
+/// One micro-kernel invocation updating the C tile at (i0, j0).
+struct KernelOp {
+  kern::KernelId kernel = -1;
+  index_t kc = 0;
+  index_t i0 = 0, j0 = 0;
+  /// Useful extent of the C update; less than the kernel tile when a
+  /// padding strategy computes zeros (BLIS/BLASFEO edge handling).
+  index_t useful_m = 0, useful_n = 0;
+  OperandRef a;
+  OperandRef b;
+  /// True for the first k-block of this C tile: applies the caller's beta;
+  /// later blocks accumulate (beta = 1).
+  bool first_k_block = true;
+  /// K-split parallelism: when >= 0, the update lands in this scratch
+  /// buffer (col-major slab of ld c_ld at c_offset) instead of C, with
+  /// beta forced to the slab's own accumulation (a later ReduceCOp folds
+  /// the slabs into C).
+  int c_buffer = -1;
+  index_t c_offset = 0;
+  index_t c_ld = 0;
+};
+
+/// Fold `parts` col-major M x N slabs (stride part_stride apart in
+/// `buffer`) into C(i0.., j0..): C = beta*C + sum of slabs — the
+/// reduction that completes K-split parallelism.
+struct ReduceCOp {
+  int buffer = -1;
+  index_t i0 = 0, j0 = 0;
+  index_t rows = 0, cols = 0;
+  index_t ld = 0;           ///< slab leading dimension
+  index_t offset = 0;       ///< offset of this region in slab 0
+  index_t part_stride = 0;  ///< distance between consecutive slabs
+  int parts = 0;
+};
+
+/// Synchronization point; all participants of the barrier id meet.
+struct BarrierOp {
+  int barrier = -1;
+};
+
+/// C(i0.., j0..) *= beta over rows x cols (used when k == 0 or a strategy
+/// pre-scales C).
+struct ScaleCOp {
+  index_t i0 = 0, j0 = 0;
+  index_t rows = 0, cols = 0;
+};
+
+using Op = std::variant<PackAOp, PackBOp, ConvertOp, KernelOp, BarrierOp,
+                        ScaleCOp, ReduceCOp>;
+
+struct BufferDecl {
+  index_t elems = 0;  ///< capacity in scalars
+};
+
+struct BarrierDecl {
+  int participants = 0;
+};
+
+/// Cache-blocking parameters the plan was built with; the residency
+/// analyzer uses them to decide which level each operand streams from.
+struct BlockingInfo {
+  index_t mc = 0, kc = 0, nc = 0;
+  index_t mr = 0, nr = 0;
+};
+
+struct GemmPlan {
+  std::string strategy;
+  GemmShape shape;
+  ScalarType scalar = ScalarType::kF32;
+  int nthreads = 1;
+  std::vector<BufferDecl> buffers;
+  std::vector<BarrierDecl> barriers;
+  std::vector<std::vector<Op>> thread_ops;
+  BlockingInfo blocking;
+  /// BLASFEO semantics: the ConvertOps only exist so the plan is runnable
+  /// from col-major inputs; the library assumes the application already
+  /// stores panel-major, so the pricer excludes them unless asked.
+  bool conversion_outside_timing = false;
+
+  [[nodiscard]] double useful_flops() const { return shape.flops(); }
+
+  /// Structural validation: op indices in range, barrier participant
+  /// counts consistent with use, kernel tiles within C. Throws smm::Error.
+  void validate() const;
+};
+
+/// Helpers for building plans.
+int add_buffer(GemmPlan& plan, index_t elems);
+int add_barrier(GemmPlan& plan, int participants);
+
+}  // namespace smm::plan

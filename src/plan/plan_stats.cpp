@@ -1,0 +1,49 @@
+#include "src/plan/plan_stats.h"
+
+#include "src/kernels/registry.h"
+
+namespace smm::plan {
+
+namespace {
+
+struct StatsVisitor {
+  PlanStats& s;
+
+  void operator()(const PackAOp& op) const {
+    ++s.pack_a_ops;
+    const index_t panels = (op.mc + op.mr - 1) / op.mr;
+    s.packed_a_elems += op.pad ? panels * op.mr * op.kc : op.mc * op.kc;
+  }
+  void operator()(const PackBOp& op) const {
+    ++s.pack_b_ops;
+    const index_t panels = (op.nc + op.nr - 1) / op.nr;
+    s.packed_b_elems += op.pad ? panels * op.nr * op.kc : op.kc * op.nc;
+  }
+  void operator()(const ConvertOp&) const { ++s.convert_ops; }
+  void operator()(const KernelOp& op) const {
+    ++s.kernel_ops;
+    const auto& info = kern::KernelRegistry::instance().info(op.kernel);
+    s.kernel_mix[info.name] += 1;
+    s.computed_flops += 2.0 * static_cast<double>(info.mr) *
+                        static_cast<double>(info.nr) *
+                        static_cast<double>(op.kc);
+    s.useful_flops += 2.0 * static_cast<double>(op.useful_m) *
+                      static_cast<double>(op.useful_n) *
+                      static_cast<double>(op.kc);
+  }
+  void operator()(const BarrierOp&) const { ++s.barrier_ops; }
+  void operator()(const ScaleCOp&) const { ++s.scale_ops; }
+  void operator()(const ReduceCOp&) const { ++s.reduce_ops; }
+};
+
+}  // namespace
+
+PlanStats analyze(const GemmPlan& plan) {
+  PlanStats stats;
+  StatsVisitor v{stats};
+  for (const auto& ops : plan.thread_ops)
+    for (const auto& op : ops) std::visit(v, op);
+  return stats;
+}
+
+}  // namespace smm::plan

@@ -1,0 +1,40 @@
+// Structural plan statistics — op counts, packed traffic, padded-flop
+// overhead, kernel mix — used by tests and by the Table I / ablation
+// benches to report what each strategy actually emits.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "src/common/types.h"
+#include "src/plan/plan.h"
+
+namespace smm::plan {
+
+struct PlanStats {
+  index_t pack_a_ops = 0;
+  index_t pack_b_ops = 0;
+  index_t convert_ops = 0;
+  index_t kernel_ops = 0;
+  index_t barrier_ops = 0;
+  index_t scale_ops = 0;
+  index_t reduce_ops = 0;
+  /// Elements copied by packing (sum over PackA/PackB, excl. conversions).
+  index_t packed_a_elems = 0;
+  index_t packed_b_elems = 0;
+  /// Flops the kernels compute, including padding zeros.
+  double computed_flops = 0;
+  /// Flops that contribute to C (== shape.flops() for a correct plan).
+  double useful_flops = 0;
+  /// Kernel-op count per kernel name.
+  std::map<std::string, index_t> kernel_mix;
+
+  /// computed / useful — 1.0 means no padding waste.
+  [[nodiscard]] double padding_overhead() const {
+    return useful_flops > 0 ? computed_flops / useful_flops : 1.0;
+  }
+};
+
+PlanStats analyze(const GemmPlan& plan);
+
+}  // namespace smm::plan

@@ -1,0 +1,96 @@
+#include "src/sim/cache/cache_sim.h"
+
+#include "src/common/error.h"
+
+namespace smm::sim {
+
+CacheSim::CacheSim(const CacheLevelConfig& config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  SMM_EXPECT(config.size_bytes > 0 && config.ways > 0 &&
+                 config.line_bytes > 0,
+             "bad cache geometry");
+  SMM_EXPECT(config.size_bytes %
+                     (static_cast<index_t>(config.ways) *
+                      config.line_bytes) ==
+                 0,
+             "cache size must be sets * ways * line");
+  lines_.assign(static_cast<std::size_t>(config.num_sets()) *
+                    static_cast<std::size_t>(config.ways),
+                Line{});
+}
+
+AccessResult CacheSim::access(std::uint64_t addr) {
+  ++tick_;
+  const std::uint64_t line_addr =
+      addr / static_cast<std::uint64_t>(config_.line_bytes);
+  const auto sets = static_cast<std::uint64_t>(config_.num_sets());
+  const std::uint64_t set = line_addr % sets;
+  const std::uint64_t tag = line_addr / sets;
+  Line* base = lines_.data() + set * static_cast<std::uint64_t>(config_.ways);
+
+  for (int w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      ++hits_;
+      if (config_.policy == ReplacementPolicy::kLru) line.stamp = tick_;
+      return AccessResult::kHit;
+    }
+  }
+  ++misses_;
+  // Victim selection.
+  int victim = 0;
+  bool found_invalid = false;
+  for (int w = 0; w < config_.ways; ++w) {
+    if (!base[w].valid) {
+      victim = w;
+      found_invalid = true;
+      break;
+    }
+  }
+  if (!found_invalid) {
+    switch (config_.policy) {
+      case ReplacementPolicy::kLru:
+      case ReplacementPolicy::kFifo: {
+        std::uint64_t oldest = base[0].stamp;
+        victim = 0;
+        for (int w = 1; w < config_.ways; ++w) {
+          if (base[w].stamp < oldest) {
+            oldest = base[w].stamp;
+            victim = w;
+          }
+        }
+        break;
+      }
+      case ReplacementPolicy::kPseudoRandom:
+        victim = static_cast<int>(rng_.next_index(config_.ways));
+        break;
+    }
+  }
+  base[victim] = Line{tag, true, tick_};
+  return AccessResult::kMiss;
+}
+
+void CacheSim::clear() {
+  for (auto& line : lines_) line = Line{};
+  hits_ = 0;
+  misses_ = 0;
+  tick_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(const CacheLevelConfig& l1,
+                               const CacheLevelConfig& l2,
+                               std::uint64_t seed)
+    : l1_(l1, seed), l2_(l2, seed + 1) {}
+
+int CacheHierarchy::access(std::uint64_t addr) {
+  if (l1_.access(addr) == AccessResult::kHit) return 1;
+  if (l2_.access(addr) == AccessResult::kHit) return 2;
+  return 3;
+}
+
+void CacheHierarchy::clear() {
+  l1_.clear();
+  l2_.clear();
+}
+
+}  // namespace smm::sim

@@ -1,0 +1,143 @@
+#include "src/sim/cache/residency.h"
+
+#include <algorithm>
+
+#include "src/common/error.h"
+
+namespace smm::sim {
+
+const char* to_string(MemLevel level) {
+  switch (level) {
+    case MemLevel::kL1:
+      return "L1";
+    case MemLevel::kL2:
+      return "L2";
+    case MemLevel::kL2Remote:
+      return "L2-remote";
+    case MemLevel::kMemory:
+      return "memory";
+  }
+  return "?";
+}
+
+double ResidencyAnalyzer::level_latency(MemLevel level,
+                                        int l2_sharers) const {
+  const auto& core = machine_.core;
+  // Shared non-LRU L2: every extra active core on the slice degrades both
+  // hit rate (conflict misses under random replacement) and queueing.
+  const double l2_mult =
+      1.0 + machine_.mem.l2_sharing_penalty * (l2_sharers - 1);
+  switch (level) {
+    case MemLevel::kL1:
+      return core.lat_l1;
+    case MemLevel::kL2:
+      return core.lat_l2 * l2_mult;
+    case MemLevel::kL2Remote:
+      return core.lat_l2 * l2_mult + machine_.mem.remote_latency_extra;
+    case MemLevel::kMemory:
+      return core.lat_mem;
+  }
+  return core.lat_mem;
+}
+
+double ResidencyAnalyzer::effective_latency(MemLevel level, int l2_sharers,
+                                            bool streaming_friendly) const {
+  const double l1 = machine_.core.lat_l1;
+  if (level == MemLevel::kL1) return l1;
+  const double raw = level_latency(level, l2_sharers);
+  const double hidden =
+      streaming_friendly ? machine_.mem.prefetch_efficiency : 0.0;
+  return l1 + (raw - l1) * (1.0 - hidden);
+}
+
+double ResidencyAnalyzer::b_first_touch_cycles(const KernelContext& ctx,
+                                               index_t elem_bytes) const {
+  const index_t l1_bytes = machine_.l1.size_bytes;
+  const index_t l2_bytes =
+      machine_.l2.size_bytes / std::max(1, ctx.l2_active_sharers);
+  const index_t b_bytes = ctx.b_block_elems * elem_bytes;
+  if (b_bytes <= l1_bytes / 2) return 0.0;  // never leaves L1
+  MemLevel home = MemLevel::kL2;
+  if (b_bytes > l2_bytes) {
+    home = MemLevel::kMemory;
+  } else if (ctx.group_b_threads > machine_.l2.shared_by_cores) {
+    home = MemLevel::kL2Remote;
+  }
+  const double raw = level_latency(home, ctx.l2_active_sharers);
+  const double lines =
+      static_cast<double>(ctx.kc * ctx.nr * elem_bytes) /
+      machine_.l1.line_bytes;
+  const double exposed = 1.0 - machine_.mem.cold_miss_overlap;
+  return lines * (raw - machine_.core.lat_l1) * exposed /
+         static_cast<double>(std::max<index_t>(1, ctx.i_iters));
+}
+
+ResidencyResult ResidencyAnalyzer::analyze(const KernelContext& ctx,
+                                           index_t elem_bytes) const {
+  SMM_EXPECT(elem_bytes > 0, "bad element size");
+  ResidencyResult out;
+  const index_t l1_bytes = machine_.l1.size_bytes;
+  const index_t l2_bytes =
+      machine_.l2.size_bytes / std::max(1, ctx.l2_active_sharers);
+
+  // --- A stream. A sliver (mr x kc) is swept once per j iteration; it is
+  // L1-resident only if the whole A block fits in (most of) L1 — then the
+  // j loop keeps rehitting it. Otherwise it streams from the level the
+  // block fits in. Packed or direct col-major A are both unit-stride.
+  const index_t a_bytes = ctx.a_block_elems * elem_bytes;
+  if (a_bytes <= l1_bytes / 2 && ctx.j_iters >= 2) {
+    out.a = MemLevel::kL1;
+  } else if (a_bytes <= l2_bytes) {
+    out.a = MemLevel::kL2;
+  } else {
+    out.a = MemLevel::kMemory;
+  }
+
+  // --- B stream. The kc x nr sliver is L1-resident while the i loop
+  // reuses it (Fig. 2); with little reuse it streams from the packed
+  // buffer's home. A buffer shared by threads beyond one L2 slice is
+  // partly remote.
+  const index_t b_sliver_bytes = ctx.kc * ctx.nr * elem_bytes;
+  const index_t b_bytes = ctx.b_block_elems * elem_bytes;
+  const bool sliver_fits_l1 = b_sliver_bytes <= l1_bytes / 4;
+  if (sliver_fits_l1 && ctx.i_iters >= 2) {
+    out.b = MemLevel::kL1;
+  } else if (b_bytes > l2_bytes) {
+    out.b = MemLevel::kMemory;
+  } else if (ctx.group_b_threads > machine_.l2.shared_by_cores) {
+    out.b = MemLevel::kL2Remote;
+  } else {
+    out.b = MemLevel::kL2;
+  }
+
+  // --- C stream: tiles are touched once per k-block.
+  const index_t c_bytes = ctx.c_block_elems * elem_bytes;
+  if (c_bytes <= l1_bytes / 2) {
+    out.c = MemLevel::kL1;
+  } else if (c_bytes <= l2_bytes) {
+    out.c = MemLevel::kL2;
+  } else {
+    out.c = MemLevel::kMemory;
+  }
+
+  out.latency.a = effective_latency(out.a, ctx.l2_active_sharers,
+                                    /*streaming_friendly=*/true);
+  // Direct col-major B is nr interleaved sequential streams (contiguous
+  // in k): its real cost is the scalar loads in the kernel schedule, not
+  // latency — the prefetcher still covers most of it, just less well
+  // than one unit-stride stream.
+  if (ctx.b_strided && out.b != MemLevel::kL1) {
+    const double raw = level_latency(out.b, ctx.l2_active_sharers);
+    const double hidden = machine_.mem.prefetch_efficiency * 0.9;
+    out.latency.b = machine_.core.lat_l1 +
+                    (raw - machine_.core.lat_l1) * (1.0 - hidden);
+  } else {
+    out.latency.b = effective_latency(out.b, ctx.l2_active_sharers,
+                                      /*streaming_friendly=*/true);
+  }
+  out.latency.c = effective_latency(out.c, ctx.l2_active_sharers,
+                                    /*streaming_friendly=*/true);
+  return out;
+}
+
+}  // namespace smm::sim

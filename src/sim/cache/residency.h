@@ -1,0 +1,86 @@
+// Closed-form cache-residency analysis.
+//
+// The plan pricer cannot afford per-access cache simulation for sweeps, so
+// operand placement follows the paper's Fig. 2 reasoning in closed form:
+// a B sliver (kc x nr) is L1-resident while it is reused across the i
+// loop; the packed A block streams from wherever it fits (L2 for classic
+// GEMM, L1 outright for small matrices); C tiles stream from the level
+// that holds C. Multi-threading degrades the picture: the L2 is shared by
+// four cores and non-LRU (Section III-D reason 1), and a B buffer packed
+// by a group that spans panels is partly remote (reason 2).
+//
+// The exact line-level CacheSim validates these rules on small problems in
+// the test suite.
+#pragma once
+
+#include "src/common/types.h"
+#include "src/sim/machine.h"
+#include "src/sim/pipeline/pipeline_sim.h"
+
+namespace smm::sim {
+
+/// Everything the analyzer needs to know about one kernel invocation's
+/// environment (footprints in elements).
+struct KernelContext {
+  index_t kc = 0;
+  index_t mr = 0;
+  index_t nr = 0;
+  /// Consecutive kernel calls reusing the same B sliver (the i loop trip
+  /// count) and the same A region (the j loop trip count).
+  index_t i_iters = 1;
+  index_t j_iters = 1;
+  bool a_packed = true;
+  bool b_packed = true;
+  bool b_strided = false;  ///< direct col-major B: scalar gather
+  index_t a_block_elems = 0;   ///< the packed A block (or whole A)
+  index_t b_block_elems = 0;   ///< the packed B buffer (or whole B)
+  index_t c_block_elems = 0;   ///< the C region this thread updates
+  int group_b_threads = 1;     ///< threads sharing the B buffer
+  int l2_active_sharers = 1;   ///< active cores on this core's L2
+};
+
+/// Memory level an operand is serviced from.
+enum class MemLevel { kL1, kL2, kL2Remote, kMemory };
+
+const char* to_string(MemLevel level);
+
+struct ResidencyResult {
+  MemLevel a = MemLevel::kL1;
+  MemLevel b = MemLevel::kL1;
+  MemLevel c = MemLevel::kL1;
+  StreamLatency latency;
+};
+
+class ResidencyAnalyzer {
+ public:
+  explicit ResidencyAnalyzer(const MachineConfig& machine)
+      : machine_(machine) {}
+
+  /// Classify operand levels and produce effective per-load latencies for
+  /// the pipeline model.
+  [[nodiscard]] ResidencyResult analyze(const KernelContext& ctx,
+                                        index_t elem_bytes) const;
+
+  /// Raw latency of a level including sharing degradation.
+  [[nodiscard]] double level_latency(MemLevel level, int l2_sharers) const;
+
+  /// Effective per-load latency for a stream serviced from `level`:
+  /// L1 hits cost lat_l1; streamed levels cost the residual latency the
+  /// prefetcher fails to hide.
+  [[nodiscard]] double effective_latency(MemLevel level, int l2_sharers,
+                                         bool streaming_friendly) const;
+
+  /// Per-invocation stall cycles for fetching the kernel's B sliver into
+  /// L1 the first time (the "cold" pass). Even when the sliver is
+  /// L1-resident across i iterations, *somebody* pays the kc*nr/line
+  /// misses against the level the packed buffer lives in — the dominant
+  /// multi-thread kernel-efficiency loss of Table II at small M, where
+  /// i_iters is small and the cost barely amortizes.
+  [[nodiscard]] double b_first_touch_cycles(const KernelContext& ctx,
+                                            index_t elem_bytes) const;
+
+ private:
+  MachineConfig machine_;  // by value: no lifetime coupling to the caller
+};
+
+}  // namespace smm::sim

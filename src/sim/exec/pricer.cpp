@@ -1,0 +1,340 @@
+#include "src/sim/exec/pricer.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/error.h"
+#include "src/kernels/registry.h"
+#include "src/libs/gemm_interface.h"
+#include "src/sim/cache/residency.h"
+#include "src/sim/memory/numa.h"
+#include "src/sim/pipeline/kernel_timing.h"
+
+namespace smm::sim {
+
+namespace {
+
+struct Segment {
+  double cost = 0.0;
+  SimBreakdown delta;
+  int barrier = -1;  // -1: end of thread
+  // (category, duration) per op, in order — only when collecting a
+  // timeline.
+  std::vector<std::pair<const char*, double>> events;
+};
+
+struct ThreadCosts {
+  std::vector<Segment> segments;
+};
+
+}  // namespace
+
+struct PlanPricer::Impl {
+  MachineConfig machine;
+  KernelTimer timer;
+  ResidencyAnalyzer residency;
+  MemoryModel memory;
+
+  // residency/memory hold references: they must bind to the stored copy,
+  // not the constructor argument (which may be a temporary).
+  explicit Impl(const MachineConfig& m)
+      : machine(m), timer(machine), residency(machine), memory(machine) {}
+};
+
+PlanPricer::PlanPricer(const MachineConfig& machine)
+    : impl_(std::make_unique<Impl>(machine)) {}
+PlanPricer::~PlanPricer() = default;
+
+const MachineConfig& PlanPricer::machine() const { return impl_->machine; }
+
+namespace {
+
+// Average consecutive-run length of kernel ops keyed by an operand
+// reference — how many tiles in a row reuse the same B sliver (i_iters)
+// or A sliver (run keyed on A).
+struct ReuseStats {
+  index_t i_iters = 1;  ///< B sliver reuse
+  index_t j_iters = 1;  ///< sweeps over the packed A block
+};
+
+std::uint64_t ref_key(const plan::OperandRef& ref) {
+  if (ref.kind == plan::OperandRef::Kind::kBuffer)
+    return (static_cast<std::uint64_t>(ref.buffer + 1) << 48) ^
+           static_cast<std::uint64_t>(ref.offset);
+  return (static_cast<std::uint64_t>(ref.row0) << 24) ^
+         static_cast<std::uint64_t>(ref.col0) ^ 0x8000000000000000ULL;
+}
+
+ReuseStats reuse_stats(const std::vector<plan::Op>& ops) {
+  ReuseStats out;
+  index_t kernel_ops = 0;
+  index_t b_runs = 0;
+  std::uint64_t last_b = ~0ULL;
+  std::unordered_set<std::uint64_t> a_slivers;
+  for (const auto& op : ops) {
+    const auto* k = std::get_if<plan::KernelOp>(&op);
+    if (k == nullptr) continue;
+    ++kernel_ops;
+    const std::uint64_t b = ref_key(k->b);
+    if (b != last_b) {
+      ++b_runs;
+      last_b = b;
+    }
+    a_slivers.insert(ref_key(k->a));
+  }
+  if (kernel_ops == 0) return out;
+  out.i_iters = std::max<index_t>(1, kernel_ops / std::max<index_t>(1, b_runs));
+  out.j_iters = std::max<index_t>(
+      1, kernel_ops / std::max<index_t>(
+                          1, static_cast<index_t>(a_slivers.size())));
+  return out;
+}
+
+}  // namespace
+
+SimReport PlanPricer::price(const plan::GemmPlan& plan,
+                            PricerOptions options) {
+  auto& impl = *impl_;
+  const index_t elem = plan::elem_bytes(plan.scalar);
+  const GemmShape shape = plan.shape;
+  const auto& registry = kern::KernelRegistry::instance();
+
+  SimReport report;
+  report.strategy = plan.strategy;
+  report.shape = shape;
+  report.nthreads = plan.nthreads;
+  report.elem_bytes = elem;
+  report.useful_flops = plan.useful_flops();
+
+  const int l2_sharers =
+      std::min(impl.machine.l2.shared_by_cores,
+               std::max(1, plan.nthreads));
+  const int panel_packers = std::min(impl.machine.mem.cores_per_panel,
+                                     std::max(1, plan.nthreads));
+  int group_b_threads = 1;
+  for (const auto& bar : plan.barriers)
+    group_b_threads = std::max(group_b_threads, bar.participants);
+
+  const double lanes = static_cast<double>(impl.machine.core.vec_bytes) /
+                       static_cast<double>(elem);
+
+  // --- Pass 1: per-thread segment costs.
+  std::vector<ThreadCosts> threads(
+      static_cast<std::size_t>(plan.nthreads));
+  double computed_flops = 0.0;
+
+  for (int t = 0; t < plan.nthreads; ++t) {
+    const auto& ops = plan.thread_ops[static_cast<std::size_t>(t)];
+    const ReuseStats reuse = reuse_stats(ops);
+    auto& segs = threads[static_cast<std::size_t>(t)].segments;
+    segs.emplace_back();
+
+    for (const auto& op : ops) {
+      Segment& seg = segs.back();
+      if (const auto* k = std::get_if<plan::KernelOp>(&op)) {
+        const auto& info = registry.info(k->kernel);
+        KernelContext ctx;
+        ctx.kc = k->kc;
+        ctx.mr = info.mr;
+        ctx.nr = info.nr;
+        ctx.i_iters = reuse.i_iters;
+        ctx.j_iters = reuse.j_iters;
+        ctx.a_packed = k->a.kind == plan::OperandRef::Kind::kBuffer;
+        ctx.b_packed = k->b.kind == plan::OperandRef::Kind::kBuffer;
+        ctx.b_strided =
+            info.sched.b_access == kern::BAccess::kStridedScalar;
+        ctx.a_block_elems =
+            ctx.a_packed
+                ? std::min(plan.blocking.mc, shape.m) *
+                      std::min(plan.blocking.kc, shape.k)
+                : shape.m * shape.k;
+        ctx.b_block_elems =
+            ctx.b_packed
+                ? plan.buffers[static_cast<std::size_t>(k->b.buffer)].elems
+                : shape.k * shape.n;
+        ctx.c_block_elems =
+            std::max<index_t>(1, shape.m * shape.n / plan.nthreads);
+        ctx.group_b_threads = group_b_threads;
+        ctx.l2_active_sharers = l2_sharers;
+        const ResidencyResult res = impl.residency.analyze(ctx, elem);
+        const double cycles =
+            impl.timer.invocation_cycles(k->kernel, plan.scalar, k->kc,
+                                         res.latency) +
+            impl.residency.b_first_touch_cycles(ctx, elem);
+        seg.cost += cycles;
+        seg.delta.kernel += cycles;
+        if (options.collect_timeline)
+          seg.events.emplace_back("kernel", cycles);
+        computed_flops += 2.0 * static_cast<double>(info.mr) *
+                          static_cast<double>(info.nr) *
+                          static_cast<double>(k->kc);
+      } else if (const auto* pa = std::get_if<plan::PackAOp>(&op)) {
+        const index_t panels = (pa->mc + pa->mr - 1) / pa->mr;
+        const index_t elems = (pa->pad && pa->chunks.empty())
+                                  ? panels * pa->mr * pa->kc
+                                  : pa->mc * pa->kc;
+        const MemLevel src = impl.memory.classify_source(
+            shape.m * shape.k * elem, l2_sharers);
+        const double cycles = impl.memory.pack_cycles(
+            elems, elem, src, panel_packers, l2_sharers);
+        seg.cost += cycles;
+        seg.delta.pack_a += cycles;
+        if (options.collect_timeline)
+          seg.events.emplace_back("pack_a", cycles);
+      } else if (const auto* pb = std::get_if<plan::PackBOp>(&op)) {
+        const index_t panels = (pb->nc + pb->nr - 1) / pb->nr;
+        const index_t elems = (pb->pad && pb->chunks.empty())
+                                  ? panels * pb->nr * pb->kc
+                                  : pb->kc * pb->nc;
+        const MemLevel src = impl.memory.classify_source(
+            shape.k * shape.n * elem, l2_sharers);
+        // B is col-major; packing its row-slivers is a transpose gather,
+        // and a packed buffer bigger than the L2 slice spills to memory.
+        const index_t buf_bytes =
+            plan.buffers[static_cast<std::size_t>(pb->buffer)].elems * elem;
+        const bool writeback =
+            buf_bytes >
+            impl.machine.l2.size_bytes / std::max(1, l2_sharers);
+        const double cycles = impl.memory.pack_cycles(
+            elems, elem, src, panel_packers, l2_sharers,
+            /*transpose_gather=*/true, writeback);
+        seg.cost += cycles;
+        seg.delta.pack_b += cycles;
+        if (options.collect_timeline)
+          seg.events.emplace_back("pack_b", cycles);
+      } else if (const auto* cv = std::get_if<plan::ConvertOp>(&op)) {
+        if (options.include_format_conversion ||
+            !plan.conversion_outside_timing) {
+          const bool is_a = cv->which == plan::ConvertOp::Which::kA;
+          const index_t elems =
+              is_a ? shape.m * shape.k : shape.k * shape.n;
+          const double cycles =
+              impl.memory.convert_cycles(elems, elem, cv->transpose);
+          seg.cost += cycles;
+          seg.delta.convert += cycles;
+          if (options.collect_timeline)
+            seg.events.emplace_back("convert", cycles);
+        }
+      } else if (const auto* sc = std::get_if<plan::ScaleCOp>(&op)) {
+        const double elems =
+            static_cast<double>(sc->rows) * static_cast<double>(sc->cols);
+        const double cycles = 1.5 * elems / lanes;
+        seg.cost += cycles;
+        seg.delta.scale += cycles;
+        if (options.collect_timeline)
+          seg.events.emplace_back("scale", cycles);
+      } else if (const auto* red = std::get_if<plan::ReduceCOp>(&op)) {
+        // parts reads + one write per element, vector-width at a time on
+        // the FP/store ports.
+        const double elems = static_cast<double>(red->rows) *
+                             static_cast<double>(red->cols);
+        const double cycles =
+            1.5 * elems * static_cast<double>(red->parts + 1) / lanes;
+        seg.cost += cycles;
+        seg.delta.scale += cycles;
+        if (options.collect_timeline)
+          seg.events.emplace_back("reduce", cycles);
+      } else if (const auto* bar = std::get_if<plan::BarrierOp>(&op)) {
+        seg.barrier = bar->barrier;
+        segs.emplace_back();
+      }
+    }
+  }
+  report.computed_flops = computed_flops;
+
+  // --- Pass 2: barrier release scheduling across threads.
+  struct WaitState {
+    bool waiting = false;
+    double arrival = 0.0;
+  };
+  std::vector<double> now(static_cast<std::size_t>(plan.nthreads), 0.0);
+  std::vector<std::size_t> at(static_cast<std::size_t>(plan.nthreads), 0);
+  std::vector<WaitState> waits(static_cast<std::size_t>(plan.nthreads));
+  struct BarrierInstance {
+    int arrived = 0;
+    double max_arrival = 0.0;
+  };
+  std::vector<BarrierInstance> instances(plan.barriers.size());
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int t = 0; t < plan.nthreads; ++t) {
+      const auto ti = static_cast<std::size_t>(t);
+      auto& segs = threads[ti].segments;
+      while (!waits[ti].waiting && at[ti] < segs.size()) {
+        progress = true;
+        const Segment& seg = segs[at[ti]];
+        if (options.collect_timeline) {
+          double off = now[ti];
+          for (const auto& [cat, dur] : seg.events) {
+            report.timeline.push_back({t, cat, off, dur});
+            off += dur;
+          }
+        }
+        now[ti] += seg.cost;
+        report.breakdown.kernel += seg.delta.kernel;
+        report.breakdown.pack_a += seg.delta.pack_a;
+        report.breakdown.pack_b += seg.delta.pack_b;
+        report.breakdown.convert += seg.delta.convert;
+        report.breakdown.scale += seg.delta.scale;
+        report.kernel_cycles_total += seg.delta.kernel;
+        ++at[ti];
+        if (seg.barrier >= 0) {
+          auto& inst = instances[static_cast<std::size_t>(seg.barrier)];
+          inst.arrived += 1;
+          inst.max_arrival = std::max(inst.max_arrival, now[ti]);
+          waits[ti].waiting = true;
+          waits[ti].arrival = now[ti];
+          const int participants =
+              plan.barriers[static_cast<std::size_t>(seg.barrier)]
+                  .participants;
+          if (inst.arrived == participants) {
+            // Release everyone waiting on this barrier.
+            const double release =
+                inst.max_arrival +
+                impl.memory.barrier_cycles(participants);
+            for (int u = 0; u < plan.nthreads; ++u) {
+              const auto ui = static_cast<std::size_t>(u);
+              if (!waits[ui].waiting) continue;
+              // A thread waits on this barrier iff its previous segment
+              // named it.
+              const std::size_t prev = at[ui] - 1;
+              if (threads[ui].segments[prev].barrier != seg.barrier)
+                continue;
+              report.breakdown.sync += release - waits[ui].arrival;
+              if (options.collect_timeline)
+                report.timeline.push_back({u, "sync", waits[ui].arrival,
+                                           release - waits[ui].arrival});
+              now[ui] = release;
+              waits[ui].waiting = false;
+            }
+            inst = BarrierInstance{};
+          }
+        }
+      }
+    }
+  }
+  for (int t = 0; t < plan.nthreads; ++t) {
+    SMM_EXPECT(!waits[static_cast<std::size_t>(t)].waiting,
+               "pricer: deadlocked barrier schedule");
+    SMM_EXPECT(at[static_cast<std::size_t>(t)] ==
+                   threads[static_cast<std::size_t>(t)].segments.size(),
+               "pricer: thread did not finish");
+    report.makespan_cycles =
+        std::max(report.makespan_cycles, now[static_cast<std::size_t>(t)]);
+  }
+  return report;
+}
+
+SimReport simulate_strategy(const libs::GemmStrategy& strategy,
+                            GemmShape shape, plan::ScalarType scalar,
+                            int nthreads, PlanPricer& pricer,
+                            PricerOptions options) {
+  const int threads = std::min(nthreads, strategy.traits().max_threads);
+  const plan::GemmPlan plan = strategy.make_plan(shape, scalar, threads);
+  return pricer.price(plan, options);
+}
+
+}  // namespace smm::sim

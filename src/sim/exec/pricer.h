@@ -1,0 +1,51 @@
+// Plan pricer: walks a GemmPlan's per-thread op streams and produces a
+// SimReport on a modelled machine. Kernel ops are priced by the pipeline
+// model (with operand latencies from the residency analysis), pack and
+// conversion ops by the memory model, and barriers by a release scheduler
+// that charges both the barrier itself and the imbalance wait.
+#pragma once
+
+#include <memory>
+
+#include "src/libs/gemm_interface.h"
+#include "src/plan/plan.h"
+#include "src/sim/exec/report.h"
+#include "src/sim/machine.h"
+
+namespace smm::sim {
+
+struct PricerOptions {
+  /// Include the col-major -> panel-major ConvertOps in the timing even
+  /// when the plan declares them outside (BLASFEO's contract). Used by the
+  /// A3 ablation to quantify the format-conversion caveat.
+  bool include_format_conversion = false;
+  /// Record per-op activity intervals into SimReport::timeline (for the
+  /// Chrome-trace export; costs memory proportional to the op count).
+  bool collect_timeline = false;
+};
+
+class PlanPricer {
+ public:
+  explicit PlanPricer(const MachineConfig& machine);
+  ~PlanPricer();
+  PlanPricer(const PlanPricer&) = delete;
+  PlanPricer& operator=(const PlanPricer&) = delete;
+
+  /// Price one plan. Deterministic; kernel timings are memoized across
+  /// calls, so sweeps over many shapes stay cheap.
+  SimReport price(const plan::GemmPlan& plan, PricerOptions options = {});
+
+  [[nodiscard]] const MachineConfig& machine() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Convenience: plan + price in one call.
+SimReport simulate_strategy(const libs::GemmStrategy& strategy,
+                            GemmShape shape, plan::ScalarType scalar,
+                            int nthreads, PlanPricer& pricer,
+                            PricerOptions options = {});
+
+}  // namespace smm::sim

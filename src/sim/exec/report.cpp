@@ -1,0 +1,60 @@
+#include "src/sim/exec/report.h"
+
+#include "src/common/str.h"
+
+namespace smm::sim {
+
+double SimReport::gflops(const MachineConfig& machine) const {
+  if (makespan_cycles <= 0.0) return 0.0;
+  return useful_flops / makespan_cycles * machine.core.freq_ghz;
+}
+
+double SimReport::efficiency(const MachineConfig& machine) const {
+  if (makespan_cycles <= 0.0) return 0.0;
+  const double peak =
+      machine.peak_flops_per_core_cycle(elem_bytes) * nthreads;
+  return useful_flops / (makespan_cycles * peak);
+}
+
+double SimReport::kernel_efficiency(const MachineConfig& machine) const {
+  if (kernel_cycles_total <= 0.0) return 0.0;
+  const double peak = machine.peak_flops_per_core_cycle(elem_bytes);
+  return useful_flops / (kernel_cycles_total * peak);
+}
+
+std::string SimReport::summary(const MachineConfig& machine) const {
+  return strprintf(
+      "%-10s %4ldx%-4ldx%-4ld t=%-3d  %8.2f Gflops  eff %5.1f%%  "
+      "keff %5.1f%%  [kernel %4.1f%% packA %4.1f%% packB %4.1f%% "
+      "sync %4.1f%%]",
+      strategy.c_str(), static_cast<long>(shape.m),
+      static_cast<long>(shape.n), static_cast<long>(shape.k), nthreads,
+      gflops(machine), 100.0 * efficiency(machine),
+      100.0 * kernel_efficiency(machine),
+      100.0 * breakdown.share(breakdown.kernel),
+      100.0 * breakdown.share(breakdown.pack_a),
+      100.0 * breakdown.share(breakdown.pack_b),
+      100.0 * breakdown.share(breakdown.sync));
+}
+
+std::string SimReport::csv_header() {
+  return "strategy,m,n,k,threads,makespan_cycles,gflops,efficiency,"
+         "kernel_efficiency,share_kernel,share_pack_a,share_pack_b,"
+         "share_convert,share_sync,padding_overhead";
+}
+
+std::string SimReport::csv_row(const MachineConfig& machine) const {
+  const double pad =
+      useful_flops > 0.0 ? computed_flops / useful_flops : 1.0;
+  return strprintf(
+      "%s,%ld,%ld,%ld,%d,%.0f,%.3f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f",
+      strategy.c_str(), static_cast<long>(shape.m),
+      static_cast<long>(shape.n), static_cast<long>(shape.k), nthreads,
+      makespan_cycles, gflops(machine), efficiency(machine),
+      kernel_efficiency(machine), breakdown.share(breakdown.kernel),
+      breakdown.share(breakdown.pack_a), breakdown.share(breakdown.pack_b),
+      breakdown.share(breakdown.convert), breakdown.share(breakdown.sync),
+      pad);
+}
+
+}  // namespace smm::sim

@@ -1,0 +1,70 @@
+// Simulation reports: the quantities the paper's figures plot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/machine.h"
+
+namespace smm::sim {
+
+/// Cycle totals per activity, summed over all threads (Table II's rows are
+/// these as proportions).
+struct SimBreakdown {
+  double kernel = 0.0;
+  double pack_a = 0.0;
+  double pack_b = 0.0;
+  double convert = 0.0;
+  double sync = 0.0;  ///< barrier latency + imbalance wait
+  double scale = 0.0;
+
+  [[nodiscard]] double total() const {
+    return kernel + pack_a + pack_b + convert + sync + scale;
+  }
+  [[nodiscard]] double share(double part) const {
+    const double t = total();
+    return t > 0.0 ? part / t : 0.0;
+  }
+};
+
+/// One activity interval on one simulated core (timeline collection).
+struct TraceEvent {
+  int thread = 0;
+  /// "kernel", "pack_a", "pack_b", "convert", "scale", "sync".
+  const char* category = "";
+  double start_cycles = 0.0;
+  double duration_cycles = 0.0;
+};
+
+struct SimReport {
+  std::string strategy;
+  GemmShape shape;
+  int nthreads = 1;
+  index_t elem_bytes = 4;
+  double makespan_cycles = 0.0;  ///< wall time in core cycles
+  SimBreakdown breakdown;
+  double useful_flops = 0.0;
+  double computed_flops = 0.0;  ///< includes padding zeros
+  /// Total cycles threads spent inside micro-kernels.
+  double kernel_cycles_total = 0.0;
+  /// Per-core activity intervals; filled only when
+  /// PricerOptions::collect_timeline is set (can be large).
+  std::vector<TraceEvent> timeline;
+
+  /// Achieved Gflops at the machine frequency.
+  [[nodiscard]] double gflops(const MachineConfig& machine) const;
+  /// Efficiency vs the peak of `nthreads` cores (Figs. 5/10 metric).
+  [[nodiscard]] double efficiency(const MachineConfig& machine) const;
+  /// Efficiency counting only kernel time (Fig. 9 / Table II metric:
+  /// "this does not include the overhead of data packing").
+  [[nodiscard]] double kernel_efficiency(const MachineConfig& machine) const;
+
+  /// One human-readable summary line.
+  [[nodiscard]] std::string summary(const MachineConfig& machine) const;
+  /// CSV row: strategy,m,n,k,threads,cycles,gflops,eff,keff,shares...
+  [[nodiscard]] std::string csv_row(const MachineConfig& machine) const;
+  static std::string csv_header();
+};
+
+}  // namespace smm::sim

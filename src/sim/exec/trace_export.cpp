@@ -1,0 +1,40 @@
+#include "src/sim/exec/trace_export.h"
+
+#include <fstream>
+
+#include "src/common/error.h"
+#include "src/common/str.h"
+
+namespace smm::sim {
+
+std::string to_chrome_trace_json(const SimReport& report) {
+  std::string out = "[\n";
+  bool first = true;
+  // Process metadata: name the "process" after the strategy and shape.
+  out += strprintf(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"%s %ldx%ldx%ld\"}}",
+      report.strategy.c_str(), static_cast<long>(report.shape.m),
+      static_cast<long>(report.shape.n), static_cast<long>(report.shape.k));
+  first = false;
+  for (const auto& ev : report.timeline) {
+    if (!first) out += ",\n";
+    first = false;
+    out += strprintf(
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":0,"
+        "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}",
+        ev.category, ev.category, ev.thread, ev.start_cycles,
+        ev.duration_cycles);
+  }
+  out += "\n]\n";
+  return out;
+}
+
+void write_chrome_trace(const SimReport& report, const std::string& path) {
+  std::ofstream file(path);
+  SMM_EXPECT(file.is_open(), "cannot open trace output file");
+  file << to_chrome_trace_json(report);
+  SMM_EXPECT(file.good(), "trace write failed");
+}
+
+}  // namespace smm::sim

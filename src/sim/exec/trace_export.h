@@ -1,0 +1,19 @@
+// Timeline export in the Chrome trace-event format: load the produced
+// JSON in chrome://tracing or https://ui.perfetto.dev to see every
+// simulated core's kernel/pack/sync activity over time. Cycles are
+// exported as microseconds (1 cycle = 1 us) so the viewers' zoom behaves.
+#pragma once
+
+#include <string>
+
+#include "src/sim/exec/report.h"
+
+namespace smm::sim {
+
+/// Serialize a report's timeline (price with collect_timeline = true).
+std::string to_chrome_trace_json(const SimReport& report);
+
+/// Write the trace to a file; throws smm::Error on I/O failure.
+void write_chrome_trace(const SimReport& report, const std::string& path);
+
+}  // namespace smm::sim

@@ -1,0 +1,89 @@
+#include "src/sim/machine.h"
+
+namespace smm::sim {
+
+const char* to_string(ReplacementPolicy policy) {
+  switch (policy) {
+    case ReplacementPolicy::kLru:
+      return "lru";
+    case ReplacementPolicy::kPseudoRandom:
+      return "pseudo-random";
+    case ReplacementPolicy::kFifo:
+      return "fifo";
+  }
+  return "?";
+}
+
+MachineConfig phytium2000p() {
+  MachineConfig m;
+  m.name = "phytium-2000plus";
+  m.cores = 64;
+  // CoreConfig defaults encode the Xiaomi core (see machine.h).
+  m.l1 = CacheLevelConfig{.size_bytes = 32 * 1024,
+                          .ways = 8,
+                          .line_bytes = 64,
+                          .policy = ReplacementPolicy::kLru,
+                          .shared_by_cores = 1};
+  m.l2 = CacheLevelConfig{.size_bytes = 2 * 1024 * 1024,
+                          .ways = 16,
+                          .line_bytes = 64,
+                          .policy = ReplacementPolicy::kPseudoRandom,
+                          .shared_by_cores = 4};
+  m.has_l3 = false;
+  return m;
+}
+
+MachineConfig phytium2000p_panel() {
+  MachineConfig m = phytium2000p();
+  m.name = "phytium-2000plus-panel";
+  m.cores = 8;
+  m.mem.panels = 1;
+  return m;
+}
+
+MachineConfig phytium2000p_relaxed() {
+  MachineConfig m = phytium2000p();
+  m.name = "phytium-2000plus-relaxed";
+  m.core.fp_queue = 32;
+  m.core.ls_queue = 32;
+  m.core.int_queue = 32;
+  m.core.fp_in_order = false;
+  m.l2.policy = ReplacementPolicy::kLru;
+  return m;
+}
+
+MachineConfig a64fx_like() {
+  MachineConfig m;
+  m.name = "a64fx-like";
+  m.cores = 48;
+  m.core.freq_ghz = 2.2;
+  m.core.vec_bytes = 64;  // 512-bit SVE
+  m.core.fma_ports = 2;   // dual FLA pipes
+  m.core.load_ports = 2;
+  m.core.dispatch_width = 4;
+  m.core.rob_size = 128;
+  m.core.fp_queue = 20;
+  m.core.lat_fma = 9;  // SVE FMA latency is long; OOO + wide unroll hide it
+  m.core.lat_l1 = 5;
+  m.core.lat_l2 = 37;
+  m.core.lat_mem = 160;
+  m.core.fp_in_order = false;  // A64FX picks out of order within the RSEs
+  m.l1 = CacheLevelConfig{.size_bytes = 64 * 1024,
+                          .ways = 4,
+                          .line_bytes = 256,
+                          .policy = ReplacementPolicy::kLru,
+                          .shared_by_cores = 1};
+  m.l2 = CacheLevelConfig{.size_bytes = 8 * 1024 * 1024,
+                          .ways = 16,
+                          .line_bytes = 256,
+                          .policy = ReplacementPolicy::kLru,
+                          .shared_by_cores = 12};
+  m.mem.panels = 4;  // CMGs
+  m.mem.cores_per_panel = 12;
+  m.mem.panel_bw_gbs = 256.0;  // HBM2 per CMG
+  m.mem.prefetch_efficiency = 0.85;
+  m.mem.l2_sharing_penalty = 0.06;
+  return m;
+}
+
+}  // namespace smm::sim

@@ -1,0 +1,140 @@
+// Machine descriptions for the performance model. The Phytium 2000+ preset
+// encodes everything Section II-A of the paper states about the hardware:
+// 64 ARMv8 Xiaomi cores in 8 panels of 8, 2.2 GHz, 4-wide dispatch,
+// 160-entry ROB, 16-entry scheduling queues, one FP/SIMD FMA pipe, two load
+// units, 32 KB L1D (3-cycle loads), 2 MB L2 shared by 4 cores (non-LRU),
+// no L3, one DDR4 memory controller per panel.
+#pragma once
+
+#include <string>
+
+#include "src/common/types.h"
+
+namespace smm::sim {
+
+/// Out-of-order core parameters consumed by the pipeline model.
+struct CoreConfig {
+  double freq_ghz = 2.2;
+  int dispatch_width = 4;  ///< 4-decode/4-dispatch
+  int rob_size = 160;      ///< reorder buffer entries
+  int fp_queue = 16;       ///< FP/SIMD scheduling queue depth
+  int ls_queue = 16;       ///< load/store queue depth
+  int int_queue = 16;
+  int fma_ports = 1;   ///< 1x FP/SIMD pipe (563.2 dp Gflops machine peak)
+  int load_ports = 2;  ///< "Phytium 2000+ has only two load units" (III-B)
+  int store_ports = 1;
+  int int_ports = 2;  ///< 2x Integer/SIMD queues
+  /// The FP/SIMD issue queue picks in program order (no bypass of a
+  /// stalled head) — the micro-architectural reason the paper's Fig. 7
+  /// layout cannot hide its short load-to-use distances, while
+  /// software-pipelined layouts can.
+  bool fp_in_order = true;
+  int lat_fma = 5;
+  int lat_fmul = 5;
+  int lat_fadd = 4;
+  int lat_dup = 3;
+  int lat_vzero = 1;
+  int lat_int = 1;
+  int lat_branch = 1;
+  int lat_l1 = 3;  ///< L1D load-to-use, from the paper / [7]
+  int lat_l2 = 21;
+  int lat_mem = 130;
+  int vec_bytes = 16;  ///< 128-bit NEON registers
+  /// Fixed cycles charged per micro-kernel invocation: call/return,
+  /// argument setup outside the schedule, and the loop-exit mispredict.
+  double kernel_call_overhead = 30.0;
+};
+
+enum class ReplacementPolicy { kLru, kPseudoRandom, kFifo };
+
+const char* to_string(ReplacementPolicy policy);
+
+struct CacheLevelConfig {
+  index_t size_bytes = 0;
+  int ways = 0;
+  int line_bytes = 64;
+  ReplacementPolicy policy = ReplacementPolicy::kLru;
+  int shared_by_cores = 1;
+
+  [[nodiscard]] index_t num_sets() const {
+    return size_bytes / (static_cast<index_t>(ways) * line_bytes);
+  }
+};
+
+/// NUMA / memory-system parameters.
+struct MemoryConfig {
+  int panels = 8;
+  int cores_per_panel = 8;
+  double panel_bw_gbs = 21.3;  ///< one DDR4-2666 channel per panel
+  double remote_latency_extra = 60.0;  ///< extra cycles for cross-panel line
+  /// Fraction of beyond-L1 latency the hardware prefetcher hides on
+  /// streaming (unit-stride) access patterns.
+  double prefetch_efficiency = 0.75;
+  /// Shared non-LRU L2 (Section III-D reason 1): multiplicative latency
+  /// degradation per additional active core on the same L2.
+  double l2_sharing_penalty = 0.18;
+  /// Fraction of a B-sliver's first-touch miss latency that overlaps with
+  /// computation (MSHR-level parallelism); the rest stalls the kernel.
+  /// Low because the non-LRU shared L2 and cross-panel transfers defeat
+  /// the stride prefetcher (Section III-D reasons 1-2).
+  double cold_miss_overlap = 0.45;
+  /// Achievable fraction of the DDR4 controller's peak under the
+  /// multi-stream packing access pattern.
+  double dram_efficiency = 0.7;
+};
+
+/// Barrier-synchronization cost model (Section III-D): a log-depth
+/// combining tree plus a per-participant linear term.
+struct SyncConfig {
+  double barrier_base_cycles = 400.0;
+  double barrier_per_thread_cycles = 35.0;
+};
+
+struct MachineConfig {
+  std::string name;
+  int cores = 1;
+  CoreConfig core;
+  CacheLevelConfig l1;
+  CacheLevelConfig l2;
+  bool has_l3 = false;
+  MemoryConfig mem;
+  SyncConfig sync;
+
+  /// Peak useful flops per core per cycle for an element size (mul+add
+  /// counted separately): fma_ports * lanes * 2.
+  [[nodiscard]] double peak_flops_per_core_cycle(index_t elem_bytes) const {
+    const double lanes =
+        static_cast<double>(core.vec_bytes) / static_cast<double>(elem_bytes);
+    return core.fma_ports * lanes * 2.0;
+  }
+
+  /// Machine peak in Gflops for `n_cores` active cores.
+  [[nodiscard]] double peak_gflops(index_t elem_bytes, int n_cores) const {
+    return peak_flops_per_core_cycle(elem_bytes) * core.freq_ghz * n_cores;
+  }
+
+  /// Memory bandwidth of one panel in bytes per core-cycle.
+  [[nodiscard]] double panel_bytes_per_cycle() const {
+    return mem.panel_bw_gbs / core.freq_ghz;
+  }
+};
+
+/// The paper's machine.
+MachineConfig phytium2000p();
+
+/// One panel of Phytium 2000+ (8 cores) — used by scaling ablations.
+MachineConfig phytium2000p_panel();
+
+/// A hypothetical Phytium with an LRU L2 and twice the queues; used by the
+/// micro-kernel ablation to separate schedule effects from machine limits.
+MachineConfig phytium2000p_relaxed();
+
+/// An A64FX-shaped machine (the paper's other motivating ARMv8 many-core,
+/// Fugaku's processor): 48 cores in 4 CMGs of 12, 512-bit SVE (16 f32
+/// lanes), dual FMA pipes, 64 KB L1, 8 MB shared L2 per CMG, HBM2. Used
+/// to extrapolate the SMM characterization across ARMv8 machines
+/// (bench/ablate_machine); constants are from public disclosures, not
+/// calibrated against measurements.
+MachineConfig a64fx_like();
+
+}  // namespace smm::sim

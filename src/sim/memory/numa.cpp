@@ -1,0 +1,94 @@
+#include "src/sim/memory/numa.h"
+
+#include <algorithm>
+
+#include "src/common/error.h"
+
+namespace smm::sim {
+
+MemLevel MemoryModel::classify_source(index_t bytes, int l2_sharers) const {
+  if (bytes <= machine_.l1.size_bytes / 2) return MemLevel::kL1;
+  if (bytes <= machine_.l2.size_bytes / std::max(1, l2_sharers))
+    return MemLevel::kL2;
+  return MemLevel::kMemory;
+}
+
+double MemoryModel::pack_cycles(index_t elems, index_t elem_bytes,
+                                MemLevel src, int panel_packers,
+                                int l2_sharers, bool transpose_gather,
+                                bool writeback) const {
+  SMM_EXPECT(elems >= 0 && elem_bytes > 0, "bad pack geometry");
+  if (elems == 0) return 0.0;
+  const auto& core = machine_.core;
+  const double lanes =
+      static_cast<double>(core.vec_bytes) / static_cast<double>(elem_bytes);
+
+  // Core-side cost. Streaming packs (A mr-panels out of col-major) move
+  // whole vectors: loads on the load ports, stores on the store port,
+  // ~1.6x slack for addressing and short branchy loops. Transposing packs
+  // (B nr-slivers out of col-major) gather with dependent address
+  // arithmetic: effectively one element per cycle on the load side.
+  const double vecs = static_cast<double>(elems) / lanes;
+  const double cpu_cycles =
+      transpose_gather
+          ? 1.3 * std::max(static_cast<double>(elems),
+                           vecs / core.store_ports)
+          : 1.6 * std::max(vecs / core.load_ports,
+                           vecs / core.store_ports);
+
+  // Bandwidth-side cost: L2 reads at a per-core streaming rate shared
+  // across the slice; memory traffic shares the panel's controller among
+  // the packers on that panel, at the achievable DRAM efficiency, and
+  // counts the write stream too when the buffer spills past L2.
+  double bw_cycles = 0.0;
+  const double bytes = static_cast<double>(elems * elem_bytes);
+  switch (src) {
+    case MemLevel::kL1:
+      bw_cycles = 0.0;
+      break;
+    case MemLevel::kL2:
+    case MemLevel::kL2Remote: {
+      const double l2_bytes_per_cycle =
+          16.0 / std::max(1, l2_sharers);  // shared L2 port
+      bw_cycles = bytes / l2_bytes_per_cycle;
+      if (src == MemLevel::kL2Remote)
+        bw_cycles *= 1.0 + machine_.mem.remote_latency_extra /
+                               static_cast<double>(machine_.core.lat_l2);
+      break;
+    }
+    case MemLevel::kMemory: {
+      const double per_thread_bw = machine_.panel_bytes_per_cycle() *
+                                   machine_.mem.dram_efficiency /
+                                   std::max(1, panel_packers);
+      const double traffic = writeback ? 2.0 * bytes : bytes;
+      bw_cycles = traffic / per_thread_bw;
+      break;
+    }
+  }
+  return std::max(cpu_cycles, bw_cycles);
+}
+
+double MemoryModel::convert_cycles(index_t elems, index_t elem_bytes,
+                                   bool transpose) const {
+  // Conversion is a pack with a less friendly access pattern; transposed
+  // stores break the unit-stride write stream entirely.
+  const MemLevel src = classify_source(elems * elem_bytes, 1);
+  const double base = pack_cycles(elems, elem_bytes, src,
+                                  /*panel_packers=*/1, /*l2_sharers=*/1);
+  return transpose ? base * 2.0 : base * 1.25;
+}
+
+double MemoryModel::barrier_cycles(int participants) const {
+  SMM_EXPECT(participants >= 1, "bad barrier participants");
+  if (participants <= 1) return 0.0;
+  int depth = 0;
+  int p = participants - 1;
+  while (p > 0) {
+    ++depth;
+    p >>= 1;
+  }
+  return machine_.sync.barrier_base_cycles * depth / 6.0 +
+         machine_.sync.barrier_per_thread_cycles * participants;
+}
+
+}  // namespace smm::sim

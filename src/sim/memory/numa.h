@@ -1,0 +1,54 @@
+// NUMA / bandwidth cost model: prices bulk data movement (packing, format
+// conversion) and barrier synchronization on the modelled machine.
+//
+// Phytium 2000+ has one DDR4 controller per 8-core panel; packing threads
+// on the same panel share that bandwidth, and lines homed on another panel
+// pay a latency premium (Section III-D reason 2).
+#pragma once
+
+#include "src/common/types.h"
+#include "src/sim/cache/residency.h"
+#include "src/sim/machine.h"
+
+namespace smm::sim {
+
+class MemoryModel {
+ public:
+  explicit MemoryModel(const MachineConfig& machine) : machine_(machine) {}
+
+  /// Cycles one core needs to copy `elems` elements (read + write) whose
+  /// source is serviced from `src`, with `panel_packers` threads of the
+  /// same panel packing concurrently (memory-bandwidth sharing) and
+  /// `l2_sharers` active cores on this core's L2.
+  ///
+  /// `transpose_gather` marks packs whose reads run across the source's
+  /// minor dimension (packing B row-slivers out of a col-major matrix):
+  /// those gather one element per strided access instead of streaming
+  /// vectors — the reason Table II's PackB dwarfs PackA.
+  /// `writeback` adds the store stream to the bandwidth bill when the
+  /// packed buffer itself exceeds the (shared) L2 and spills to memory.
+  [[nodiscard]] double pack_cycles(index_t elems, index_t elem_bytes,
+                                   MemLevel src, int panel_packers,
+                                   int l2_sharers,
+                                   bool transpose_gather = false,
+                                   bool writeback = false) const;
+
+  /// Cycles for the col-major -> panel-major conversion of `elems`
+  /// elements (BLASFEO setup; transposed stores are not streaming).
+  [[nodiscard]] double convert_cycles(index_t elems, index_t elem_bytes,
+                                      bool transpose) const;
+
+  /// Barrier cost for `participants` threads: combining-tree latency plus
+  /// a linear arrival term. The *waiting* (imbalance) time is separate —
+  /// the pricer computes it from the per-thread timelines.
+  [[nodiscard]] double barrier_cycles(int participants) const;
+
+  /// Source level of pack input data given its footprint.
+  [[nodiscard]] MemLevel classify_source(index_t bytes,
+                                         int l2_sharers) const;
+
+ private:
+  MachineConfig machine_;  // by value: no lifetime coupling to the caller
+};
+
+}  // namespace smm::sim

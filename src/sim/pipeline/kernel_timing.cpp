@@ -1,0 +1,62 @@
+#include "src/sim/pipeline/kernel_timing.h"
+
+#include <cmath>
+
+namespace smm::sim {
+
+namespace {
+index_t quantize(double latency) {
+  return static_cast<index_t>(std::lround(latency * 10.0));
+}
+}  // namespace
+
+const kern::KernelSchedule& KernelTimer::schedule_for(
+    kern::KernelId kernel, plan::ScalarType scalar) {
+  const auto key = std::make_pair(kernel, static_cast<int>(scalar));
+  auto it = schedules_.find(key);
+  if (it == schedules_.end()) {
+    kern::ScheduleSpec spec =
+        scalar == plan::ScalarType::kF32
+            ? kern::kernel_spec<float>(kernel)
+            : kern::kernel_spec<double>(kernel);
+    // Lane count follows the modelled machine's vector width (an SVE-512
+    // machine runs the same logical kernel with 4x the lanes).
+    spec.lanes = std::max(
+        1, static_cast<int>(machine_.core.vec_bytes /
+                            plan::elem_bytes(scalar)));
+    it = schedules_.emplace(key, kern::build_schedule(spec)).first;
+  }
+  return it->second;
+}
+
+double KernelTimer::invocation_cycles(kern::KernelId kernel,
+                                      plan::ScalarType scalar, index_t kc,
+                                      const StreamLatency& latency) {
+  const Key key{kernel, static_cast<int>(scalar), kc, quantize(latency.a),
+                quantize(latency.b), quantize(latency.c)};
+  const auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+  const auto& sched = schedule_for(kernel, scalar);
+  const double cycles =
+      kernel_invocation_cycles(sched, kc, machine_.core, latency) +
+      machine_.core.kernel_call_overhead;
+  memo_.emplace(key, cycles);
+  return cycles;
+}
+
+double KernelTimer::steady_state_efficiency(kern::KernelId kernel,
+                                            plan::ScalarType scalar,
+                                            const StreamLatency& latency) {
+  const auto& sched = schedule_for(kernel, scalar);
+  const auto& info = kern::KernelRegistry::instance().info(kernel);
+  const double cycles_per_k =
+      steady_state_cycles_per_k(sched, machine_.core, latency);
+  const index_t elem =
+      scalar == plan::ScalarType::kF32 ? index_t{4} : index_t{8};
+  const double flops_per_k =
+      2.0 * static_cast<double>(info.mr) * static_cast<double>(info.nr);
+  return flops_per_k /
+         (cycles_per_k * machine_.peak_flops_per_core_cycle(elem));
+}
+
+}  // namespace smm::sim

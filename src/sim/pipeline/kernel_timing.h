@@ -1,0 +1,53 @@
+// Memoized micro-kernel timing: maps (kernel, scalar, kc, operand
+// latencies) to invocation cycles via the pipeline model. The plan pricer
+// calls this once per distinct configuration; sweeps re-use the cache.
+#pragma once
+
+#include <map>
+#include <utility>
+
+#include "src/common/types.h"
+#include "src/kernels/registry.h"
+#include "src/plan/plan.h"
+#include "src/sim/machine.h"
+#include "src/sim/pipeline/pipeline_sim.h"
+
+namespace smm::sim {
+
+class KernelTimer {
+ public:
+  explicit KernelTimer(const MachineConfig& machine) : machine_(machine) {}
+
+  /// Cycles for one invocation of `kernel` with inner length kc and the
+  /// given operand latencies, including the per-call fixed overhead.
+  double invocation_cycles(kern::KernelId kernel, plan::ScalarType scalar,
+                           index_t kc, const StreamLatency& latency);
+
+  /// Steady-state FMA efficiency of the kernel (0..1): useful flops per
+  /// cycle over the machine's per-core peak, ignoring call overheads.
+  double steady_state_efficiency(kern::KernelId kernel,
+                                 plan::ScalarType scalar,
+                                 const StreamLatency& latency);
+
+  [[nodiscard]] const MachineConfig& machine() const { return machine_; }
+
+ private:
+  struct Key {
+    kern::KernelId kernel;
+    int scalar;
+    index_t kc;
+    // Latencies quantized to tenths to keep the memo small.
+    index_t la, lb, lc;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  const kern::KernelSchedule& schedule_for(kern::KernelId kernel,
+                                           plan::ScalarType scalar);
+
+  MachineConfig machine_;
+  std::map<std::pair<kern::KernelId, int>, kern::KernelSchedule>
+      schedules_;
+  std::map<Key, double> memo_;
+};
+
+}  // namespace smm::sim

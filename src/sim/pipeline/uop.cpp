@@ -1,0 +1,73 @@
+#include "src/sim/pipeline/uop.h"
+
+#include "src/common/str.h"
+
+namespace smm::sim {
+
+const char* to_string(kern::UopKind kind) {
+  using kern::UopKind;
+  switch (kind) {
+    case UopKind::kLoadVec:
+      return "ldr.q";
+    case UopKind::kLoadPair:
+      return "ldp.s";
+    case UopKind::kLoadScalar:
+      return "ldr.s";
+    case UopKind::kStoreVec:
+      return "str.q";
+    case UopKind::kFma:
+      return "fmla";
+    case UopKind::kFmul:
+      return "fmul";
+    case UopKind::kFadd:
+      return "fadd";
+    case UopKind::kVZero:
+      return "movi";
+    case UopKind::kDup:
+      return "dup";
+    case UopKind::kInt:
+      return "add.x";
+    case UopKind::kBranch:
+      return "b.ne";
+  }
+  return "?";
+}
+
+std::string render_uop(const kern::Uop& uop) {
+  std::string out = strprintf("%-6s", to_string(uop.kind));
+  auto reg = [](std::int16_t r) {
+    return r < 0 ? std::string("-") : strprintf("v%d", r);
+  };
+  if (uop.dst >= 0) out += " " + reg(uop.dst);
+  if (uop.src1 >= 0) out += ", " + reg(uop.src1);
+  if (uop.src2 >= 0) out += ", " + reg(uop.src2);
+  switch (uop.stream) {
+    case kern::Stream::kA:
+      out += "   ; A";
+      break;
+    case kern::Stream::kB:
+      out += "   ; B";
+      break;
+    case kern::Stream::kC:
+      out += "   ; C";
+      break;
+    case kern::Stream::kNone:
+      break;
+  }
+  return out;
+}
+
+std::string render_schedule(const kern::KernelSchedule& schedule) {
+  std::string out = strprintf("schedule %s (mr=%d nr=%d unroll=%d)\n",
+                              schedule.name.c_str(), schedule.mr,
+                              schedule.nr, schedule.unroll);
+  out += "-- prologue\n";
+  for (const auto& u : schedule.prologue) out += "  " + render_uop(u) + "\n";
+  out += "-- body\n";
+  for (const auto& u : schedule.body) out += "  " + render_uop(u) + "\n";
+  out += "-- epilogue\n";
+  for (const auto& u : schedule.epilogue) out += "  " + render_uop(u) + "\n";
+  return out;
+}
+
+}  // namespace smm::sim

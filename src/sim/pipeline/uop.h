@@ -1,0 +1,19 @@
+// Pretty-printing of uop streams — bench/fig7_schedule_quality dumps the
+// modelled kernels in an assembly-like listing.
+#pragma once
+
+#include <string>
+
+#include "src/kernels/schedule.h"
+
+namespace smm::sim {
+
+const char* to_string(kern::UopKind kind);
+
+/// One-line rendering of a uop, e.g. "fmla v16, v4, v12".
+std::string render_uop(const kern::Uop& uop);
+
+/// Full listing of a schedule (prologue/body/epilogue sections).
+std::string render_schedule(const kern::KernelSchedule& schedule);
+
+}  // namespace smm::sim

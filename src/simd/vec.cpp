@@ -1,0 +1,12 @@
+#include "src/simd/vec.h"
+
+namespace smm::simd {
+
+// Header-only module; this TU pins the static_asserts below so a bad
+// configuration fails at library build time, not first use.
+static_assert(Vec4f::lanes == 4);
+static_assert(Vec2d::lanes == 2);
+static_assert(sizeof(Vec4f) == 16);
+static_assert(sizeof(Vec2d) == 16);
+
+}  // namespace smm::simd

@@ -1,0 +1,23 @@
+#include "src/threading/barrier.h"
+
+#include "src/common/error.h"
+
+namespace smm::par {
+
+Barrier::Barrier(int participants) : participants_(participants) {
+  SMM_EXPECT(participants > 0, "barrier needs at least one participant");
+}
+
+void Barrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool my_sense = sense_;
+  if (++waiting_ == participants_) {
+    waiting_ = 0;
+    sense_ = !sense_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return sense_ != my_sense; });
+}
+
+}  // namespace smm::par

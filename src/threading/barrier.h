@@ -1,0 +1,34 @@
+// Reusable sense-reversing central barrier. Used by the native plan
+// executor to realize the BarrierOps that plans emit at the points the
+// paper identifies (after packing A, after packing B, at the end of the
+// kk loop — Section III-D).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/common/types.h"
+
+namespace smm::par {
+
+class Barrier {
+ public:
+  explicit Barrier(int participants);
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Block until all participants have arrived; reusable across phases.
+  void arrive_and_wait();
+
+  [[nodiscard]] int participants() const { return participants_; }
+
+ private:
+  const int participants_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int waiting_ = 0;
+  bool sense_ = false;  // flips each full round
+};
+
+}  // namespace smm::par

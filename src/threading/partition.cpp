@@ -1,0 +1,111 @@
+#include "src/threading/partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.h"
+
+namespace smm::par {
+
+Range split_range(index_t n, int parts, int part) {
+  SMM_EXPECT(parts > 0 && part >= 0 && part < parts, "bad range split");
+  const index_t base = n / parts;
+  const index_t extra = n % parts;
+  const index_t begin = part * base + std::min<index_t>(part, extra);
+  const index_t len = base + (part < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+Range split_range_aligned(index_t n, int parts, int part, index_t quantum) {
+  SMM_EXPECT(parts > 0 && part >= 0 && part < parts && quantum > 0,
+             "bad aligned range split");
+  const index_t tiles = (n + quantum - 1) / quantum;
+  const Range tile_range = split_range(tiles, parts, part);
+  Range out{tile_range.begin * quantum, tile_range.end * quantum};
+  out.end = std::min(out.end, n);
+  out.begin = std::min(out.begin, n);
+  return out;
+}
+
+Grid2D choose_grid(int nthreads) {
+  SMM_EXPECT(nthreads > 0, "need at least one thread");
+  // Most-square factorization with pr >= pc: OpenBLAS splits M at least
+  // as finely as N.
+  Grid2D best{nthreads, 1};
+  for (int pc = 1; pc * pc <= nthreads; ++pc) {
+    if (nthreads % pc != 0) continue;
+    best = {nthreads / pc, pc};
+  }
+  return best;
+}
+
+std::vector<std::pair<int, int>> factor_pairs(int n) {
+  std::vector<std::pair<int, int>> out;
+  for (int a = 1; a <= n; ++a)
+    if (n % a == 0) out.emplace_back(a, n / a);
+  return out;
+}
+
+Ways choose_ways(GemmShape shape, int nthreads, index_t mr, index_t nr,
+                 index_t mc, index_t nc) {
+  SMM_EXPECT(nthreads > 0 && mr > 0 && nr > 0 && mc > 0 && nc > 0,
+             "bad ways query");
+  // Parallelism capacity of each loop. jc splits the whole N range (each
+  // group should keep a healthy number of column tiles); the inner caps
+  // depend on the strip the outer ways leave behind.
+  const index_t n_tiles = std::max<index_t>(1, shape.n / nr);
+  const index_t cap_jc = std::max<index_t>(1, n_tiles / 16);
+  const index_t cap_ic = std::max<index_t>(1, (shape.m + mc - 1) / mc);
+
+  // Work granularity utilization: capacity coverage discounted by the
+  // round-up imbalance (cap tiles over `ways` threads, each taking
+  // ceil(cap/ways); the round-up becomes idle time at the next barrier).
+  auto util = [](index_t cap, int ways) {
+    const double cover = std::min(1.0, static_cast<double>(cap) / ways);
+    const index_t per = (cap + ways - 1) / ways;
+    const double imbalance =
+        1.0 - static_cast<double>(cap) /
+                  static_cast<double>(static_cast<index_t>(ways) * per);
+    return cover * (1.0 - 0.3 * imbalance);
+  };
+
+  Ways best;
+  double best_score = -1e9;
+  for (const auto& [jc, rest1] : factor_pairs(nthreads)) {
+    for (const auto& [ic, rest2] : factor_pairs(rest1)) {
+      for (const auto& [jr, ir] : factor_pairs(rest2)) {
+        Ways w{jc, ic, jr, ir};
+        const index_t strip_n = std::max<index_t>(1, shape.n / jc);
+        const index_t strip_m = std::max<index_t>(1, shape.m / ic);
+        const index_t cap_jr =
+            std::max<index_t>(1, std::min(strip_n, nc) / nr);
+        const index_t cap_ir =
+            std::max<index_t>(1, std::min(strip_m, mc) / mr);
+        // A dimension that is "particularly small" is not parallelized:
+        // its utilization collapses and the candidate loses.
+        double score = std::min(1.0, static_cast<double>(cap_jc) / jc) *
+                       util(cap_ic, ic) * util(cap_jr, jr) *
+                       util(cap_ir, ir);
+        // Multiplicative discounts so a mediocre-but-busy configuration
+        // always beats a degenerate one that idles most threads:
+        //  - barrier groups (only the ic*jr*ir threads of one jc slice
+        //    share packing barriers, Section III-D): depth-log cost;
+        //  - ir fragments the i loop that gives B slivers their L1 reuse;
+        //  - ic multiplies the packed-A buffers. BLIS reaches for the
+        //    jj/j loops first (the paper's M = 128 example: 8 x 8).
+        score /= 1.0 + 0.03 * std::log2(static_cast<double>(ic * jr * ir));
+        score /= 1.0 + 0.25 * std::log2(static_cast<double>(ir));
+        score /= 1.0 + 0.20 * std::log2(static_cast<double>(ic));
+        // Mild preference for the outer loops (bigger per-chunk work).
+        score += 1e-6 * (4 * jc + 2 * jr + ic);
+        if (score > best_score) {
+          best_score = score;
+          best = w;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace smm::par

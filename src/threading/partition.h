@@ -1,0 +1,67 @@
+// Work partitioning for the two parallelization methods the paper
+// contrasts (Section III-D):
+//
+//  - 2-D grid (Marker et al. / OpenBLAS): C is split into a pr x pc grid
+//    of thread blocks; each thread runs a full GEPP on its block. The grid
+//    shape is fixed by a heuristic, which is exactly what hurts when M (or
+//    N) is small: pr stays large, per-thread mc collapses, and every
+//    thread ends up in edge kernels.
+//
+//  - Multi-dimensional ways (BLIS): the jj/ii/j/i loops each get a "ways"
+//    count whose product is nthreads; dimensions that are too small are
+//    not parallelized at all.
+#pragma once
+
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace smm::par {
+
+/// Half-open range [begin, end).
+struct Range {
+  index_t begin = 0;
+  index_t end = 0;
+  [[nodiscard]] index_t size() const { return end - begin; }
+};
+
+/// The `part`-th of `parts` near-equal chunks of [0, n), remainder spread
+/// over the leading chunks.
+Range split_range(index_t n, int parts, int part);
+
+/// Like split_range but chunk boundaries are aligned to `quantum`
+/// (e.g. mr or nr) so no thread starts mid-tile; the tail keeps any
+/// remainder. parts that receive nothing get an empty range.
+Range split_range_aligned(index_t n, int parts, int part, index_t quantum);
+
+/// 2-D grid shape for the OpenBLAS-style method: pr * pc == nthreads,
+/// pr as close to sqrt as divisibility allows, preferring more rows
+/// (OpenBLAS splits M first).
+struct Grid2D {
+  int pr = 1;
+  int pc = 1;
+};
+Grid2D choose_grid(int nthreads);
+
+/// BLIS-style ways assignment over the jj (nc), ii (mc), j (nr) and
+/// i (mr) loops.
+struct Ways {
+  int jc = 1;  ///< jj loop (Layer 1)
+  int ic = 1;  ///< ii loop (Layer 3)
+  int jr = 1;  ///< j loop (Layer 4)
+  int ir = 1;  ///< i loop (Layer 5)
+  [[nodiscard]] int total() const { return jc * ic * jr * ir; }
+};
+
+/// Choose ways for a GEMM of the given shape following the paper's
+/// description of BLIS's policy: never parallelize a dimension with too
+/// few tiles for the candidate ways (a small dimension stays sequential),
+/// prefer the jr/ir inner loops only after jc/ic saturate, and keep
+/// synchronization groups small.
+Ways choose_ways(GemmShape shape, int nthreads, index_t mr, index_t nr,
+                 index_t mc, index_t nc);
+
+/// Factorizations (a, b) with a*b == n, a <= n, used by the ways search.
+std::vector<std::pair<int, int>> factor_pairs(int n);
+
+}  // namespace smm::par

@@ -1,0 +1,41 @@
+#include "src/threading/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "src/common/error.h"
+
+namespace smm::par {
+
+void run_parallel(int nthreads, const std::function<void(int)>& body) {
+  SMM_EXPECT(nthreads > 0, "run_parallel needs at least one thread");
+  if (nthreads == 1) {
+    body(0);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(nthreads));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        body(t);
+      } catch (...) {
+        errors[static_cast<std::size_t>(t)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (auto& err : errors)
+    if (err) std::rethrow_exception(err);
+}
+
+int native_threads_available() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 256u));
+}
+
+}  // namespace smm::par

@@ -1,0 +1,24 @@
+// Fork-join execution of per-thread programs.
+//
+// Plans may contain inter-thread barriers, so all `nthreads` bodies must
+// run concurrently — run_parallel spawns real threads per region (plans in
+// tests use small counts; the 64-thread results in the paper come from the
+// simulator, not native execution). A persistent pool is not worth the
+// complexity for fork-join regions whose bodies block on barriers.
+#pragma once
+
+#include <functional>
+
+#include "src/common/types.h"
+
+namespace smm::par {
+
+/// Run body(tid) for tid in [0, nthreads) on concurrent threads and join.
+/// body must be thread-safe across tids. Exceptions in bodies are captured
+/// and the first one rethrown after the join.
+void run_parallel(int nthreads, const std::function<void(int)>& body);
+
+/// Hardware concurrency clamped to [1, 256].
+int native_threads_available();
+
+}  // namespace smm::par

@@ -1,0 +1,183 @@
+// Cache simulator and residency analyzer.
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/sim/cache/cache_sim.h"
+#include "src/sim/cache/residency.h"
+#include "src/sim/machine.h"
+
+namespace smm::sim {
+namespace {
+
+CacheLevelConfig tiny_cache(ReplacementPolicy policy) {
+  return CacheLevelConfig{.size_bytes = 1024,
+                          .ways = 2,
+                          .line_bytes = 64,
+                          .policy = policy,
+                          .shared_by_cores = 1};
+}
+
+TEST(CacheSim, ColdMissThenHit) {
+  CacheSim cache(tiny_cache(ReplacementPolicy::kLru));
+  EXPECT_EQ(cache.access(0), AccessResult::kMiss);
+  EXPECT_EQ(cache.access(4), AccessResult::kHit);   // same line
+  EXPECT_EQ(cache.access(63), AccessResult::kHit);
+  EXPECT_EQ(cache.access(64), AccessResult::kMiss);  // next line
+  EXPECT_EQ(cache.hits(), 2);
+  EXPECT_EQ(cache.misses(), 2);
+}
+
+TEST(CacheSim, LruEvictsOldest) {
+  // 2-way, 8 sets: three lines mapping to set 0 are 0, 1024, 2048.
+  CacheSim cache(tiny_cache(ReplacementPolicy::kLru));
+  cache.access(0);
+  cache.access(1024);
+  cache.access(0);     // refresh line 0
+  cache.access(2048);  // evicts 1024 (LRU)
+  EXPECT_EQ(cache.access(0), AccessResult::kHit);
+  EXPECT_EQ(cache.access(1024), AccessResult::kMiss);
+}
+
+TEST(CacheSim, FifoIgnoresRecency) {
+  CacheSim cache(tiny_cache(ReplacementPolicy::kFifo));
+  cache.access(0);
+  cache.access(1024);
+  cache.access(0);     // does NOT refresh under FIFO
+  cache.access(2048);  // evicts 0 (oldest fill)
+  EXPECT_EQ(cache.access(0), AccessResult::kMiss);
+}
+
+TEST(CacheSim, WorkingSetWithinCapacityAllHits) {
+  const auto cfg = CacheLevelConfig{.size_bytes = 32 * 1024,
+                                    .ways = 8,
+                                    .line_bytes = 64,
+                                    .policy = ReplacementPolicy::kLru,
+                                    .shared_by_cores = 1};
+  CacheSim cache(cfg);
+  // Touch 16 KB twice: second sweep must be all hits under LRU.
+  for (std::uint64_t a = 0; a < 16 * 1024; a += 64) cache.access(a);
+  const index_t misses_first = cache.misses();
+  for (std::uint64_t a = 0; a < 16 * 1024; a += 64) cache.access(a);
+  EXPECT_EQ(cache.misses(), misses_first);
+}
+
+TEST(CacheSim, RandomReplacementHurtsAtCapacity) {
+  // Sweep slightly more than capacity repeatedly: LRU thrashes fully;
+  // pseudo-random keeps some lines and wins — and is *worse* than LRU
+  // when the working set fits with reuse-friendly patterns. Here we pin
+  // the paper-relevant property: policies differ measurably.
+  const auto lru_cfg = tiny_cache(ReplacementPolicy::kLru);
+  const auto rnd_cfg = tiny_cache(ReplacementPolicy::kPseudoRandom);
+  CacheSim lru(lru_cfg), rnd(rnd_cfg);
+  // Cyclic sweep of 2x capacity: every set oversubscribed, LRU thrashes.
+  for (int rep = 0; rep < 50; ++rep)
+    for (std::uint64_t a = 0; a < 2048 + 64; a += 64) {
+      lru.access(a);
+      rnd.access(a);
+    }
+  // Cyclic sweep one line over capacity: LRU misses everything.
+  EXPECT_GT(lru.miss_rate(), 0.95);
+  EXPECT_LT(rnd.miss_rate(), lru.miss_rate());
+}
+
+TEST(CacheSim, DeterministicWithSeed) {
+  CacheSim a(tiny_cache(ReplacementPolicy::kPseudoRandom), 7);
+  CacheSim b(tiny_cache(ReplacementPolicy::kPseudoRandom), 7);
+  for (std::uint64_t addr = 0; addr < 64 * 1024; addr += 64) {
+    EXPECT_EQ(a.access(addr % 4096), b.access(addr % 4096));
+  }
+}
+
+TEST(CacheSim, BadGeometryThrows) {
+  CacheLevelConfig bad = tiny_cache(ReplacementPolicy::kLru);
+  bad.size_bytes = 1000;  // not sets*ways*line
+  EXPECT_THROW(CacheSim cache(bad), smm::Error);
+}
+
+TEST(CacheHierarchy, LevelsReported) {
+  CacheHierarchy h(tiny_cache(ReplacementPolicy::kLru),
+                   CacheLevelConfig{.size_bytes = 8192,
+                                    .ways = 4,
+                                    .line_bytes = 64,
+                                    .policy = ReplacementPolicy::kLru,
+                                    .shared_by_cores = 1});
+  EXPECT_EQ(h.access(0), 3);  // cold: memory
+  EXPECT_EQ(h.access(0), 1);  // L1 hit
+  // Evict from L1 by sweeping past its capacity; line 0 should be in L2.
+  for (std::uint64_t a = 64; a <= 2048; a += 64) h.access(a);
+  EXPECT_EQ(h.access(0), 2);
+}
+
+// ---- Residency analyzer ----------------------------------------------------
+
+class ResidencyTest : public ::testing::Test {
+ protected:
+  MachineConfig machine_ = phytium2000p();
+  ResidencyAnalyzer analyzer_{machine_};
+
+  KernelContext small_smm() const {
+    KernelContext ctx;
+    ctx.kc = 64;
+    ctx.mr = 16;
+    ctx.nr = 4;
+    ctx.i_iters = 4;
+    ctx.j_iters = 16;
+    ctx.a_block_elems = 64 * 64;
+    ctx.b_block_elems = 64 * 64;
+    ctx.c_block_elems = 64 * 64;
+    return ctx;
+  }
+};
+
+TEST_F(ResidencyTest, SmallProblemAllL1) {
+  const ResidencyResult r = analyzer_.analyze(small_smm(), 4);
+  EXPECT_EQ(r.a, MemLevel::kL1);
+  EXPECT_EQ(r.b, MemLevel::kL1);
+  EXPECT_EQ(r.c, MemLevel::kL1);
+  EXPECT_DOUBLE_EQ(r.latency.a, machine_.core.lat_l1);
+}
+
+TEST_F(ResidencyTest, BigABlockStreamsFromL2) {
+  KernelContext ctx = small_smm();
+  ctx.a_block_elems = 128 * 256;  // 128 KB > L1
+  const ResidencyResult r = analyzer_.analyze(ctx, 4);
+  EXPECT_EQ(r.a, MemLevel::kL2);
+  EXPECT_GT(r.latency.a, machine_.core.lat_l1);
+  EXPECT_LT(r.latency.a, machine_.core.lat_l2);  // prefetch hides most
+}
+
+TEST_F(ResidencyTest, LowReuseBStreams) {
+  KernelContext ctx = small_smm();
+  ctx.i_iters = 1;  // tiny M: each B sliver used once
+  ctx.b_block_elems = 512 * 512;
+  const ResidencyResult r = analyzer_.analyze(ctx, 4);
+  EXPECT_NE(r.b, MemLevel::kL1);
+}
+
+TEST_F(ResidencyTest, CrossPanelGroupGoesRemote) {
+  KernelContext ctx = small_smm();
+  ctx.i_iters = 1;
+  ctx.group_b_threads = 16;  // spans 4 L2 slices
+  const ResidencyResult r = analyzer_.analyze(ctx, 4);
+  EXPECT_EQ(r.b, MemLevel::kL2Remote);
+}
+
+TEST_F(ResidencyTest, SharingDegradesL2) {
+  const double alone = analyzer_.level_latency(MemLevel::kL2, 1);
+  const double crowded = analyzer_.level_latency(MemLevel::kL2, 4);
+  EXPECT_GT(crowded, alone);
+}
+
+TEST_F(ResidencyTest, StridedBNotPrefetched) {
+  KernelContext ctx = small_smm();
+  ctx.i_iters = 1;
+  ctx.b_block_elems = 512 * 512;  // beyond L1, streams
+  KernelContext strided = ctx;
+  strided.b_strided = true;
+  const double smooth = analyzer_.analyze(ctx, 4).latency.b;
+  const double rough = analyzer_.analyze(strided, 4).latency.b;
+  EXPECT_GT(rough, smooth);
+}
+
+}  // namespace
+}  // namespace smm::sim

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "src/common/aligned_buffer.h"
+#include "src/common/error.h"
+#include "src/common/rng.h"
+#include "src/common/str.h"
+#include "src/common/types.h"
+
+namespace smm {
+namespace {
+
+TEST(GemmShape, FlopsCountsMulAndAdd) {
+  EXPECT_DOUBLE_EQ((GemmShape{2, 3, 4}).flops(), 48.0);
+  EXPECT_DOUBLE_EQ((GemmShape{0, 3, 4}).flops(), 0.0);
+}
+
+TEST(AlignedBuffer, AlignmentAndZeroInit) {
+  AlignedBuffer<float> buf(1000);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kBufferAlignment,
+            0u);
+  for (index_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], 0.0f);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<double> a(16);
+  a[3] = 7.0;
+  const double* ptr = a.data();
+  AlignedBuffer<double> b = std::move(a);
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(b[3], 7.0);
+  EXPECT_EQ(a.size(), 0);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(AlignedBuffer, EmptyAndReset) {
+  AlignedBuffer<float> buf;
+  EXPECT_TRUE(buf.empty());
+  buf.reset(8);
+  EXPECT_EQ(buf.size(), 8);
+  buf.reset(0);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(AlignedBuffer, NegativeSizeThrows) {
+  EXPECT_THROW(AlignedBuffer<float>(-1), Error);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(d, -3.0);
+    EXPECT_LT(d, 5.0);
+  }
+}
+
+TEST(Rng, IndexBounds) {
+  Rng rng(11);
+  std::set<index_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const index_t v = rng.next_index(7);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit over 200 draws
+  EXPECT_THROW(rng.next_index(0), Error);
+}
+
+TEST(Str, Printf) {
+  EXPECT_EQ(strprintf("x=%d y=%.1f", 3, 2.5), "x=3 y=2.5");
+  EXPECT_EQ(strprintf("%s", ""), "");
+}
+
+TEST(Str, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ", "), "only");
+}
+
+TEST(ErrorMacro, ThrowsWithContext) {
+  try {
+    SMM_EXPECT(1 == 2, "should fail");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("should fail"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace smm

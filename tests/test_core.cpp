@@ -1,0 +1,232 @@
+// Reference SMM (Section IV): packing heuristic, kernel/parallel
+// selection, and numerical correctness of every option combination.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/core/kernel_select.h"
+#include "src/core/parallel_select.h"
+#include "src/core/plan_builder.h"
+#include "src/plan/native_executor.h"
+#include "src/core/smm.h"
+#include "tests/test_helpers.h"
+
+namespace smm::core {
+namespace {
+
+TEST(DecidePacking, AutoFollowsP2C) {
+  SmmOptions opt;
+  // Small M: packing B cannot amortize (Section III-A).
+  const PackingDecision small_m = decide_packing({8, 2048, 2048}, 4, opt);
+  EXPECT_FALSE(small_m.pack_b);
+  EXPECT_TRUE(small_m.edge_pack_b);
+  // Large M *and* a B that spills past L2: packing pays.
+  const PackingDecision big_m = decide_packing({512, 2048, 256}, 4, opt);
+  EXPECT_TRUE(big_m.pack_b);
+  EXPECT_FALSE(big_m.edge_pack_b);
+  // SMM-sized B (fits the L2 outright) is never worth copying, even with
+  // plenty of reuse — the truly "small" regime.
+  EXPECT_FALSE(decide_packing({512, 200, 200}, 4, opt).pack_b);
+  // SMM-sized A never packs; very large A does.
+  EXPECT_FALSE(big_m.pack_a);
+  EXPECT_TRUE(decide_packing({2048, 64, 2048}, 4, opt).pack_a);
+}
+
+TEST(DecidePacking, OverridesRespected) {
+  SmmOptions opt;
+  opt.pack_b = SmmOptions::Packing::kAlways;
+  EXPECT_TRUE(decide_packing({8, 200, 200}, 4, opt).pack_b);
+  opt.pack_b = SmmOptions::Packing::kNever;
+  EXPECT_FALSE(decide_packing({512, 2048, 2048}, 4, opt).pack_b);
+  opt.edge_pack = false;
+  EXPECT_FALSE(decide_packing({8, 201, 200}, 4, opt).edge_pack_b);
+}
+
+TEST(KernelSelect, MultiplesPreferHighCmrCoveringTile) {
+  // M=64 N=64: both 16x4 and 8x8 cover exactly; 8x8 wins on CMR (Eq. 5).
+  const KernelChoice c = choose_main_tile({64, 64, 64});
+  EXPECT_EQ(c.mr, 8);
+  EXPECT_EQ(c.nr, 8);
+  // 16x4 must win when N is not a multiple of 8.
+  const KernelChoice c2 = choose_main_tile({64, 4, 64});
+  EXPECT_EQ(c2.nr, 4);
+}
+
+TEST(KernelSelect, TwelveRowsPick12x4) {
+  const KernelChoice c = choose_main_tile({12, 48, 48});
+  EXPECT_EQ(c.mr, 12);
+}
+
+TEST(KernelSelect, TinyMAvoidsTallTile) {
+  const KernelChoice c = choose_main_tile({4, 64, 64});
+  EXPECT_LE(c.mr, 8);
+}
+
+TEST(KernelSelect, ScoreDiscountsEdges) {
+  EXPECT_GT(tile_score({64, 64, 64}, 16, 4),
+            tile_score({65, 64, 64}, 16, 4));
+}
+
+TEST(ParallelSelect, CapsThreadsByTiles) {
+  // 16x16: 1x4 tiles of 16x4 -> 4 tiles -> 1 thread at min 4 tiles each.
+  const ParallelChoice c = choose_parallel({16, 16, 64}, 64, 16, 4, 240,
+                                           480);
+  EXPECT_EQ(c.nthreads, 1);
+  // Big problem: full 64 threads.
+  const ParallelChoice big =
+      choose_parallel({1024, 1024, 256}, 64, 16, 4, 240, 480);
+  EXPECT_EQ(big.nthreads, 64);
+}
+
+TEST(ParallelSelect, PowerOfTwo) {
+  const ParallelChoice c =
+      choose_parallel({256, 256, 64}, 48, 16, 4, 240, 480);
+  EXPECT_EQ(c.nthreads & (c.nthreads - 1), 0);
+  EXPECT_LE(c.nthreads, 48);
+}
+
+// Every packing-option combination must stay numerically correct.
+class SmmOptionsCorrectness
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(SmmOptionsCorrectness, MatchesNaive) {
+  const auto [pa, pb, edge] = GetParam();
+  SmmOptions opt;
+  opt.pack_a = static_cast<SmmOptions::Packing>(pa);
+  opt.pack_b = static_cast<SmmOptions::Packing>(pb);
+  opt.edge_pack = edge;
+  for (const auto& [m, n, k] :
+       {std::tuple<index_t, index_t, index_t>{33, 45, 29},
+        std::tuple<index_t, index_t, index_t>{64, 61, 64},
+        std::tuple<index_t, index_t, index_t>{7, 130, 40}}) {
+    test::GemmProblem<float> prob(m, n, k, /*seed=*/pa * 100 + pb * 10 + m);
+    prob.reference(1.25f, -0.5f);
+    smm_gemm(1.25f, prob.a.cview(), prob.b.cview(), -0.5f, prob.c.view(),
+             /*nthreads=*/1, opt);
+    EXPECT_TRUE(prob.check(k))
+        << "pack_a=" << pa << " pack_b=" << pb << " edge=" << edge << " "
+        << m << "x" << n << "x" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Options, SmmOptionsCorrectness,
+    ::testing::Combine(::testing::Values(0, 1, 2), ::testing::Values(0, 1, 2),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return "pa" + std::to_string(std::get<0>(info.param)) + "_pb" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_edge" : "_noedge");
+    });
+
+TEST(SmmGemm, AdaptiveVsPinnedKernelBothCorrect) {
+  SmmOptions pinned;
+  pinned.adaptive_kernel = false;
+  test::GemmProblem<float> prob(50, 50, 50, /*seed=*/8);
+  prob.reference(1.0f, 0.0f);
+  smm_gemm(1.0f, prob.a.cview(), prob.b.cview(), 0.0f, prob.c.view(), 1,
+           pinned);
+  EXPECT_TRUE(prob.check(50));
+}
+
+TEST(SmmGemm, ParallelAutoCap) {
+  // Requesting 64 threads on a small problem must not crash or spawn an
+  // unbalanced plan; result stays correct.
+  test::GemmProblem<float> prob(48, 48, 48, /*seed=*/21);
+  prob.reference(1.0f, 1.0f);
+  smm_gemm(1.0f, prob.a.cview(), prob.b.cview(), 1.0f, prob.c.view(),
+           /*nthreads=*/64);
+  EXPECT_TRUE(prob.check(48));
+}
+
+TEST(ParallelSelect, DeepKShapesSplitK) {
+  // (8, 8, 4096): 4 tiles of 16x4 -> tile parallelism is dead, but K can
+  // feed 16 slices of >= 256.
+  const ParallelChoice c =
+      choose_parallel({8, 8, 4096}, 64, 16, 4, 240, 480);
+  EXPECT_GT(c.k_parts, 1);
+  EXPECT_EQ(c.nthreads, c.k_parts);
+  // Plenty of tiles: no K split.
+  const ParallelChoice wide =
+      choose_parallel({1024, 1024, 4096}, 64, 16, 4, 240, 480);
+  EXPECT_EQ(wide.k_parts, 1);
+  // Deep K but tiny budget: stays sequential.
+  const ParallelChoice seq = choose_parallel({8, 8, 4096}, 1, 16, 4, 240,
+                                             480);
+  EXPECT_EQ(seq.nthreads, 1);
+}
+
+class KSplitCorrectness : public ::testing::TestWithParam<int> {};
+
+TEST_P(KSplitCorrectness, MatchesNaive) {
+  const int parts = GetParam();
+  BuildSpec spec;
+  spec.mr = 16;
+  spec.nr = 4;
+  spec.k_parts = parts;
+  spec.nthreads = parts;
+  for (const auto& [m, n, k] :
+       {std::tuple<index_t, index_t, index_t>{8, 8, 777},
+        std::tuple<index_t, index_t, index_t>{17, 5, 1024},
+        std::tuple<index_t, index_t, index_t>{3, 33, 512}}) {
+    plan::GemmPlan p;
+    p.strategy = "k-split";
+    p.shape = {m, n, k};
+    p.scalar = plan::ScalarType::kF32;
+    build_smm_plan(p, spec);
+    p.validate();
+    EXPECT_EQ(p.nthreads, parts);
+    test::GemmProblem<float> prob(m, n, k, /*seed=*/parts * 17 + m);
+    prob.reference(1.5f, -0.25f);
+    plan::execute_plan(p, 1.5f, prob.a.cview(), prob.b.cview(), -0.25f,
+                       prob.c.view());
+    EXPECT_TRUE(prob.check(k)) << parts << " parts, " << m << "x" << n
+                               << "x" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, KSplitCorrectness,
+                         ::testing::Values(2, 4, 8),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+TEST(KSplit, BetaZeroDoesNotReadC) {
+  BuildSpec spec;
+  spec.k_parts = 4;
+  spec.nthreads = 4;
+  plan::GemmPlan p;
+  p.strategy = "k-split";
+  p.shape = {8, 8, 512};
+  p.scalar = plan::ScalarType::kF32;
+  build_smm_plan(p, spec);
+  test::GemmProblem<float> prob(8, 8, 512, /*seed=*/9);
+  prob.c.fill(std::numeric_limits<float>::quiet_NaN());
+  prob.c_expected.fill(0.0f);
+  prob.reference(1.0f, 0.0f);
+  plan::execute_plan(p, 1.0f, prob.a.cview(), prob.b.cview(), 0.0f,
+                     prob.c.view());
+  EXPECT_TRUE(prob.check(512));
+}
+
+TEST(KSplit, EndToEndThroughSmmGemm) {
+  // The auto path must route (8, 8, 4096) x 8 threads through the K
+  // split and stay correct.
+  test::GemmProblem<float> prob(8, 8, 4096, /*seed=*/77);
+  prob.reference(1.0f, 1.0f);
+  smm_gemm(1.0f, prob.a.cview(), prob.b.cview(), 1.0f, prob.c.view(),
+           /*nthreads=*/8);
+  EXPECT_TRUE(prob.check(4096));
+}
+
+TEST(SmmGemm, ThreadCapOptionHonoured) {
+  SmmOptions opt;
+  opt.thread_cap = 2;
+  const auto strategy = make_reference_smm(opt);
+  const plan::GemmPlan p = strategy->make_plan(
+      {1024, 1024, 128}, plan::ScalarType::kF32, 64);
+  EXPECT_LE(p.nthreads, 2);
+}
+
+}  // namespace
+}  // namespace smm::core

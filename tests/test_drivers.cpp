@@ -1,0 +1,155 @@
+// Structural properties of the plan drivers (goto_common): op field
+// integrity, barrier arities per parallelization method, buffer reuse,
+// and the umbrella header compiling cleanly (this TU includes it).
+#include <gtest/gtest.h>
+
+#include "src/libs/goto_common.h"
+#include "src/smmkit.h"
+#include "src/threading/partition.h"
+
+namespace smm::libs {
+namespace {
+
+TEST(UmbrellaHeader, EverythingVisible) {
+  // Touch one symbol from each namespace the umbrella promises.
+  EXPECT_GT(model::cmr(8, 12), 0.0);
+  EXPECT_EQ(sim::phytium2000p().cores, 64);
+  EXPECT_EQ(openblas_like().traits().unroll, 8);
+  EXPECT_EQ(core::reference_smm().traits().name, "smm-ref");
+}
+
+TEST(PackOpFactories, ChunkedFieldsConsistent) {
+  TileConfig tiles;
+  tiles.family = "openblas";
+  tiles.mr = 16;
+  tiles.nr = 4;
+  tiles.edge = EdgeStrategy::kEdgeKernels;
+  const auto m_list = chunk_dim(43, 16, tiles.edge, {16, 8, 4, 2, 1});
+  const auto offsets = chunk_elem_offsets(m_list, /*kc=*/10);
+  const plan::PackAOp op = make_pack_a_op(tiles, m_list, offsets, 0,
+                                          m_list.size(), /*buffer=*/0,
+                                          /*ii=*/5, /*kk=*/3, /*kc_eff=*/10);
+  EXPECT_EQ(op.i0, 5);
+  EXPECT_EQ(op.k0, 3);
+  EXPECT_EQ(op.mc, 43);
+  EXPECT_FALSE(op.pad);
+  index_t total = 0;
+  for (const index_t c : op.chunks) total += c;
+  EXPECT_EQ(total, 43);
+  // Subrange: offsets anchor to the first chunk.
+  const plan::PackAOp sub = make_pack_a_op(tiles, m_list, offsets, 1, 3, 0,
+                                           5, 3, 10);
+  EXPECT_EQ(sub.dst_offset, offsets[1]);
+  EXPECT_EQ(sub.i0, 5 + m_list[1].offset);
+}
+
+TEST(PackOpFactories, PaddedFieldsConsistent) {
+  TileConfig tiles;
+  tiles.family = "blis";
+  tiles.mr = 8;
+  tiles.nr = 12;
+  tiles.edge = EdgeStrategy::kPadding;
+  const auto n_list = chunk_dim(30, 12, tiles.edge, {});
+  const auto offsets = chunk_elem_offsets(n_list, 7);
+  const plan::PackBOp op = make_pack_b_op(tiles, n_list, offsets, 0,
+                                          n_list.size(), 0, 0, 0, 7);
+  EXPECT_TRUE(op.pad);
+  EXPECT_TRUE(op.chunks.empty());
+  EXPECT_EQ(op.nc, 30);  // useful extent; the packer zero-fills to 36
+}
+
+TEST(GridDriver, MSplitUsesOneBarrierGroup) {
+  plan::GemmPlan plan;
+  plan.strategy = "grid";
+  plan.shape = {128, 64, 64};
+  plan.scalar = plan::ScalarType::kF32;
+  GotoConfig cfg;
+  cfg.tiles.family = "openblas";
+  cfg.tiles.mr = 16;
+  cfg.tiles.nr = 4;
+  cfg.tiles.m_chunks = {16, 8, 4, 2, 1};
+  build_grid_parallel(plan, cfg, 8, par::Grid2D{8, 1});
+  plan.validate();
+  ASSERT_EQ(plan.barriers.size(), 1u);
+  EXPECT_EQ(plan.barriers[0].participants, 8);
+  // Every thread's rows are disjoint and tile-aligned except the tail.
+  const plan::PlanStats stats = plan::analyze(plan);
+  EXPECT_DOUBLE_EQ(stats.useful_flops, plan.shape.flops());
+}
+
+TEST(GridDriver, SquareGridMakesColumnGroups) {
+  plan::GemmPlan plan;
+  plan.strategy = "grid";
+  plan.shape = {128, 128, 64};
+  plan.scalar = plan::ScalarType::kF32;
+  GotoConfig cfg;
+  cfg.tiles.family = "openblas";
+  cfg.tiles.mr = 16;
+  cfg.tiles.nr = 4;
+  cfg.tiles.m_chunks = {16, 8, 4, 2, 1};
+  build_grid_parallel(plan, cfg, 4, par::Grid2D{2, 2});
+  plan.validate();
+  ASSERT_EQ(plan.barriers.size(), 2u);  // one per column group
+  for (const auto& bar : plan.barriers) EXPECT_EQ(bar.participants, 2);
+}
+
+TEST(WaysDriver, BarrierGroupsMatchWays) {
+  plan::GemmPlan plan;
+  plan.strategy = "ways";
+  plan.shape = {240, 480, 128};
+  plan.scalar = plan::ScalarType::kF32;
+  GotoConfig cfg;
+  cfg.tiles.family = "blis";
+  cfg.tiles.mr = 8;
+  cfg.tiles.nr = 12;
+  cfg.tiles.edge = EdgeStrategy::kPadding;
+  cfg.mc = 120;
+  cfg.nc = 240;
+  par::Ways ways{2, 2, 2, 1};  // jc=2, ic=2, jr=2
+  build_ways_parallel(plan, cfg, ways);
+  plan.validate();
+  // 2 B barriers (one per jc group, ic*jr*ir = 4 participants) and
+  // 4 A barriers (one per (jc, ic), jr*ir = 2 participants).
+  int b_groups = 0, a_groups = 0;
+  for (const auto& bar : plan.barriers) {
+    if (bar.participants == 4) ++b_groups;
+    if (bar.participants == 2) ++a_groups;
+  }
+  EXPECT_EQ(b_groups, 2);
+  EXPECT_EQ(a_groups, 4);
+}
+
+TEST(WaysDriver, RequiresPacking) {
+  plan::GemmPlan plan;
+  plan.shape = {64, 64, 64};
+  plan.scalar = plan::ScalarType::kF32;
+  GotoConfig cfg;
+  cfg.pack_a = false;
+  EXPECT_THROW(build_ways_parallel(plan, cfg, par::Ways{2, 1, 1, 1}),
+               Error);
+}
+
+TEST(SingleThreadDriver, EigenOrderBlocksFromM) {
+  // block_from_m changes the op order: the first pack must be an A pack.
+  plan::GemmPlan plan;
+  plan.strategy = "st";
+  plan.shape = {300, 300, 300};
+  plan.scalar = plan::ScalarType::kF32;
+  GotoConfig cfg;
+  cfg.tiles.family = "eigen";
+  cfg.tiles.mr = 12;
+  cfg.tiles.nr = 4;
+  cfg.tiles.m_chunks = {12, 8, 4, 2, 1};
+  cfg.mc = 192;
+  cfg.kc = 256;
+  cfg.nc = 128;
+  cfg.block_from_m = true;
+  build_singlethread(plan, cfg);
+  plan.validate();
+  ASSERT_FALSE(plan.thread_ops[0].empty());
+  EXPECT_TRUE(
+      std::holds_alternative<plan::PackAOp>(plan.thread_ops[0].front()));
+}
+
+}  // namespace
+}  // namespace smm::libs

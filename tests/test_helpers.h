@@ -1,0 +1,48 @@
+// Shared helpers for the smmkit test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/libs/naive.h"
+#include "src/matrix/compare.h"
+#include "src/matrix/matrix.h"
+
+namespace smm::test {
+
+/// Random matrices for a GEMM problem, deterministic per seed.
+template <typename T>
+struct GemmProblem {
+  Matrix<T> a;
+  Matrix<T> b;
+  Matrix<T> c;
+  Matrix<T> c_expected;
+
+  GemmProblem(index_t m, index_t n, index_t k, std::uint64_t seed,
+              Layout a_layout = Layout::kColMajor,
+              Layout b_layout = Layout::kColMajor)
+      : a(m, k, a_layout), b(k, n, b_layout), c(m, n), c_expected(m, n) {
+    Rng rng(seed);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    c.fill_random(rng);
+    c_expected = c.clone();
+  }
+
+  /// Compute the oracle into c_expected.
+  void reference(T alpha, T beta) {
+    libs::naive_gemm(alpha, a.cview(), b.cview(), beta,
+                     c_expected.view());
+  }
+
+  /// Verify c against c_expected.
+  [[nodiscard]] ::testing::AssertionResult check(index_t k) const {
+    const double diff = max_abs_diff(c.cview(), c_expected.cview());
+    const double tol = gemm_tolerance<T>(k) * 4.0;
+    if (diff <= tol) return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "max |diff| = " << diff << " > tol " << tol;
+  }
+};
+
+}  // namespace smm::test

@@ -1,0 +1,171 @@
+// The paper's closed-form models: Eqs. 1-5 and the machine peak.
+#include <gtest/gtest.h>
+
+#include "src/model/equations.h"
+#include "src/model/kernel_space.h"
+#include "src/model/prediction.h"
+#include "src/model/peak.h"
+#include "src/sim/machine.h"
+
+namespace smm::model {
+namespace {
+
+TEST(Equations, WidthsMatchPaper) {
+  const auto machine = sim::phytium2000p();
+  // "Load_width is 16/sizeof(float) = 4"; "FMA_width ... = 8".
+  EXPECT_EQ(load_width(machine, 4), 4);
+  EXPECT_EQ(fma_width(machine, 4), 8);
+  EXPECT_EQ(load_width(machine, 8), 2);
+  EXPECT_EQ(fma_width(machine, 8), 4);
+}
+
+TEST(Equations, P2CClosedForm) {
+  // Eq. 3: P2C = (M+N)/(2MN).
+  EXPECT_DOUBLE_EQ(p2c(10, 10), 20.0 / 200.0);
+  EXPECT_DOUBLE_EQ(p2c(2, 200), 202.0 / 800.0);
+}
+
+TEST(Equations, P2CIdentityWithCounts) {
+  // Eq. 1 / Eq. 2 tracks Eq. 3's closed form up to the constant factor 4
+  // the paper's printed form absorbs (see equations.h); the shape — every
+  // conclusion of Section III-A — is identical.
+  const auto machine = sim::phytium2000p();
+  const index_t lw = load_width(machine, 4);
+  const index_t fw = fma_width(machine, 4);
+  for (const auto& s :
+       {GemmShape{5, 7, 9}, GemmShape{40, 2, 100}, GemmShape{128, 128, 8}}) {
+    EXPECT_NEAR(p2c_from_counts(s, lw, fw), 4.0 * p2c(s.m, s.n), 1e-12);
+  }
+}
+
+TEST(Equations, P2CIndependentOfK) {
+  // Section III-A: "P2C is independent of K" — small-K packing is free.
+  const auto machine = sim::phytium2000p();
+  const index_t lw = load_width(machine, 4);
+  const index_t fw = fma_width(machine, 4);
+  const double a = p2c_from_counts({64, 64, 4}, lw, fw);
+  const double b = p2c_from_counts({64, 64, 512}, lw, fw);
+  EXPECT_NEAR(a, b, 1e-12);
+}
+
+TEST(Equations, P2CGrowsAsMShrinks) {
+  EXPECT_GT(p2c(2, 100), p2c(16, 100));
+  EXPECT_GT(p2c(16, 100), p2c(100, 100));
+}
+
+TEST(Equations, RegisterConstraint) {
+  // Eq. 4: mr*nr/4 <= 30 for f32.
+  EXPECT_TRUE(kernel_fits_registers(16, 4, 4));   // 16 registers
+  EXPECT_TRUE(kernel_fits_registers(8, 12, 4));   // 24
+  EXPECT_TRUE(kernel_fits_registers(12, 10, 4));  // 30: exactly the bound
+  EXPECT_FALSE(kernel_fits_registers(16, 8, 4));  // 32 > 30
+  EXPECT_EQ(c_tile_registers(12, 10, 4), 30);
+}
+
+TEST(Equations, CmrMatchesPaperExamples) {
+  // Eq. 5: CMR = 2*mr*nr/(mr+nr).
+  EXPECT_DOUBLE_EQ(cmr(8, 12), 2.0 * 96 / 20);
+  EXPECT_DOUBLE_EQ(cmr(16, 4), 2.0 * 64 / 20);
+  // Squarer tiles have better CMR at equal area.
+  EXPECT_GT(cmr(8, 8), cmr(16, 4));
+}
+
+TEST(Peak, PhytiumNumbers) {
+  const auto machine = sim::phytium2000p();
+  // 64 cores x 2.2 GHz x 4 dp flops/cycle = 563.2 dp Gflops (Section II-A).
+  EXPECT_NEAR(machine.peak_gflops(8, 64), 563.2, 1e-9);
+  // Single precision doubles the lanes.
+  EXPECT_NEAR(machine.peak_gflops(4, 64), 1126.4, 1e-9);
+  EXPECT_NEAR(machine.peak_gflops(4, 1), 17.6, 1e-9);
+}
+
+TEST(Peak, EfficiencyAndIdealCycles) {
+  const auto machine = sim::phytium2000p();
+  const double flops = 1e6;
+  const double ideal = ideal_cycles(machine, 4, 1, flops);
+  EXPECT_NEAR(efficiency(machine, 4, 1, flops, ideal), 1.0, 1e-12);
+  EXPECT_NEAR(efficiency(machine, 4, 1, flops, 2 * ideal), 0.5, 1e-12);
+  EXPECT_NEAR(gflops_from_cycles(flops, ideal, machine.core.freq_ghz),
+              machine.peak_gflops(4, 1), 1e-9);
+}
+
+TEST(KernelSpace, AllCandidatesFeasible) {
+  for (const auto& c : enumerate_kernels(4)) {
+    EXPECT_TRUE(kernel_fits_registers(c.mr, c.nr, 4));
+    EXPECT_EQ(c.mr % 4, 0);
+  }
+}
+
+TEST(KernelSpace, SortedByCmr) {
+  const auto all = enumerate_kernels(4);
+  ASSERT_GT(all.size(), 10u);
+  for (std::size_t i = 1; i < all.size(); ++i)
+    EXPECT_GE(all[i - 1].cmr, all[i].cmr);
+}
+
+TEST(KernelSpace, PaperTilesPresent) {
+  const auto all = enumerate_kernels(4);
+  auto has = [&](index_t mr, index_t nr) {
+    for (const auto& c : all)
+      if (c.mr == mr && c.nr == nr) return true;
+    return false;
+  };
+  EXPECT_TRUE(has(16, 4));
+  EXPECT_TRUE(has(8, 12));
+  EXPECT_TRUE(has(12, 4));
+  EXPECT_TRUE(has(8, 8));
+  EXPECT_FALSE(has(16, 8));  // violates Eq. 4
+}
+
+TEST(Prediction, DegenerateShapesAreZero) {
+  const auto machine = sim::phytium2000p();
+  const auto p = predict(openblas_like_model(), machine, {0, 8, 8}, 4);
+  EXPECT_EQ(p.total_cycles, 0.0);
+  EXPECT_EQ(p.efficiency, 0.0);
+}
+
+TEST(Prediction, PackShareFollowsP2CShape) {
+  const auto machine = sim::phytium2000p();
+  const auto model = openblas_like_model();
+  // Smaller M -> larger predicted packing share (Eq. 3's conclusion).
+  const double m4 = predict(model, machine, {4, 200, 200}, 4).pack_share;
+  const double m40 = predict(model, machine, {40, 200, 200}, 4).pack_share;
+  const double m200 =
+      predict(model, machine, {200, 200, 200}, 4).pack_share;
+  EXPECT_GT(m4, m40);
+  EXPECT_GT(m40, m200);
+  // And independent of K once M, N are fixed (shares converge).
+  const double k8 = predict(model, machine, {200, 200, 8}, 4).pack_share;
+  EXPECT_LT(k8, 0.15);
+}
+
+TEST(Prediction, EfficiencyBoundedAndMonotoneInSize) {
+  const auto machine = sim::phytium2000p();
+  const auto model = openblas_like_model();
+  double prev = 0;
+  for (index_t v : {16, 32, 64, 128}) {
+    const auto p = predict(model, machine, {v, v, v}, 4);
+    EXPECT_GT(p.efficiency, 0.0);
+    EXPECT_LE(p.efficiency, 1.0);
+    EXPECT_GE(p.efficiency, prev);  // multiples of 16/4: no edge noise
+    prev = p.efficiency;
+  }
+}
+
+TEST(Prediction, EdgeShapesPredictLower) {
+  const auto machine = sim::phytium2000p();
+  const auto model = openblas_like_model();
+  const double aligned = predict(model, machine, {80, 80, 80}, 4).efficiency;
+  const double off = predict(model, machine, {81, 81, 80}, 4).efficiency;
+  EXPECT_GT(aligned, off);
+}
+
+TEST(KernelSpace, BestKernelIsNearSquareHighCmr) {
+  const auto best = best_kernel(4);
+  // The CMR-optimal feasible tile: 12x10 or 10x12-like (30 registers).
+  EXPECT_GE(best.cmr, cmr(8, 12));
+  EXPECT_LE(best.c_registers, 30);
+}
+
+}  // namespace
+}  // namespace smm::model

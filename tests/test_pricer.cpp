@@ -1,0 +1,201 @@
+// Plan pricer: breakdown accounting, monotonicity, barrier scheduling and
+// option handling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/smm.h"
+#include "src/libs/blasfeo_like/gemm_blasfeo_like.h"
+#include "src/libs/blis_like/gemm_blis_like.h"
+#include "src/libs/eigen_like/gemm_eigen_like.h"
+#include "src/libs/openblas_like/gemm_openblas_like.h"
+#include "src/sim/exec/pricer.h"
+#include "src/sim/exec/trace_export.h"
+#include "src/sim/machine.h"
+
+namespace smm::sim {
+namespace {
+
+class PricerTest : public ::testing::Test {
+ protected:
+  MachineConfig machine_ = phytium2000p();
+  PlanPricer pricer_{machine_};
+
+  SimReport price(const libs::GemmStrategy& s, GemmShape shape,
+                  int threads = 1, PricerOptions opt = {}) {
+    return simulate_strategy(s, shape, plan::ScalarType::kF32, threads,
+                             pricer_, opt);
+  }
+};
+
+TEST_F(PricerTest, SingleThreadBreakdownHasNoSync) {
+  const SimReport r = price(libs::openblas_like(), {64, 64, 64});
+  EXPECT_EQ(r.breakdown.sync, 0.0);
+  EXPECT_GT(r.breakdown.kernel, 0.0);
+  EXPECT_GT(r.breakdown.pack_a, 0.0);
+  EXPECT_GT(r.breakdown.pack_b, 0.0);
+  EXPECT_DOUBLE_EQ(r.makespan_cycles, r.breakdown.total());
+}
+
+TEST_F(PricerTest, EfficiencyWithinPhysicalBounds) {
+  for (const libs::GemmStrategy* s :
+       {&libs::openblas_like(), &libs::blis_like(), &libs::blasfeo_like(),
+        &libs::eigen_like(), &core::reference_smm()}) {
+    for (index_t n : {8, 40, 120, 200}) {
+      const SimReport r = price(*s, {n, n, n});
+      EXPECT_GT(r.efficiency(machine_), 0.0) << s->traits().name << " " << n;
+      EXPECT_LE(r.efficiency(machine_), 1.0) << s->traits().name << " " << n;
+      EXPECT_LE(r.kernel_efficiency(machine_), 1.0)
+          << s->traits().name << " " << n;
+    }
+  }
+}
+
+TEST_F(PricerTest, MoreWorkCostsMoreCycles) {
+  const SimReport small = price(libs::blis_like(), {64, 64, 64});
+  const SimReport big = price(libs::blis_like(), {128, 128, 128});
+  EXPECT_GT(big.makespan_cycles, small.makespan_cycles);
+}
+
+TEST_F(PricerTest, EfficiencyRisesWithSquareSize) {
+  // Fig. 5(a): every library's efficiency grows with the matrix size in
+  // the SMM regime.
+  for (const libs::GemmStrategy* s :
+       {&libs::openblas_like(), &libs::blis_like(), &libs::blasfeo_like()}) {
+    const double e20 = price(*s, {20, 20, 20}).efficiency(machine_);
+    const double e160 = price(*s, {160, 160, 160}).efficiency(machine_);
+    EXPECT_GT(e160, e20) << s->traits().name;
+  }
+}
+
+TEST_F(PricerTest, BlasfeoConversionExcludedByDefault) {
+  const SimReport normal = price(libs::blasfeo_like(), {48, 48, 48});
+  EXPECT_EQ(normal.breakdown.convert, 0.0);
+  PricerOptions opt;
+  opt.include_format_conversion = true;
+  const SimReport with_conv = price(libs::blasfeo_like(), {48, 48, 48}, 1,
+                                    opt);
+  EXPECT_GT(with_conv.breakdown.convert, 0.0);
+  EXPECT_GT(with_conv.makespan_cycles, normal.makespan_cycles);
+}
+
+TEST_F(PricerTest, MultiThreadHasSyncAndBeatsLatency) {
+  // N too small for jc-only parallelism: the ways must share buffers and
+  // pay real barriers.
+  const GemmShape shape{2048, 96, 2048};
+  const SimReport t1 = price(libs::blis_like(), shape, 1);
+  const SimReport t8 = price(libs::blis_like(), shape, 8);
+  EXPECT_GT(t8.breakdown.sync, 0.0);
+  // 8 threads must be faster in wall cycles on a big-enough problem.
+  EXPECT_LT(t8.makespan_cycles, t1.makespan_cycles);
+  // But not superlinear.
+  EXPECT_GT(t8.makespan_cycles, t1.makespan_cycles / 10.0);
+}
+
+TEST_F(PricerTest, PaddingShowsUpInComputedFlops) {
+  const SimReport r = price(libs::blis_like(), {9, 13, 32});
+  EXPECT_GT(r.computed_flops, r.useful_flops * 1.5);
+  const SimReport e = price(libs::openblas_like(), {9, 13, 32});
+  EXPECT_DOUBLE_EQ(e.computed_flops, e.useful_flops);
+}
+
+TEST_F(PricerTest, DeterministicAcrossCalls) {
+  const SimReport a = price(libs::eigen_like(), {57, 57, 57});
+  const SimReport b = price(libs::eigen_like(), {57, 57, 57});
+  EXPECT_DOUBLE_EQ(a.makespan_cycles, b.makespan_cycles);
+}
+
+TEST_F(PricerTest, CsvRowWellFormed) {
+  const SimReport r = price(libs::openblas_like(), {32, 32, 32});
+  const std::string row = r.csv_row(machine_);
+  const std::string header = SimReport::csv_header();
+  EXPECT_EQ(std::count(row.begin(), row.end(), ','),
+            std::count(header.begin(), header.end(), ','));
+}
+
+TEST_F(PricerTest, TimelineMatchesBreakdown) {
+  PricerOptions opt;
+  opt.collect_timeline = true;
+  const SimReport r = price(libs::blis_like(), {64, 256, 128}, 4, opt);
+  ASSERT_FALSE(r.timeline.empty());
+  // Per-category sums over the timeline equal the breakdown exactly.
+  SimBreakdown sums;
+  for (const auto& ev : r.timeline) {
+    const std::string cat = ev.category;
+    if (cat == "kernel") sums.kernel += ev.duration_cycles;
+    if (cat == "pack_a") sums.pack_a += ev.duration_cycles;
+    if (cat == "pack_b") sums.pack_b += ev.duration_cycles;
+    if (cat == "sync") sums.sync += ev.duration_cycles;
+  }
+  EXPECT_NEAR(sums.kernel, r.breakdown.kernel, 1e-6);
+  EXPECT_NEAR(sums.pack_a, r.breakdown.pack_a, 1e-6);
+  EXPECT_NEAR(sums.pack_b, r.breakdown.pack_b, 1e-6);
+  EXPECT_NEAR(sums.sync, r.breakdown.sync, 1e-6);
+  // Events on one thread never overlap and never exceed the makespan.
+  std::vector<double> last_end(4, 0.0);
+  std::vector<TraceEvent> sorted = r.timeline;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_cycles < b.start_cycles;
+            });
+  for (const auto& ev : sorted) {
+    auto& end = last_end[static_cast<std::size_t>(ev.thread)];
+    EXPECT_GE(ev.start_cycles, end - 1e-6) << ev.category;
+    end = ev.start_cycles + ev.duration_cycles;
+    EXPECT_LE(end, r.makespan_cycles + 1e-6);
+  }
+}
+
+TEST_F(PricerTest, TimelineOffByDefault) {
+  const SimReport r = price(libs::blis_like(), {64, 64, 64});
+  EXPECT_TRUE(r.timeline.empty());
+}
+
+TEST_F(PricerTest, ChromeTraceJsonRoundTrips) {
+  PricerOptions opt;
+  opt.collect_timeline = true;
+  const SimReport r = price(libs::openblas_like(), {32, 32, 32}, 1, opt);
+  const std::string json = to_chrome_trace_json(r);
+  // Structural sanity: array brackets, one object per event + metadata.
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            static_cast<long>(r.timeline.size()) + 2);  // +process meta
+}
+
+TEST_F(PricerTest, A64fxLikeMachinePricesSanely) {
+  // The SVE-512 machine: 4x the lanes, 2 FMA pipes — the same logical
+  // kernels price with a much higher per-core peak, and efficiency stays
+  // bounded. Wide vectors make *small* matrices relatively harder
+  // (a 16-row tile is a single SVE vector): efficiency at 16^3 must be
+  // below the Phytium model's.
+  const auto a64fx = a64fx_like();
+  EXPECT_NEAR(a64fx.peak_gflops(4, 48), 48 * 2.2 * 64, 1e-9);  // ~6.7 Tflops
+  PlanPricer pricer(a64fx);
+  for (index_t n : {16, 64, 160}) {
+    const auto r = simulate_strategy(core::reference_smm(), {n, n, n},
+                                     plan::ScalarType::kF32, 1, pricer);
+    EXPECT_GT(r.efficiency(a64fx), 0.0) << n;
+    EXPECT_LE(r.efficiency(a64fx), 1.0) << n;
+  }
+  PlanPricer phytium(phytium2000p());
+  const double small_a64 =
+      simulate_strategy(core::reference_smm(), {16, 16, 16},
+                        plan::ScalarType::kF32, 1, pricer)
+          .efficiency(a64fx);
+  const double small_ph =
+      simulate_strategy(core::reference_smm(), {16, 16, 16},
+                        plan::ScalarType::kF32, 1, phytium)
+          .efficiency(phytium.machine());
+  EXPECT_LT(small_a64, small_ph);
+}
+
+TEST_F(PricerTest, K0PlanPricesScaleOnly) {
+  const plan::GemmPlan plan = libs::openblas_like().make_plan(
+      {16, 16, 0}, plan::ScalarType::kF32, 1);
+  const SimReport r = pricer_.price(plan);
+  EXPECT_EQ(r.breakdown.kernel, 0.0);
+  EXPECT_GT(r.breakdown.scale, 0.0);
+}
+
+}  // namespace
+}  // namespace smm::sim
