@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_autotune.dir/ablate_autotune.cpp.o"
+  "CMakeFiles/ablate_autotune.dir/ablate_autotune.cpp.o.d"
+  "ablate_autotune"
+  "ablate_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_batch_parallel.dir/ablate_batch_parallel.cpp.o"
+  "CMakeFiles/ablate_batch_parallel.dir/ablate_batch_parallel.cpp.o.d"
+  "ablate_batch_parallel"
+  "ablate_batch_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_batch_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_cache_trace.dir/ablate_cache_trace.cpp.o"
+  "CMakeFiles/ablate_cache_trace.dir/ablate_cache_trace.cpp.o.d"
+  "ablate_cache_trace"
+  "ablate_cache_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_cache_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_machine.dir/ablate_machine.cpp.o"
+  "CMakeFiles/ablate_machine.dir/ablate_machine.cpp.o.d"
+  "ablate_machine"
+  "ablate_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

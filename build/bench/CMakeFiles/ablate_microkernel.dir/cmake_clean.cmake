@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_microkernel.dir/ablate_microkernel.cpp.o"
+  "CMakeFiles/ablate_microkernel.dir/ablate_microkernel.cpp.o.d"
+  "ablate_microkernel"
+  "ablate_microkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_microkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_packing_optional.dir/ablate_packing_optional.cpp.o"
+  "CMakeFiles/ablate_packing_optional.dir/ablate_packing_optional.cpp.o.d"
+  "ablate_packing_optional"
+  "ablate_packing_optional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_packing_optional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_parallel.dir/ablate_parallel.cpp.o"
+  "CMakeFiles/ablate_parallel.dir/ablate_parallel.cpp.o.d"
+  "ablate_parallel"
+  "ablate_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_parallel.dir/fig10_parallel.cpp.o"
+  "CMakeFiles/fig10_parallel.dir/fig10_parallel.cpp.o.d"
+  "fig10_parallel"
+  "fig10_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

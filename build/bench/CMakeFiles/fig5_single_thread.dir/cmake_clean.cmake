@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_single_thread.dir/fig5_single_thread.cpp.o"
+  "CMakeFiles/fig5_single_thread.dir/fig5_single_thread.cpp.o.d"
+  "fig5_single_thread"
+  "fig5_single_thread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_single_thread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

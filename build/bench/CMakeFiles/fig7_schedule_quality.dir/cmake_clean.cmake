@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_schedule_quality.dir/fig7_schedule_quality.cpp.o"
+  "CMakeFiles/fig7_schedule_quality.dir/fig7_schedule_quality.cpp.o.d"
+  "fig7_schedule_quality"
+  "fig7_schedule_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_schedule_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

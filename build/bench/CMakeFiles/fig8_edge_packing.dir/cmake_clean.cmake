@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_edge_packing.dir/fig8_edge_packing.cpp.o"
+  "CMakeFiles/fig8_edge_packing.dir/fig8_edge_packing.cpp.o.d"
+  "fig8_edge_packing"
+  "fig8_edge_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_edge_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

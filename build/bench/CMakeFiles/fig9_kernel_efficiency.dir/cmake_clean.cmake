@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_kernel_efficiency.dir/fig9_kernel_efficiency.cpp.o"
+  "CMakeFiles/fig9_kernel_efficiency.dir/fig9_kernel_efficiency.cpp.o.d"
+  "fig9_kernel_efficiency"
+  "fig9_kernel_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_kernel_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_gemm.dir/native_gemm.cpp.o"
+  "CMakeFiles/native_gemm.dir/native_gemm.cpp.o.d"
+  "native_gemm"
+  "native_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

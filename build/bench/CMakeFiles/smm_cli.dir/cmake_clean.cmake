@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smm_cli.dir/smm_cli.cpp.o"
+  "CMakeFiles/smm_cli.dir/smm_cli.cpp.o.d"
+  "smm_cli"
+  "smm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_kernels.dir/table1_kernels.cpp.o"
+  "CMakeFiles/table1_kernels.dir/table1_kernels.cpp.o.d"
+  "table1_kernels"
+  "table1_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_breakdown.dir/table2_breakdown.cpp.o"
+  "CMakeFiles/table2_breakdown.dir/table2_breakdown.cpp.o.d"
+  "table2_breakdown"
+  "table2_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

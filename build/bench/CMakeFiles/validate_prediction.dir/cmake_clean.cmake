@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_prediction.dir/validate_prediction.cpp.o"
+  "CMakeFiles/validate_prediction.dir/validate_prediction.cpp.o.d"
+  "validate_prediction"
+  "validate_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abft_checksum.dir/abft_checksum.cpp.o"
+  "CMakeFiles/abft_checksum.dir/abft_checksum.cpp.o.d"
+  "abft_checksum"
+  "abft_checksum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abft_checksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batched_attention_heads.dir/batched_attention_heads.cpp.o"
+  "CMakeFiles/batched_attention_heads.dir/batched_attention_heads.cpp.o.d"
+  "batched_attention_heads"
+  "batched_attention_heads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batched_attention_heads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_sparse_bcsr.dir/block_sparse_bcsr.cpp.o"
+  "CMakeFiles/block_sparse_bcsr.dir/block_sparse_bcsr.cpp.o.d"
+  "block_sparse_bcsr"
+  "block_sparse_bcsr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_sparse_bcsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/error.cpp" "src/CMakeFiles/smmkit.dir/common/error.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/common/error.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/smmkit.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/str.cpp" "src/CMakeFiles/smmkit.dir/common/str.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/common/str.cpp.o.d"
+  "/root/repo/src/core/autotune.cpp" "src/CMakeFiles/smmkit.dir/core/autotune.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/core/autotune.cpp.o.d"
+  "/root/repo/src/core/batched.cpp" "src/CMakeFiles/smmkit.dir/core/batched.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/core/batched.cpp.o.d"
+  "/root/repo/src/core/kernel_select.cpp" "src/CMakeFiles/smmkit.dir/core/kernel_select.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/core/kernel_select.cpp.o.d"
+  "/root/repo/src/core/parallel_select.cpp" "src/CMakeFiles/smmkit.dir/core/parallel_select.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/core/parallel_select.cpp.o.d"
+  "/root/repo/src/core/plan_builder.cpp" "src/CMakeFiles/smmkit.dir/core/plan_builder.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/core/plan_builder.cpp.o.d"
+  "/root/repo/src/core/plan_cache.cpp" "src/CMakeFiles/smmkit.dir/core/plan_cache.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/core/plan_cache.cpp.o.d"
+  "/root/repo/src/core/smm.cpp" "src/CMakeFiles/smmkit.dir/core/smm.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/core/smm.cpp.o.d"
+  "/root/repo/src/kernels/microkernel.cpp" "src/CMakeFiles/smmkit.dir/kernels/microkernel.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/kernels/microkernel.cpp.o.d"
+  "/root/repo/src/kernels/registry.cpp" "src/CMakeFiles/smmkit.dir/kernels/registry.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/kernels/registry.cpp.o.d"
+  "/root/repo/src/kernels/schedule.cpp" "src/CMakeFiles/smmkit.dir/kernels/schedule.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/kernels/schedule.cpp.o.d"
+  "/root/repo/src/kernels/schedules_armv8.cpp" "src/CMakeFiles/smmkit.dir/kernels/schedules_armv8.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/kernels/schedules_armv8.cpp.o.d"
+  "/root/repo/src/libs/blasfeo_like/gemm_blasfeo_like.cpp" "src/CMakeFiles/smmkit.dir/libs/blasfeo_like/gemm_blasfeo_like.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/libs/blasfeo_like/gemm_blasfeo_like.cpp.o.d"
+  "/root/repo/src/libs/blis_like/gemm_blis_like.cpp" "src/CMakeFiles/smmkit.dir/libs/blis_like/gemm_blis_like.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/libs/blis_like/gemm_blis_like.cpp.o.d"
+  "/root/repo/src/libs/eigen_like/gemm_eigen_like.cpp" "src/CMakeFiles/smmkit.dir/libs/eigen_like/gemm_eigen_like.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/libs/eigen_like/gemm_eigen_like.cpp.o.d"
+  "/root/repo/src/libs/gemm_interface.cpp" "src/CMakeFiles/smmkit.dir/libs/gemm_interface.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/libs/gemm_interface.cpp.o.d"
+  "/root/repo/src/libs/goto_common.cpp" "src/CMakeFiles/smmkit.dir/libs/goto_common.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/libs/goto_common.cpp.o.d"
+  "/root/repo/src/libs/naive.cpp" "src/CMakeFiles/smmkit.dir/libs/naive.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/libs/naive.cpp.o.d"
+  "/root/repo/src/libs/openblas_like/gemm_openblas_like.cpp" "src/CMakeFiles/smmkit.dir/libs/openblas_like/gemm_openblas_like.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/libs/openblas_like/gemm_openblas_like.cpp.o.d"
+  "/root/repo/src/matrix/compare.cpp" "src/CMakeFiles/smmkit.dir/matrix/compare.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/matrix/compare.cpp.o.d"
+  "/root/repo/src/matrix/panel_matrix.cpp" "src/CMakeFiles/smmkit.dir/matrix/panel_matrix.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/matrix/panel_matrix.cpp.o.d"
+  "/root/repo/src/model/equations.cpp" "src/CMakeFiles/smmkit.dir/model/equations.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/model/equations.cpp.o.d"
+  "/root/repo/src/model/kernel_space.cpp" "src/CMakeFiles/smmkit.dir/model/kernel_space.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/model/kernel_space.cpp.o.d"
+  "/root/repo/src/model/peak.cpp" "src/CMakeFiles/smmkit.dir/model/peak.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/model/peak.cpp.o.d"
+  "/root/repo/src/model/prediction.cpp" "src/CMakeFiles/smmkit.dir/model/prediction.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/model/prediction.cpp.o.d"
+  "/root/repo/src/pack/edge_pack.cpp" "src/CMakeFiles/smmkit.dir/pack/edge_pack.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/pack/edge_pack.cpp.o.d"
+  "/root/repo/src/pack/pack.cpp" "src/CMakeFiles/smmkit.dir/pack/pack.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/pack/pack.cpp.o.d"
+  "/root/repo/src/plan/native_executor.cpp" "src/CMakeFiles/smmkit.dir/plan/native_executor.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/plan/native_executor.cpp.o.d"
+  "/root/repo/src/plan/plan.cpp" "src/CMakeFiles/smmkit.dir/plan/plan.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/plan/plan.cpp.o.d"
+  "/root/repo/src/plan/plan_stats.cpp" "src/CMakeFiles/smmkit.dir/plan/plan_stats.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/plan/plan_stats.cpp.o.d"
+  "/root/repo/src/sim/cache/cache_sim.cpp" "src/CMakeFiles/smmkit.dir/sim/cache/cache_sim.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/sim/cache/cache_sim.cpp.o.d"
+  "/root/repo/src/sim/cache/residency.cpp" "src/CMakeFiles/smmkit.dir/sim/cache/residency.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/sim/cache/residency.cpp.o.d"
+  "/root/repo/src/sim/exec/pricer.cpp" "src/CMakeFiles/smmkit.dir/sim/exec/pricer.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/sim/exec/pricer.cpp.o.d"
+  "/root/repo/src/sim/exec/report.cpp" "src/CMakeFiles/smmkit.dir/sim/exec/report.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/sim/exec/report.cpp.o.d"
+  "/root/repo/src/sim/exec/trace_export.cpp" "src/CMakeFiles/smmkit.dir/sim/exec/trace_export.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/sim/exec/trace_export.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/smmkit.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/memory/numa.cpp" "src/CMakeFiles/smmkit.dir/sim/memory/numa.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/sim/memory/numa.cpp.o.d"
+  "/root/repo/src/sim/pipeline/kernel_timing.cpp" "src/CMakeFiles/smmkit.dir/sim/pipeline/kernel_timing.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/sim/pipeline/kernel_timing.cpp.o.d"
+  "/root/repo/src/sim/pipeline/pipeline_sim.cpp" "src/CMakeFiles/smmkit.dir/sim/pipeline/pipeline_sim.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/sim/pipeline/pipeline_sim.cpp.o.d"
+  "/root/repo/src/sim/pipeline/uop.cpp" "src/CMakeFiles/smmkit.dir/sim/pipeline/uop.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/sim/pipeline/uop.cpp.o.d"
+  "/root/repo/src/simd/vec.cpp" "src/CMakeFiles/smmkit.dir/simd/vec.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/simd/vec.cpp.o.d"
+  "/root/repo/src/threading/barrier.cpp" "src/CMakeFiles/smmkit.dir/threading/barrier.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/threading/barrier.cpp.o.d"
+  "/root/repo/src/threading/partition.cpp" "src/CMakeFiles/smmkit.dir/threading/partition.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/threading/partition.cpp.o.d"
+  "/root/repo/src/threading/thread_pool.cpp" "src/CMakeFiles/smmkit.dir/threading/thread_pool.cpp.o" "gcc" "src/CMakeFiles/smmkit.dir/threading/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

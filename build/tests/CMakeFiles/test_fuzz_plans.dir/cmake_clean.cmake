@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_plans.dir/test_fuzz_plans.cpp.o"
+  "CMakeFiles/test_fuzz_plans.dir/test_fuzz_plans.cpp.o.d"
+  "test_fuzz_plans"
+  "test_fuzz_plans.pdb"
+  "test_fuzz_plans[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
