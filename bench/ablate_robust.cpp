@@ -1,0 +1,79 @@
+// Cost of robustness: guarded execution vs the raw planned path, across
+// SMM shapes. Three configurations —
+//   raw        : execute_plan on a cached plan (today's fast path)
+//   guard-off  : GuardedExecutor with verification disabled (snapshot +
+//                dispatch overhead only)
+//   guard-abft : GuardedExecutor with row-checksum verification
+// The delta between raw and guard-abft is the price of never returning an
+// unverified result; the paper's ABFT point is that this price shrinks as
+// small-M GEMM gets faster.
+#include <algorithm>
+#include <chrono>
+#include <functional>
+
+#include "bench/bench_common.h"
+#include "src/common/rng.h"
+#include "src/common/str.h"
+#include "src/matrix/matrix.h"
+#include "src/plan/native_executor.h"
+#include "src/robust/guarded_executor.h"
+
+namespace {
+
+using namespace smm;
+
+double time_us(int reps, const std::function<void()>& fn) {
+  fn();  // warm-up (plans cached, buffers faulted in)
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count() /
+         reps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int reps = std::max(
+      1, std::stoi(bench::arg_value(argc, argv, "--reps", "200")));
+  bench::CsvSink csv(argc, argv,
+                     "m,n,k,raw_us,guard_off_us,guard_abft_us,"
+                     "overhead_off,overhead_abft");
+
+  const GemmShape shapes[] = {{8, 8, 8},    {16, 16, 16},  {32, 32, 32},
+                              {64, 64, 64}, {96, 96, 96},  {2, 96, 96},
+                              {128, 128, 128}};
+
+  robust::GuardOptions off;
+  off.verify = false;
+  robust::GuardedExecutor guard_off(off);
+  robust::GuardedExecutor guard_abft;  // verify = true by default
+  core::PlanCache raw_cache(core::reference_smm());
+
+  for (const GemmShape& s : shapes) {
+    Rng rng(42);
+    Matrix<float> a(s.m, s.k), b(s.k, s.n), c(s.m, s.n);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    c.fill_random(rng);
+
+    const double raw = time_us(reps, [&] {
+      const auto plan =
+          raw_cache.get(s, plan::ScalarType::kF32, /*nthreads=*/1);
+      plan::execute_plan(*plan, 1.0f, a.cview(), b.cview(), 0.0f,
+                         c.view());
+    });
+    const double g_off = time_us(reps, [&] {
+      guard_off.run(1.0f, a.cview(), b.cview(), 0.0f, c.view());
+    });
+    const double g_abft = time_us(reps, [&] {
+      guard_abft.run(1.0f, a.cview(), b.cview(), 0.0f, c.view());
+    });
+
+    csv.row(strprintf("%ld,%ld,%ld,%.3f,%.3f,%.3f,%.2fx,%.2fx",
+                      static_cast<long>(s.m), static_cast<long>(s.n),
+                      static_cast<long>(s.k), raw, g_off, g_abft,
+                      g_off / raw, g_abft / raw));
+  }
+  return 0;
+}

@@ -1,77 +1,73 @@
 // Algorithm-Based Fault Tolerance (the paper's third motivating
-// workload): checksum encoding multiplies a tall-and-skinny weight matrix
-// against the data — a GEMM with one tiny dimension (here M = 2 checksum
-// rows). The example encodes row checksums of A, runs a computation,
-// injects a fault, and detects it through the checksum relation
-//   (W * A) * B == W * (A * B).
-#include <cmath>
+// workload), now built on smm::robust instead of hand-rolled checks.
+//
+// Part 1 uses the library checksum directly: robust::verify_gemm_checksum
+// encodes the same W = [ones; ramp] row checksums the original example
+// hand-rolled, detecting and localizing an injected soft error.
+//
+// Part 2 is the production shape of the idea: the GuardedExecutor runs
+// every GEMM through checksum verification with a retry-then-degrade
+// chain, while the deterministic fault injector plays the adversary — a
+// miscomputing kernel on the first attempt, which the guard detects,
+// retries, and absorbs. The RunReport is the audit trail.
 #include <cstdio>
 
 #include "src/common/rng.h"
 #include "src/core/smm.h"
-#include "src/libs/naive.h"
 #include "src/matrix/matrix.h"
+#include "src/robust/abft.h"
+#include "src/robust/fault_injection.h"
+#include "src/robust/guarded_executor.h"
+#include "src/robust/health.h"
 
 int main() {
   using namespace smm;
   Rng rng(123);
   const index_t m = 96, n = 96, k = 96;
-  const index_t checksum_rows = 2;
 
   Matrix<float> a(m, k), b(k, n);
   a.fill_random(rng);
   b.fill_random(rng);
 
-  // Checksum weights: row of ones and a ramp (detects + localizes).
-  Matrix<float> w(checksum_rows, m);
-  for (index_t j = 0; j < m; ++j) {
-    w(0, j) = 1.0f;
-    w(1, j) = static_cast<float>(j + 1) / static_cast<float>(m);
-  }
-
-  // Encode: WA = W * A — a 2 x k x m GEMM, the tall-and-skinny SMM case
-  // the paper cites ([24]).
-  Matrix<float> wa(checksum_rows, k);
-  core::smm_gemm(1.0f, w.cview(), a.cview(), 0.0f, wa.view());
-
-  // Main computation C = A * B and the checksum path WC_expect = WA * B
-  // (another small-M SMM).
+  // --- Part 1: the checksum as a standalone detector -------------------
   Matrix<float> c(m, n);
   core::smm_gemm(1.0f, a.cview(), b.cview(), 0.0f, c.view());
-  Matrix<float> wc_expect(checksum_rows, n);
-  core::smm_gemm(1.0f, wa.cview(), b.cview(), 0.0f, wc_expect.view());
+  auto report = robust::verify_gemm_checksum<float>(
+      1.0f, a.cview(), b.cview(), 0.0f, nullptr, m, c.cview());
+  std::printf("clean result : residual %.3e (tol %.3e) -> %s\n",
+              report.residual, report.tolerance,
+              report.ok ? "clean" : "FAULT");
+  const bool clean_ok = report.ok;
 
-  auto verify = [&](const char* label) {
-    Matrix<float> wc(checksum_rows, n);
-    core::smm_gemm(1.0f, w.cview(), c.cview(), 0.0f, wc.view());
-    double worst = 0;
-    index_t worst_col = -1;
-    for (index_t j = 0; j < n; ++j) {
-      for (index_t i = 0; i < checksum_rows; ++i) {
-        const double d = std::abs(static_cast<double>(wc(i, j)) -
-                                  static_cast<double>(wc_expect(i, j)));
-        if (d > worst) {
-          worst = d;
-          worst_col = j;
-        }
-      }
-    }
-    const bool fault = worst > 1e-2;
-    std::printf("%s: max checksum residual %.3e -> %s", label, worst,
-                fault ? "FAULT DETECTED" : "clean");
-    if (fault) std::printf(" (column %ld)", static_cast<long>(worst_col));
-    std::printf("\n");
-    return fault;
-  };
+  c(37, 41) += 0.5f;  // a simulated soft error in the result
+  report = robust::verify_gemm_checksum<float>(
+      1.0f, a.cview(), b.cview(), 0.0f, nullptr, m, c.cview());
+  std::printf("after bitflip: residual %.3e -> %s (column %ld)\n",
+              report.residual, report.ok ? "clean?!" : "FAULT DETECTED",
+              static_cast<long>(report.worst_col));
+  const bool detected = !report.ok && report.worst_col == 41;
 
-  const bool clean_ok = !verify("before fault injection");
-  // Flip one element of C (a simulated soft error).
-  c(37, 41) += 0.5f;
-  const bool detected = verify("after fault injection ");
+  // --- Part 2: the guarded executor absorbing an injected fault --------
+  robust::GuardedExecutor guard;  // reference SMM + ABFT verification
+  Matrix<float> c2(m, n);
+
+  // Adversary: the first kernel invocation miscomputes (a seeded bit flip
+  // in its C update). The guard must detect it, retry, and serve clean.
+  robust::FaultInjector::instance().arm(
+      robust::FaultSite::kKernelMiscompute,
+      {/*fire_after=*/0, /*max_fires=*/1, /*seed=*/2026});
+  const robust::RunReport run =
+      guard.run(1.0f, a.cview(), b.cview(), 0.0f, c2.view());
+  robust::FaultInjector::instance().disarm_all();
+
+  std::printf("guarded run  : %s\n", run.summary().c_str());
+  std::printf("health       : %s\n",
+              robust::health().snapshot().to_string().c_str());
+  const bool recovered = run.ok() && run.retries >= 1;
+
   std::printf(
-      "ABFT path cost: two %ldx*x* SMMs per check — negligible next to "
+      "ABFT cost: two checksum rows per verification — negligible next to "
       "the m x n x k product, but only if small-M GEMM is fast (the "
-      "paper's point).\n",
-      static_cast<long>(checksum_rows));
-  return clean_ok && detected ? 0 : 1;
+      "paper's point).\n");
+  return clean_ok && detected && recovered ? 0 : 1;
 }

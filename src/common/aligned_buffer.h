@@ -10,6 +10,7 @@
 
 #include "src/common/error.h"
 #include "src/common/types.h"
+#include "src/robust/fault_injection.h"
 
 namespace smm {
 
@@ -45,6 +46,9 @@ class AlignedBuffer {
       data_.reset();
       return;
     }
+    if (robust::should_fire(robust::FaultSite::kAllocFail))
+      throw Error(ErrorCode::kAlloc,
+                  "smmkit: injected scratch allocation failure");
     const std::size_t bytes =
         round_up(static_cast<std::size_t>(count) * sizeof(T));
     void* raw = std::aligned_alloc(kBufferAlignment, bytes);

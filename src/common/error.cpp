@@ -2,14 +2,44 @@
 
 #include <sstream>
 
-namespace smm::detail {
+namespace smm {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnknown:
+      return "unknown";
+    case ErrorCode::kPrecondition:
+      return "precondition";
+    case ErrorCode::kBadShape:
+      return "bad-shape";
+    case ErrorCode::kAlias:
+      return "alias";
+    case ErrorCode::kAlloc:
+      return "alloc";
+    case ErrorCode::kKernelFault:
+      return "kernel-fault";
+    case ErrorCode::kChecksumMismatch:
+      return "checksum-mismatch";
+    case ErrorCode::kWorkerPanic:
+      return "worker-panic";
+  }
+  return "?";
+}
+
+namespace detail {
 
 void raise_error(const char* cond, const char* file, int line,
                  const std::string& msg) {
-  std::ostringstream os;
-  os << "smmkit: " << msg << " [failed: " << cond << " at " << file << ':'
-     << line << ']';
-  throw Error(os.str());
+  raise_error(ErrorCode::kPrecondition, cond, file, line, msg);
 }
 
-}  // namespace smm::detail
+void raise_error(ErrorCode code, const char* cond, const char* file,
+                 int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "smmkit: " << msg << " [" << to_string(code)
+     << ", failed: " << cond << " at " << file << ':' << line << ']';
+  throw Error(code, os.str());
+}
+
+}  // namespace detail
+}  // namespace smm

@@ -1,5 +1,7 @@
 // Error reporting: SMM_EXPECT for recoverable precondition checks (throws),
 // used at public API boundaries; internal invariants use assert-style checks.
+// Errors carry an ErrorCode so callers (notably robust::GuardedExecutor) can
+// classify failures and choose a recovery strategy instead of string-matching.
 #pragma once
 
 #include <stdexcept>
@@ -7,14 +9,41 @@
 
 namespace smm {
 
+/// Failure taxonomy. Every smm::Error carries one of these; the guarded
+/// executor keys its retry/degrade decisions off them and the health
+/// counters aggregate by code.
+enum class ErrorCode {
+  kUnknown = 0,        ///< legacy/uncategorized failure
+  kPrecondition,       ///< generic SMM_EXPECT violation at an API boundary
+  kBadShape,           ///< negative/zero/mismatched dimensions or strides
+  kAlias,              ///< output aliases an input (or another output)
+  kAlloc,              ///< scratch/packed buffer allocation failed
+  kKernelFault,        ///< a micro-kernel produced (or hit) a fault
+  kChecksumMismatch,   ///< ABFT verification rejected the result
+  kWorkerPanic,        ///< exception escaped a parallel worker body
+};
+
+const char* to_string(ErrorCode code);
+
 /// Exception type thrown on precondition violations at API boundaries.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what)
+      : std::runtime_error(what), code_(ErrorCode::kUnknown) {}
+  Error(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  [[nodiscard]] ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
 };
 
 namespace detail {
 [[noreturn]] void raise_error(const char* cond, const char* file, int line,
+                              const std::string& msg);
+[[noreturn]] void raise_error(ErrorCode code, const char* cond,
+                              const char* file, int line,
                               const std::string& msg);
 }  // namespace detail
 
@@ -26,5 +55,14 @@ namespace detail {
   do {                                                                 \
     if (!(cond)) {                                                     \
       ::smm::detail::raise_error(#cond, __FILE__, __LINE__, (msg));    \
+    }                                                                  \
+  } while (false)
+
+/// SMM_EXPECT with an explicit ErrorCode (taxonomy-aware boundaries).
+#define SMM_EXPECT_CODE(cond, code, msg)                               \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::smm::detail::raise_error((code), #cond, __FILE__, __LINE__,    \
+                                 (msg));                               \
     }                                                                  \
   } while (false)

@@ -21,8 +21,14 @@ plan::GemmPlan build_tuned_plan(GemmShape shape, plan::ScalarType scalar,
 TuneResult autotune(GemmShape shape, plan::ScalarType scalar, int nthreads,
                     const sim::MachineConfig& machine,
                     const TuneSpace& space) {
-  SMM_EXPECT(shape.valid() && shape.m > 0 && shape.n > 0 && shape.k > 0,
-             "autotune needs a non-degenerate shape");
+  SMM_EXPECT_CODE(shape.valid() && shape.m > 0 && shape.n > 0 &&
+                      shape.k > 0,
+                  ErrorCode::kBadShape,
+                  "autotune needs a non-degenerate shape");
+  SMM_EXPECT(nthreads >= 1, "autotune needs at least one thread");
+  SMM_EXPECT(!space.tiles.empty() && !space.kc_values.empty() &&
+                 !space.pack_b_choices.empty(),
+             "autotune space must not be empty");
   sim::PlanPricer pricer(machine);
   TuneResult result;
 

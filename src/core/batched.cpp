@@ -1,19 +1,84 @@
 #include "src/core/batched.h"
 
 #include <algorithm>
+#include <mutex>
+#include <utility>
 
 #include "src/common/error.h"
+#include "src/common/str.h"
 #include "src/core/smm.h"
 #include "src/plan/native_executor.h"
+#include "src/robust/health.h"
 #include "src/threading/partition.h"
 #include "src/threading/thread_pool.h"
 
 namespace smm::core {
 
+namespace {
+
+/// Up-front validation: bad items are caller bugs and rejected before any
+/// work starts, with the item index in the message so a million-item batch
+/// is debuggable.
+template <typename T>
+void validate_batch(const std::vector<GemmBatchItem<T>>& items) {
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& item = items[i];
+    SMM_EXPECT_CODE(item.a.rows() == item.c.rows() &&
+                        item.b.cols() == item.c.cols() &&
+                        item.a.cols() == item.b.rows(),
+                    ErrorCode::kBadShape,
+                    strprintf("batched_smm: item %zu dimension mismatch "
+                              "(A %ldx%ld, B %ldx%ld, C %ldx%ld)",
+                              i, static_cast<long>(item.a.rows()),
+                              static_cast<long>(item.a.cols()),
+                              static_cast<long>(item.b.rows()),
+                              static_cast<long>(item.b.cols()),
+                              static_cast<long>(item.c.rows()),
+                              static_cast<long>(item.c.cols())));
+    SMM_EXPECT_CODE(
+        item.c.rows() > 0 && item.c.cols() > 0 && item.a.cols() > 0,
+        ErrorCode::kBadShape,
+        strprintf("batched_smm: item %zu has a zero dimension", i));
+    SMM_EXPECT_CODE(item.a.data() != nullptr && item.b.data() != nullptr &&
+                        item.c.data() != nullptr,
+                    ErrorCode::kBadShape,
+                    strprintf("batched_smm: item %zu has null data", i));
+  }
+  // Outputs must not alias across items (workers write them
+  // concurrently). Sort C ranges by start; any overlap shows up between
+  // neighbours, so the check is O(n log n), not O(n^2).
+  struct Extent {
+    const void* begin;
+    const void* end;
+    std::size_t item;
+  };
+  std::vector<Extent> extents;
+  extents.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto r = storage_range(ConstMatrixView<T>(items[i].c));
+    extents.push_back({r.first, r.second, i});
+  }
+  std::sort(extents.begin(), extents.end(),
+            [](const Extent& x, const Extent& y) {
+              return x.begin < y.begin;
+            });
+  for (std::size_t i = 1; i < extents.size(); ++i) {
+    SMM_EXPECT_CODE(
+        extents[i].begin >= extents[i - 1].end, ErrorCode::kAlias,
+        strprintf("batched_smm: C of item %zu aliases C of item %zu",
+                  extents[i].item, extents[i - 1].item));
+  }
+}
+
+}  // namespace
+
 template <typename T>
 void batched_smm(T alpha, const std::vector<GemmBatchItem<T>>& items,
                  T beta, PlanCache& cache, int nworkers) {
   SMM_EXPECT(nworkers >= 1, "batched_smm needs at least one worker");
+  validate_batch(items);
+  robust::health().batched_items.fetch_add(items.size(),
+                                           std::memory_order_relaxed);
   const auto scalar =
       sizeof(T) == 4 ? plan::ScalarType::kF32 : plan::ScalarType::kF64;
 
@@ -22,14 +87,18 @@ void batched_smm(T alpha, const std::vector<GemmBatchItem<T>>& items,
   std::vector<std::shared_ptr<const plan::GemmPlan>> plans;
   plans.reserve(items.size());
   for (const auto& item : items) {
-    SMM_EXPECT(item.a.rows() == item.c.rows() &&
-                   item.b.cols() == item.c.cols() &&
-                   item.a.cols() == item.b.rows(),
-               "batched_smm: item dimension mismatch");
     plans.push_back(cache.get(
         {item.c.rows(), item.c.cols(), item.a.cols()}, scalar,
         /*nthreads=*/1));
   }
+
+  // Per-item failures are collected (with the item index) instead of
+  // tearing down the whole batch at the first worker exception: every
+  // healthy item still completes, then one aggregate error reports all
+  // the casualties.
+  std::mutex failures_mu;
+  std::vector<std::pair<index_t, std::string>> failures;
+  ErrorCode first_code = ErrorCode::kUnknown;
 
   const int workers =
       std::min<int>(nworkers, std::max<std::size_t>(items.size(), 1));
@@ -38,10 +107,32 @@ void batched_smm(T alpha, const std::vector<GemmBatchItem<T>>& items,
         static_cast<index_t>(items.size()), workers, w);
     for (index_t i = range.begin; i < range.end; ++i) {
       const auto& item = items[static_cast<std::size_t>(i)];
-      plan::execute_plan(*plans[static_cast<std::size_t>(i)], alpha, item.a,
-                         item.b, beta, item.c);
+      try {
+        plan::execute_plan(*plans[static_cast<std::size_t>(i)], alpha,
+                           item.a, item.b, beta, item.c);
+      } catch (const Error& e) {
+        std::lock_guard<std::mutex> lock(failures_mu);
+        if (failures.empty()) first_code = e.code();
+        failures.emplace_back(i, e.what());
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(failures_mu);
+        if (failures.empty()) first_code = ErrorCode::kUnknown;
+        failures.emplace_back(i, e.what());
+      }
     }
   });
+
+  if (!failures.empty()) {
+    std::sort(failures.begin(), failures.end());
+    robust::health().batched_item_failures.fetch_add(
+        failures.size(), std::memory_order_relaxed);
+    std::string msg = strprintf("batched_smm: %zu of %zu items failed:",
+                                failures.size(), items.size());
+    for (const auto& [idx, what] : failures)
+      msg += strprintf(" [item %ld: %s]", static_cast<long>(idx),
+                       what.c_str());
+    throw Error(first_code, msg);
+  }
 }
 
 template void batched_smm(float, const std::vector<GemmBatchItem<float>>&,

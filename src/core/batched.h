@@ -22,7 +22,12 @@ struct GemmBatchItem {
 
 /// C_i = alpha * A_i * B_i + beta * C_i for every item. Shapes may differ
 /// per item (each hits the cache separately). `nworkers` > 1 spreads
-/// items across threads; outputs must not alias across items.
+/// items across threads. Items are validated up front (dimension
+/// mismatches, zero dimensions, null data, and C views aliasing across
+/// items are rejected with the item index, ErrorCode kBadShape/kAlias);
+/// runtime failures of individual items do not stop the rest of the
+/// batch — they are aggregated into one smm::Error naming every failed
+/// item.
 template <typename T>
 void batched_smm(T alpha, const std::vector<GemmBatchItem<T>>& items,
                  T beta, PlanCache& cache, int nworkers = 1);

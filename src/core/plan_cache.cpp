@@ -27,6 +27,7 @@ std::shared_ptr<const plan::GemmPlan> PlanCache::get(
   // threads racing on the same shape just do redundant work once.
   auto plan = std::make_shared<const plan::GemmPlan>(
       strategy_.make_plan(shape, scalar, nthreads));
+  builds_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
@@ -53,8 +54,9 @@ void PlanCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
-  hits_ = 0;
-  misses_ = 0;
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  builds_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace smm::core

@@ -5,6 +5,7 @@
 // Thread-safe; LRU-bounded.
 #pragma once
 
+#include <atomic>
 #include <list>
 #include <map>
 #include <memory>
@@ -29,8 +30,20 @@ class PlanCache {
                                             int nthreads);
 
   [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::size_t hits() const { return hits_; }
-  [[nodiscard]] std::size_t misses() const { return misses_; }
+  // Counters are read lock-free while writers hold the mutex, so they
+  // must be atomic (relaxed: they are statistics, not synchronization).
+  [[nodiscard]] std::size_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  /// Plans built by callers bypassing or racing the cache (observability:
+  /// every miss implies one build; concurrent same-shape misses build
+  /// redundantly and the loser's build is counted here too).
+  [[nodiscard]] std::size_t builds() const {
+    return builds_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   void clear();
 
@@ -48,8 +61,9 @@ class PlanCache {
   // LRU: most recent at front; map points into the list.
   std::list<std::pair<Key, std::shared_ptr<const plan::GemmPlan>>> lru_;
   std::map<Key, decltype(lru_)::iterator> index_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> builds_{0};
 };
 
 }  // namespace smm::core

@@ -140,9 +140,14 @@ std::unique_ptr<libs::GemmStrategy> make_reference_smm(SmmOptions options) {
 template <typename T>
 void smm_gemm(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
               MatrixView<T> c, int nthreads, const SmmOptions& options) {
-  SMM_EXPECT(a.rows() == c.rows() && b.cols() == c.cols() &&
-                 a.cols() == b.rows(),
-             "smm_gemm dimension mismatch");
+  SMM_EXPECT_CODE(a.rows() == c.rows() && b.cols() == c.cols() &&
+                      a.cols() == b.rows(),
+                  ErrorCode::kBadShape, "smm_gemm dimension mismatch");
+  SMM_EXPECT_CODE((a.empty() || a.data() != nullptr) &&
+                      (b.empty() || b.data() != nullptr) &&
+                      (c.empty() || c.data() != nullptr),
+                  ErrorCode::kBadShape, "smm_gemm operand has null data");
+  SMM_EXPECT(nthreads >= 1, "smm_gemm needs at least one thread");
   const ReferenceSmm strategy{options};
   const GemmShape shape{c.rows(), c.cols(), a.cols()};
   const auto scalar = sizeof(T) == 4 ? plan::ScalarType::kF32

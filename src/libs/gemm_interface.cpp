@@ -25,9 +25,14 @@ const char* to_string(ParallelMethod p) {
 template <typename T>
 void run(const GemmStrategy& strategy, T alpha, ConstMatrixView<T> a,
          ConstMatrixView<T> b, T beta, MatrixView<T> c, int nthreads) {
-  SMM_EXPECT(a.rows() == c.rows() && b.cols() == c.cols() &&
-                 a.cols() == b.rows(),
-             "gemm dimension mismatch");
+  SMM_EXPECT_CODE(a.rows() == c.rows() && b.cols() == c.cols() &&
+                      a.cols() == b.rows(),
+                  ErrorCode::kBadShape, "gemm dimension mismatch");
+  SMM_EXPECT_CODE((a.empty() || a.data() != nullptr) &&
+                      (b.empty() || b.data() != nullptr) &&
+                      (c.empty() || c.data() != nullptr),
+                  ErrorCode::kBadShape, "gemm operand has null data");
+  SMM_EXPECT(nthreads >= 1, "run needs at least one thread");
   const GemmShape shape{c.rows(), c.cols(), a.cols()};
   const auto scalar = sizeof(T) == 4 ? plan::ScalarType::kF32
                                      : plan::ScalarType::kF64;

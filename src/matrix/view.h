@@ -3,6 +3,8 @@
 // many small blocks carved out of one arena).
 #pragma once
 
+#include <utility>
+
 #include "src/common/error.h"
 #include "src/common/types.h"
 
@@ -137,6 +139,27 @@ class ConstMatrixView {
   index_t ld_ = 0;
   Layout layout_ = Layout::kColMajor;
 };
+
+/// Half-open [begin, end) byte range a view's elements can touch (all
+/// smmkit views have positive strides). Empty views map to {null, null}.
+template <typename T>
+[[nodiscard]] std::pair<const void*, const void*> storage_range(
+    ConstMatrixView<T> v) {
+  if (v.empty() || v.data() == nullptr) return {nullptr, nullptr};
+  const T* last = &v(v.rows() - 1, v.cols() - 1);
+  return {static_cast<const void*>(v.data()),
+          static_cast<const void*>(last + 1)};
+}
+
+/// True iff the two views can touch a common byte (aliasing detection at
+/// guarded/batched entry points).
+template <typename T>
+[[nodiscard]] bool views_overlap(ConstMatrixView<T> x, ConstMatrixView<T> y) {
+  const auto rx = storage_range(x);
+  const auto ry = storage_range(y);
+  if (rx.first == nullptr || ry.first == nullptr) return false;
+  return rx.first < ry.second && ry.first < rx.second;
+}
 
 /// The transpose as a view: no copy — a col-major matrix's transpose is
 /// the same storage read row-major (and vice versa). This is how the GEMM

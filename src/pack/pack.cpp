@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/error.h"
+#include "src/robust/fault_injection.h"
 
 namespace smm::pack {
 
@@ -66,6 +67,8 @@ void pack_a(ConstMatrixView<T> a_block, index_t mr, bool pad, T* dst) {
       for (index_t i = rows_here; i < stored; ++i) col[i] = T(0);
     }
   }
+  robust::maybe_corrupt(robust::FaultSite::kPackBitFlip, dst,
+                        packed_a_size(mc, kc, mr, pad));
 }
 
 template <typename T>
@@ -84,6 +87,8 @@ void pack_b(ConstMatrixView<T> b_block, index_t nr, bool pad, T* dst) {
       for (index_t j = cols_here; j < stored; ++j) row[j] = T(0);
     }
   }
+  robust::maybe_corrupt(robust::FaultSite::kPackBitFlip, dst,
+                        packed_b_size(kc, nc, nr, pad));
 }
 
 template <typename T>
@@ -102,6 +107,8 @@ void pack_a_chunked(ConstMatrixView<T> a_block,
   }
   SMM_EXPECT(i0 == a_block.rows(),
              "pack_a_chunked: heights must cover the block");
+  robust::maybe_corrupt(robust::FaultSite::kPackBitFlip, dst,
+                        a_block.rows() * kc);
 }
 
 template <typename T>
@@ -120,6 +127,8 @@ void pack_b_chunked(ConstMatrixView<T> b_block,
   }
   SMM_EXPECT(j0 == b_block.cols(),
              "pack_b_chunked: widths must cover the block");
+  robust::maybe_corrupt(robust::FaultSite::kPackBitFlip, dst,
+                        b_block.cols() * kc);
 }
 
 template void pack_a_chunked(ConstMatrixView<float>,

@@ -8,6 +8,7 @@
 #include "src/kernels/microkernel.h"
 #include "src/kernels/registry.h"
 #include "src/pack/pack.h"
+#include "src/robust/fault_injection.h"
 #include "src/threading/barrier.h"
 #include "src/threading/thread_pool.h"
 
@@ -161,6 +162,10 @@ struct OpRunner {
       kern::generic_microkernel<T>(op.kc, ctx.alpha, beta_call, ops,
                                    op.useful_m, op.useful_n);
     }
+    // Fault-injection point: a miscomputing kernel corrupts its own C
+    // update (the tile anchor — the slab anchor for K-split tiles).
+    robust::maybe_corrupt(robust::FaultSite::kKernelMiscompute, ops.c,
+                          index_t{1});
   }
 
   void operator()(const BarrierOp& op) const {
@@ -201,23 +206,39 @@ struct OpRunner {
 template <typename T>
 void execute_plan(const GemmPlan& plan, T alpha, ConstMatrixView<T> a,
                   ConstMatrixView<T> b, T beta, MatrixView<T> c) {
-  SMM_EXPECT(a.rows() == plan.shape.m && a.cols() == plan.shape.k,
-             "A shape does not match the plan");
-  SMM_EXPECT(b.rows() == plan.shape.k && b.cols() == plan.shape.n,
-             "B shape does not match the plan");
-  SMM_EXPECT(c.rows() == plan.shape.m && c.cols() == plan.shape.n,
-             "C shape does not match the plan");
+  SMM_EXPECT_CODE(a.rows() == plan.shape.m && a.cols() == plan.shape.k,
+                  ErrorCode::kBadShape,
+                  "A shape does not match the plan");
+  SMM_EXPECT_CODE(b.rows() == plan.shape.k && b.cols() == plan.shape.n,
+                  ErrorCode::kBadShape,
+                  "B shape does not match the plan");
+  SMM_EXPECT_CODE(c.rows() == plan.shape.m && c.cols() == plan.shape.n,
+                  ErrorCode::kBadShape,
+                  "C shape does not match the plan");
+  SMM_EXPECT_CODE((a.empty() || a.data() != nullptr) &&
+                      (b.empty() || b.data() != nullptr) &&
+                      (c.empty() || c.data() != nullptr),
+                  ErrorCode::kBadShape,
+                  "execute_plan operand has null data");
   const bool want_f32 = plan.scalar == ScalarType::kF32;
   SMM_EXPECT(want_f32 == (sizeof(T) == 4),
              "scalar type does not match the plan");
 
   ExecContext<T> ctx(plan, alpha, a, b, beta, c);
-  par::run_parallel(plan.nthreads, [&](int tid) {
-    OpRunner<T> runner{ctx};
-    for (const auto& op :
-         plan.thread_ops[static_cast<std::size_t>(tid)])
-      std::visit(runner, op);
-  });
+  par::run_parallel(
+      plan.nthreads,
+      [&](int tid) {
+        OpRunner<T> runner{ctx};
+        for (const auto& op :
+             plan.thread_ops[static_cast<std::size_t>(tid)])
+          std::visit(runner, op);
+      },
+      // A worker that dies can never arrive at its remaining BarrierOps;
+      // poison every plan barrier so peers fail instead of blocking
+      // forever on an arrival that will never come.
+      [&ctx] {
+        for (auto& barrier : ctx.barriers) barrier->poison();
+      });
 }
 
 template void execute_plan(const GemmPlan&, float, ConstMatrixView<float>,

@@ -1,0 +1,42 @@
+// Algorithm-Based Fault Tolerance checks, promoted from
+// examples/abft_checksum.cpp into a library feature. Row-checksum
+// verification of C = alpha*A*B + beta*C0 through the invariant
+//
+//   W * C  ==  alpha * (W * A) * B + beta * (W * C0)
+//
+// with W the 2 x m weight matrix [ones; ramp] from the example (ones
+// detects, the ramp localizes the column). The check costs two
+// skinny GEMVs per operand — O(mn + mk + kn) — negligible next to the
+// m*n*k product exactly when small-M GEMM is fast, which is the paper's
+// ABFT motivation.
+#pragma once
+
+#include "src/common/types.h"
+#include "src/matrix/view.h"
+
+namespace smm::robust {
+
+/// Result of one row-checksum verification.
+struct ChecksumReport {
+  double residual = 0.0;   ///< max |W*C - expected| over both weight rows
+  double tolerance = 0.0;  ///< the bound the residual was tested against
+  index_t worst_col = -1;  ///< column of the worst residual (localization)
+  bool ok = false;
+
+  /// NaN-safe: a NaN residual is a detected fault, not a pass.
+  [[nodiscard]] static bool passes(double residual, double tolerance) {
+    return residual <= tolerance;  // false for NaN
+  }
+};
+
+/// Verify c_after == alpha*a*b + beta*c_before by row checksums.
+/// `tolerance_scale` multiplies the k-dependent GEMM rounding bound;
+/// the default absorbs the extra m-row summation of the checksum.
+template <typename T>
+ChecksumReport verify_gemm_checksum(T alpha, ConstMatrixView<T> a,
+                                    ConstMatrixView<T> b, T beta,
+                                    const T* c_before, index_t c_before_ld,
+                                    ConstMatrixView<T> c_after,
+                                    double tolerance_scale = 64.0);
+
+}  // namespace smm::robust

@@ -1,0 +1,145 @@
+#include "src/robust/fault_injection.h"
+
+#include <cstring>
+#include <mutex>
+
+namespace smm::robust {
+
+namespace detail {
+std::atomic<int> g_armed_sites{0};
+}  // namespace detail
+
+namespace {
+// splitmix64: cheap stateless mixing for picking elements/bits from the
+// armed seed plus the per-site fire ordinal.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+const char* to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kPackBitFlip:
+      return "pack-bit-flip";
+    case FaultSite::kWorkerThrow:
+      return "worker-throw";
+    case FaultSite::kAllocFail:
+      return "alloc-fail";
+    case FaultSite::kKernelMiscompute:
+      return "kernel-miscompute";
+  }
+  return "?";
+}
+
+struct FaultInjector::SiteState {
+  mutable std::mutex mu;
+  bool armed = false;
+  FaultSpec spec;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+FaultInjector::SiteState& FaultInjector::state(FaultSite site) const {
+  static SiteState states[kFaultSiteCount];
+  return states[static_cast<int>(site)];
+}
+
+void FaultInjector::arm(FaultSite site, FaultSpec spec) {
+  SiteState& s = state(site);
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.armed) detail::g_armed_sites.fetch_add(1);
+  s.armed = true;
+  s.spec = spec;
+  s.hits = 0;
+  s.fires = 0;
+}
+
+void FaultInjector::disarm(FaultSite site) {
+  SiteState& s = state(site);
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.armed) detail::g_armed_sites.fetch_sub(1);
+  s.armed = false;
+}
+
+void FaultInjector::disarm_all() {
+  for (int i = 0; i < kFaultSiteCount; ++i)
+    disarm(static_cast<FaultSite>(i));
+}
+
+std::uint64_t FaultInjector::hit_count(FaultSite site) const {
+  SiteState& s = state(site);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.hits;
+}
+
+std::uint64_t FaultInjector::fired_count(FaultSite site) const {
+  SiteState& s = state(site);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.fires;
+}
+
+bool FaultInjector::armed(FaultSite site) const {
+  SiteState& s = state(site);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.armed;
+}
+
+std::uint64_t FaultInjector::seed(FaultSite site) const {
+  SiteState& s = state(site);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.spec.seed;
+}
+
+bool FaultInjector::fire(FaultSite site) {
+  SiteState& s = state(site);
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.armed) return false;
+  const std::uint64_t ordinal = s.hits++;
+  if (ordinal < s.spec.fire_after) return false;
+  if (s.fires >= s.spec.max_fires) return false;
+  ++s.fires;
+  return true;
+}
+
+namespace {
+
+template <typename T, typename Bits>
+void corrupt_impl(FaultSite site, T* buf, index_t count) {
+  if (count <= 0 || buf == nullptr) return;
+  if (!should_fire(site)) return;
+  FaultInjector& inj = FaultInjector::instance();
+  const std::uint64_t h =
+      mix64(inj.seed(site) ^ (inj.fired_count(site) * 0x9e37ULL) ^
+            static_cast<std::uint64_t>(static_cast<int>(site)));
+  const index_t idx =
+      static_cast<index_t>(h % static_cast<std::uint64_t>(count));
+  // Flip the top exponent bit: for any IEEE value (zero padding included)
+  // the delta is >= 1.0, so the fault is never numerically invisible —
+  // a seeded mantissa flip of a tiny element could hide under the GEMM
+  // tolerance and make detection flaky.
+  const unsigned bit = sizeof(Bits) * 8 - 2;
+  Bits raw;
+  std::memcpy(&raw, &buf[idx], sizeof(raw));
+  raw ^= Bits{1} << bit;
+  std::memcpy(&buf[idx], &raw, sizeof(raw));
+}
+
+}  // namespace
+
+void maybe_corrupt_f32(FaultSite site, float* buf, index_t count) {
+  corrupt_impl<float, std::uint32_t>(site, buf, count);
+}
+
+void maybe_corrupt_f64(FaultSite site, double* buf, index_t count) {
+  corrupt_impl<double, std::uint64_t>(site, buf, count);
+}
+
+}  // namespace smm::robust

@@ -1,0 +1,231 @@
+#include "src/robust/guarded_executor.h"
+
+#include <algorithm>
+#include <new>
+#include <vector>
+
+#include "src/common/str.h"
+#include "src/core/smm.h"
+#include "src/libs/naive.h"
+#include "src/plan/native_executor.h"
+#include "src/robust/abft.h"
+#include "src/robust/health.h"
+
+namespace smm::robust {
+
+const char* to_string(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kOk:
+      return "ok";
+    case Outcome::kRecovered:
+      return "recovered";
+    case Outcome::kDegraded:
+      return "degraded";
+    case Outcome::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+std::string RunReport::summary() const {
+  return strprintf(
+      "outcome=%s attempts=%d retries=%d fallback=%s first_error=%s "
+      "residual=%.3e",
+      to_string(outcome), attempts, retries, fallback,
+      smm::to_string(first_error), checksum_residual);
+}
+
+GuardedExecutor::GuardedExecutor(GuardOptions options)
+    : GuardedExecutor(core::reference_smm(), options) {}
+
+GuardedExecutor::GuardedExecutor(const libs::GemmStrategy& strategy,
+                                 GuardOptions options,
+                                 std::size_t cache_capacity)
+    : strategy_(strategy),
+      options_(options),
+      cache_(strategy, cache_capacity) {}
+
+template <typename T>
+RunReport GuardedExecutor::run(T alpha, ConstMatrixView<T> a,
+                               ConstMatrixView<T> b, T beta, MatrixView<T> c,
+                               int nthreads) {
+  SMM_EXPECT_CODE(nthreads >= 1, ErrorCode::kPrecondition,
+                  "guarded run needs at least one thread");
+  SMM_EXPECT_CODE(a.rows() == c.rows() && b.cols() == c.cols() &&
+                      a.cols() == b.rows(),
+                  ErrorCode::kBadShape, "guarded run: dimension mismatch");
+  SMM_EXPECT_CODE(a.empty() || a.data() != nullptr, ErrorCode::kBadShape,
+                  "guarded run: A has null data");
+  SMM_EXPECT_CODE(b.empty() || b.data() != nullptr, ErrorCode::kBadShape,
+                  "guarded run: B has null data");
+  SMM_EXPECT_CODE(c.empty() || c.data() != nullptr, ErrorCode::kBadShape,
+                  "guarded run: C has null data");
+  SMM_EXPECT_CODE(!views_overlap(ConstMatrixView<T>(c), a) &&
+                      !views_overlap(ConstMatrixView<T>(c), b),
+                  ErrorCode::kAlias, "guarded run: C aliases an input");
+
+  Health& h = health();
+  h.guarded_runs.fetch_add(1, std::memory_order_relaxed);
+
+  RunReport report;
+  if (c.empty()) {  // nothing to compute (and nothing to verify)
+    report.outcome = Outcome::kOk;
+    h.clean_runs.fetch_add(1, std::memory_order_relaxed);
+    return report;
+  }
+
+  const index_t m = c.rows(), n = c.cols();
+  const GemmShape shape{m, n, a.cols()};
+  const auto scalar =
+      sizeof(T) == 4 ? plan::ScalarType::kF32 : plan::ScalarType::kF64;
+  const int threads = std::min(nthreads, strategy_.traits().max_threads);
+
+  // Snapshot C (col-major, plain vector so the snapshot itself sits
+  // outside every injection point): retries restore it because beta reads
+  // the pre-update C, and a failed request must leave C untouched.
+  std::vector<T> c0(static_cast<std::size_t>(m * n));
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i)
+      c0[static_cast<std::size_t>(i + j * m)] = c(i, j);
+  const auto restore_c = [&] {
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i)
+        c(i, j) = c0[static_cast<std::size_t>(i + j * m)];
+  };
+
+  const auto record_error = [&](ErrorCode code, const char* what) {
+    report.last_error = code;
+    if (report.first_error == ErrorCode::kUnknown) {
+      report.first_error = code;
+      report.first_error_message = what;
+    }
+    switch (code) {
+      case ErrorCode::kChecksumMismatch:
+        h.checksum_rejections.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ErrorCode::kWorkerPanic:
+        h.worker_panics.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ErrorCode::kAlloc:
+        h.alloc_failures.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        break;
+    }
+  };
+
+  // Run the checksum over the *result*; a failed check is just another
+  // retryable fault.
+  const auto verify_result = [&]() -> bool {
+    if (!options_.verify) return true;
+    const ChecksumReport cr = verify_gemm_checksum<T>(
+        alpha, a, b, beta, beta != T(0) ? c0.data() : nullptr, m,
+        ConstMatrixView<T>(c), options_.tolerance_scale);
+    report.checksum_residual = cr.residual;
+    if (!cr.ok) {
+      record_error(ErrorCode::kChecksumMismatch,
+                   "row checksum rejected the result");
+      return false;
+    }
+    return true;
+  };
+
+  // One attempt of a planned execution: true iff it ran and verified.
+  const auto attempt = [&](const plan::GemmPlan& p) -> bool {
+    ++report.attempts;
+    try {
+      plan::execute_plan(p, alpha, a, b, beta, c);
+    } catch (const Error& e) {
+      record_error(e.code(), e.what());
+      restore_c();
+      return false;
+    } catch (const std::bad_alloc&) {
+      record_error(ErrorCode::kAlloc, "scratch allocation failed");
+      restore_c();
+      return false;
+    } catch (const std::exception& e) {
+      record_error(ErrorCode::kUnknown, e.what());
+      restore_c();
+      return false;
+    }
+    if (!verify_result()) {
+      restore_c();
+      return false;
+    }
+    return true;
+  };
+
+  const auto finish = [&](Outcome base, const char* fallback) {
+    report.retries = report.attempts > 0 ? report.attempts - 1 : 0;
+    if (report.retries > 0)
+      h.retries.fetch_add(static_cast<std::size_t>(report.retries),
+                          std::memory_order_relaxed);
+    report.fallback = fallback;
+    report.outcome = base;
+  };
+
+  // Stage 1: the cached plan, with transient-fault retries.
+  std::shared_ptr<const plan::GemmPlan> cached;
+  try {
+    cached = cache_.get(shape, scalar, threads);
+  } catch (const Error& e) {
+    record_error(e.code(), e.what());
+  } catch (const std::exception& e) {
+    record_error(ErrorCode::kUnknown, e.what());
+  }
+  if (cached) {
+    for (int t = 0; t < 1 + std::max(0, options_.retries); ++t) {
+      if (attempt(*cached)) {
+        finish(report.attempts == 1 ? Outcome::kOk : Outcome::kRecovered,
+               "none");
+        if (report.outcome == Outcome::kOk)
+          h.clean_runs.fetch_add(1, std::memory_order_relaxed);
+        return report;
+      }
+    }
+  }
+
+  // Stage 2: rebuild from the strategy — recovers from a corrupted cache
+  // entry or a plan-level fault the retry could not clear.
+  if (options_.allow_rebuild) {
+    try {
+      const plan::GemmPlan fresh =
+          strategy_.make_plan(shape, scalar, threads);
+      if (attempt(fresh)) {
+        finish(Outcome::kDegraded, "rebuilt-plan");
+        h.rebuild_fallbacks.fetch_add(1, std::memory_order_relaxed);
+        return report;
+      }
+    } catch (const Error& e) {
+      record_error(e.code(), e.what());
+    } catch (const std::exception& e) {
+      record_error(ErrorCode::kUnknown, e.what());
+    }
+  }
+
+  // Stage 3: the trusted triple loop. No packing, no scratch, no worker
+  // threads — immune to every injection point by construction.
+  if (options_.allow_naive) {
+    ++report.attempts;
+    libs::naive_gemm(alpha, a, b, beta, c);
+    if (verify_result()) {
+      finish(Outcome::kDegraded, "naive");
+      h.naive_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      return report;
+    }
+    restore_c();
+  }
+
+  finish(Outcome::kFailed, "none");
+  h.failures.fetch_add(1, std::memory_order_relaxed);
+  return report;
+}
+
+template RunReport GuardedExecutor::run(float, ConstMatrixView<float>,
+                                        ConstMatrixView<float>, float,
+                                        MatrixView<float>, int);
+template RunReport GuardedExecutor::run(double, ConstMatrixView<double>,
+                                        ConstMatrixView<double>, double,
+                                        MatrixView<double>, int);
+
+}  // namespace smm::robust

@@ -1,0 +1,94 @@
+// Guarded GEMM execution: validated inputs, optional ABFT row-checksum
+// verification of every result, and a retry-then-degrade chain —
+//
+//   cached plan  ->  freshly rebuilt plan  ->  libs::naive
+//
+// A silent wrong answer is worse than a slow one (the paper's ABFT
+// motivation); the guarded path never returns an unverified faulty C.
+// Failed attempts restore C from a snapshot before retrying, so beta
+// semantics survive any number of faults, and a fully failed request
+// leaves C exactly as the caller passed it.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/common/error.h"
+#include "src/core/plan_cache.h"
+#include "src/libs/gemm_interface.h"
+#include "src/matrix/view.h"
+
+namespace smm::robust {
+
+/// How a guarded request was ultimately served.
+enum class Outcome {
+  kOk,         ///< first attempt, verified clean
+  kRecovered,  ///< a retry of the planned path succeeded
+  kDegraded,   ///< served by the rebuilt-plan or naive fallback
+  kFailed,     ///< every stage failed; C restored to its input state
+};
+
+const char* to_string(Outcome outcome);
+
+struct GuardOptions {
+  /// ABFT row-checksum verification of every attempt's result. This is
+  /// what turns non-throwing faults (bit flips, kernel miscompute) into
+  /// retryable errors; without it only thrown faults are caught.
+  bool verify = true;
+  /// Extra attempts of the cached plan before degrading (transient-fault
+  /// absorption: a soft error rarely strikes twice).
+  int retries = 1;
+  /// Stage 2: rebuild the plan from the strategy, bypassing the cache.
+  bool allow_rebuild = true;
+  /// Stage 3: the slower-but-trusted triple loop.
+  bool allow_naive = true;
+  /// Multiplier on the k-dependent rounding bound for the checksum.
+  double tolerance_scale = 64.0;
+};
+
+/// Structured account of one guarded run.
+struct RunReport {
+  Outcome outcome = Outcome::kFailed;
+  int attempts = 0;  ///< executions tried (including the one that served)
+  int retries = 0;   ///< attempts - 1 for a served request
+  /// First fault observed (what went wrong), and the last one (why the
+  /// final pre-fallback stage gave up). kUnknown when nothing failed.
+  ErrorCode first_error = ErrorCode::kUnknown;
+  ErrorCode last_error = ErrorCode::kUnknown;
+  std::string first_error_message;
+  /// Residual of the checksum that accepted the served result (0 when
+  /// verification is off).
+  double checksum_residual = 0.0;
+  /// "none", "rebuilt-plan", or "naive".
+  const char* fallback = "none";
+
+  [[nodiscard]] bool ok() const { return outcome != Outcome::kFailed; }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Wraps one strategy (default: the reference SMM) with a PlanCache and
+/// the guarded execution chain. Thread-safe: concurrent run() calls share
+/// the cache and the process-wide health counters.
+class GuardedExecutor {
+ public:
+  explicit GuardedExecutor(GuardOptions options = {});
+  GuardedExecutor(const libs::GemmStrategy& strategy, GuardOptions options,
+                  std::size_t cache_capacity = 256);
+
+  /// C = alpha*A*B + beta*C through the guarded chain. Throws smm::Error
+  /// only for caller bugs (shape/alias/null preconditions); execution
+  /// faults are absorbed into the report.
+  template <typename T>
+  RunReport run(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
+                MatrixView<T> c, int nthreads = 1);
+
+  [[nodiscard]] core::PlanCache& cache() { return cache_; }
+  [[nodiscard]] const GuardOptions& options() const { return options_; }
+
+ private:
+  const libs::GemmStrategy& strategy_;
+  GuardOptions options_;
+  core::PlanCache cache_;
+};
+
+}  // namespace smm::robust

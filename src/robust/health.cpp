@@ -1,0 +1,54 @@
+#include "src/robust/health.h"
+
+#include "src/common/str.h"
+
+namespace smm::robust {
+
+Health& Health::instance() {
+  static Health h;
+  return h;
+}
+
+HealthSnapshot Health::snapshot() const {
+  HealthSnapshot s;
+  s.guarded_runs = guarded_runs.load(std::memory_order_relaxed);
+  s.clean_runs = clean_runs.load(std::memory_order_relaxed);
+  s.retries = retries.load(std::memory_order_relaxed);
+  s.rebuild_fallbacks = rebuild_fallbacks.load(std::memory_order_relaxed);
+  s.naive_fallbacks = naive_fallbacks.load(std::memory_order_relaxed);
+  s.failures = failures.load(std::memory_order_relaxed);
+  s.checksum_rejections =
+      checksum_rejections.load(std::memory_order_relaxed);
+  s.worker_panics = worker_panics.load(std::memory_order_relaxed);
+  s.alloc_failures = alloc_failures.load(std::memory_order_relaxed);
+  s.batched_items = batched_items.load(std::memory_order_relaxed);
+  s.batched_item_failures =
+      batched_item_failures.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Health::reset() {
+  guarded_runs = 0;
+  clean_runs = 0;
+  retries = 0;
+  rebuild_fallbacks = 0;
+  naive_fallbacks = 0;
+  failures = 0;
+  checksum_rejections = 0;
+  worker_panics = 0;
+  alloc_failures = 0;
+  batched_items = 0;
+  batched_item_failures = 0;
+}
+
+std::string HealthSnapshot::to_string() const {
+  return strprintf(
+      "guarded_runs=%zu clean=%zu retries=%zu rebuilds=%zu naive=%zu "
+      "failures=%zu checksum_rej=%zu worker_panics=%zu alloc_fail=%zu "
+      "batched_items=%zu batched_item_failures=%zu",
+      guarded_runs, clean_runs, retries, rebuild_fallbacks, naive_fallbacks,
+      failures, checksum_rejections, worker_panics, alloc_failures,
+      batched_items, batched_item_failures);
+}
+
+}  // namespace smm::robust

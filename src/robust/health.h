@@ -1,0 +1,58 @@
+// Process-wide health counters for the robustness layer: how often the
+// guarded executor ran, retried, degraded, or failed, and how often the
+// batched driver hit per-item trouble. Lock-free (relaxed atomics — these
+// are monotonic event counts, not synchronization); a serving system polls
+// snapshot() for observability.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+namespace smm::robust {
+
+/// Point-in-time copy of the counters (plain values, safe to ship around).
+struct HealthSnapshot {
+  std::size_t guarded_runs = 0;
+  std::size_t clean_runs = 0;
+  std::size_t retries = 0;
+  std::size_t rebuild_fallbacks = 0;
+  std::size_t naive_fallbacks = 0;
+  std::size_t failures = 0;
+  std::size_t checksum_rejections = 0;
+  std::size_t worker_panics = 0;
+  std::size_t alloc_failures = 0;
+  std::size_t batched_items = 0;
+  std::size_t batched_item_failures = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The counters themselves. All increments are relaxed.
+class Health {
+ public:
+  static Health& instance();
+
+  std::atomic<std::size_t> guarded_runs{0};
+  std::atomic<std::size_t> clean_runs{0};
+  std::atomic<std::size_t> retries{0};
+  std::atomic<std::size_t> rebuild_fallbacks{0};
+  std::atomic<std::size_t> naive_fallbacks{0};
+  std::atomic<std::size_t> failures{0};
+  std::atomic<std::size_t> checksum_rejections{0};
+  std::atomic<std::size_t> worker_panics{0};
+  std::atomic<std::size_t> alloc_failures{0};
+  std::atomic<std::size_t> batched_items{0};
+  std::atomic<std::size_t> batched_item_failures{0};
+
+  [[nodiscard]] HealthSnapshot snapshot() const;
+  void reset();
+
+ private:
+  Health() = default;
+};
+
+/// Shorthand accessor.
+inline Health& health() { return Health::instance(); }
+
+}  // namespace smm::robust

@@ -27,6 +27,10 @@
 #include "src/model/prediction.h"
 #include "src/plan/native_executor.h"
 #include "src/plan/plan_stats.h"
+#include "src/robust/abft.h"
+#include "src/robust/fault_injection.h"
+#include "src/robust/guarded_executor.h"
+#include "src/robust/health.h"
 #include "src/sim/exec/pricer.h"
 #include "src/sim/exec/trace_export.h"
 #include "src/sim/machine.h"

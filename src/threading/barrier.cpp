@@ -10,6 +10,11 @@ Barrier::Barrier(int participants) : participants_(participants) {
 
 void Barrier::arrive_and_wait() {
   std::unique_lock<std::mutex> lock(mu_);
+  if (poisoned_) {
+    throw Error(ErrorCode::kWorkerPanic,
+                "smmkit: parallel region aborted: a peer worker failed before "
+                "reaching the barrier");
+  }
   const bool my_sense = sense_;
   if (++waiting_ == participants_) {
     waiting_ = 0;
@@ -17,7 +22,26 @@ void Barrier::arrive_and_wait() {
     cv_.notify_all();
     return;
   }
-  cv_.wait(lock, [&] { return sense_ != my_sense; });
+  cv_.wait(lock, [&] { return poisoned_ || sense_ != my_sense; });
+  if (poisoned_ && sense_ == my_sense) {
+    // Woken by poison(), not by a completed round: this round can never
+    // finish, so leave the barrier in a sane state and fail.
+    --waiting_;
+    throw Error(ErrorCode::kWorkerPanic,
+                "smmkit: parallel region aborted: a peer worker failed before "
+                "reaching the barrier");
+  }
+}
+
+void Barrier::poison() {
+  std::lock_guard<std::mutex> lock(mu_);
+  poisoned_ = true;
+  cv_.notify_all();
+}
+
+bool Barrier::poisoned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return poisoned_;
 }
 
 }  // namespace smm::par

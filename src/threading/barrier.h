@@ -2,6 +2,11 @@
 // executor to realize the BarrierOps that plans emit at the points the
 // paper identifies (after packing A, after packing B, at the end of the
 // kk loop — Section III-D).
+//
+// The barrier is poisonable: a worker that dies mid-plan can never
+// arrive, so without poisoning its peers would block forever and the
+// fork-join join() would deadlock. poison() wakes every waiter and makes
+// all subsequent arrivals throw instead of waiting.
 #pragma once
 
 #include <condition_variable>
@@ -19,16 +24,24 @@ class Barrier {
   Barrier& operator=(const Barrier&) = delete;
 
   /// Block until all participants have arrived; reusable across phases.
+  /// Throws Error(kWorkerPanic) if the barrier has been poisoned.
   void arrive_and_wait();
 
+  /// Mark the barrier failed: wake all current waiters and make every
+  /// later arrival throw. Called by a worker that is dying with an
+  /// exception and therefore can never arrive. Idempotent.
+  void poison();
+
   [[nodiscard]] int participants() const { return participants_; }
+  [[nodiscard]] bool poisoned() const;
 
  private:
   const int participants_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   int waiting_ = 0;
   bool sense_ = false;  // flips each full round
+  bool poisoned_ = false;
 };
 
 }  // namespace smm::par

@@ -2,16 +2,31 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "src/common/error.h"
+#include "src/common/str.h"
+#include "src/robust/fault_injection.h"
 
 namespace smm::par {
 
-void run_parallel(int nthreads, const std::function<void(int)>& body) {
+namespace {
+
+[[noreturn]] void throw_injected_worker_fault(int tid) {
+  throw Error(ErrorCode::kWorkerPanic,
+              strprintf("smmkit: injected worker fault on thread %d", tid));
+}
+
+}  // namespace
+
+void run_parallel(int nthreads, const std::function<void(int)>& body,
+                  const std::function<void()>& on_worker_failure) {
   SMM_EXPECT(nthreads > 0, "run_parallel needs at least one thread");
   if (nthreads == 1) {
+    if (robust::should_fire(robust::FaultSite::kWorkerThrow))
+      throw_injected_worker_fault(0);
     body(0);
     return;
   }
@@ -22,15 +37,44 @@ void run_parallel(int nthreads, const std::function<void(int)>& body) {
   for (int t = 0; t < nthreads; ++t) {
     threads.emplace_back([&, t] {
       try {
+        if (robust::should_fire(robust::FaultSite::kWorkerThrow))
+          throw_injected_worker_fault(t);
         body(t);
       } catch (...) {
         errors[static_cast<std::size_t>(t)] = std::current_exception();
+        // Unblock peers before the join: a dead worker can never reach
+        // the synchronization points the surviving bodies wait on.
+        if (on_worker_failure) on_worker_failure();
       }
     });
   }
   for (auto& th : threads) th.join();
-  for (auto& err : errors)
-    if (err) std::rethrow_exception(err);
+
+  // Aggregate every worker failure: one failing worker rethrows its
+  // original exception (type preserved); several failing workers are
+  // combined into one kWorkerPanic error naming each thread, so no
+  // failure is silently dropped behind the first.
+  std::vector<std::pair<int, std::exception_ptr>> failed;
+  for (int t = 0; t < nthreads; ++t)
+    if (errors[static_cast<std::size_t>(t)])
+      failed.emplace_back(t, errors[static_cast<std::size_t>(t)]);
+  if (failed.empty()) return;
+  if (failed.size() == 1) std::rethrow_exception(failed.front().second);
+  std::string combined =
+      strprintf("smmkit: %zu of %d workers failed:", failed.size(),
+                nthreads);
+  for (const auto& [tid, err] : failed) {
+    combined += strprintf(" [thread %d: ", tid);
+    try {
+      std::rethrow_exception(err);
+    } catch (const std::exception& e) {
+      combined += e.what();
+    } catch (...) {
+      combined += "non-standard exception";
+    }
+    combined += "]";
+  }
+  throw Error(ErrorCode::kWorkerPanic, combined);
 }
 
 int native_threads_available() {

@@ -14,9 +14,19 @@
 namespace smm::par {
 
 /// Run body(tid) for tid in [0, nthreads) on concurrent threads and join.
-/// body must be thread-safe across tids. Exceptions in bodies are captured
-/// and the first one rethrown after the join.
-void run_parallel(int nthreads, const std::function<void(int)>& body);
+/// body must be thread-safe across tids. Exceptions in bodies are
+/// captured; after the join a single failure is rethrown as-is, while
+/// multiple failures are aggregated into one smm::Error (kWorkerPanic)
+/// whose message names every failing thread.
+///
+/// on_worker_failure, if set, is invoked on the failing worker's thread
+/// the moment its exception is captured — before the join, while peers
+/// are still running. Bodies that synchronize through blocking primitives
+/// (plan barriers) use it to cancel those primitives so surviving peers
+/// fail instead of waiting forever for a worker that will never arrive.
+/// It must be thread-safe and idempotent, and must not throw.
+void run_parallel(int nthreads, const std::function<void(int)>& body,
+                  const std::function<void()>& on_worker_failure = {});
 
 /// Hardware concurrency clamped to [1, 256].
 int native_threads_available();
