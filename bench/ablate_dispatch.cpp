@@ -1,0 +1,127 @@
+// Dispatch-overhead ablation: what does one smm_gemm call cost beyond its
+// FMAs, and how much of that the zero-overhead dispatch work removes.
+//
+// Three per-call regimes on each (shape, threads) point:
+//   rebuild   - plan built from scratch every call (the pre-cache path)
+//   warm      - cached-plan fast path (what smm_gemm does after call 1)
+//   prepacked - PrepackedB replay (B packed once, outside the loop)
+//
+// Emits CSV to stdout (and --csv <path>) plus a JSON summary to
+// --json <path> (default BENCH_dispatch.json) for the driver to archive.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/str.h"
+#include "src/common/rng.h"
+#include "src/core/plan_cache.h"
+#include "src/core/smm.h"
+#include "src/matrix/matrix.h"
+#include "src/plan/native_executor.h"
+#include "src/threading/thread_pool.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ns_per_call(const std::function<void()>& fn, int iters) {
+  fn();  // one unmeasured call: page in, warm pool/cache/arena
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  const auto t1 = Clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / iters;
+}
+
+struct Row {
+  smm::index_t m, n, k;
+  int threads;
+  std::string mode;
+  double ns;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace smm;
+  const int iters =
+      std::stoi(bench::arg_value(argc, argv, "--iters", "2000"));
+  const std::string json_path =
+      bench::arg_value(argc, argv, "--json", "BENCH_dispatch.json");
+
+  const GemmShape shapes[] = {{8, 8, 8}, {16, 16, 16}, {32, 32, 32},
+                              {64, 64, 64}};
+  const int thread_counts[] = {1, 4};
+
+  bench::CsvSink csv(argc, argv, "m,n,k,threads,mode,ns_per_call,gflops");
+  std::vector<Row> rows;
+
+  core::SmmOptions options;  // defaults: the production configuration
+  for (const auto& shape : shapes) {
+    Rng rng(42);
+    Matrix<float> a(shape.m, shape.k), b(shape.k, shape.n),
+        c(shape.m, shape.n);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    c.fill_random(rng);
+    for (const int threads : thread_counts) {
+      const auto strategy = core::make_reference_smm(options);
+      const auto record = [&](const char* mode, double ns) {
+        const double gflops = shape.flops() / ns;  // flops/ns == GF/s
+        csv.row(strprintf("%ld,%ld,%ld,%d,%s,%.1f,%.3f",
+                          static_cast<long>(shape.m),
+                          static_cast<long>(shape.n),
+                          static_cast<long>(shape.k), threads, mode, ns,
+                          gflops));
+        rows.push_back({shape.m, shape.n, shape.k, threads, mode, ns});
+      };
+
+      // Rebuild-per-call: the dispatch cost the cache eliminates.
+      record("rebuild", ns_per_call(
+                            [&] {
+                              const auto plan = strategy->make_plan(
+                                  shape, plan::ScalarType::kF32, threads);
+                              plan::execute_plan(plan, 1.0f, a.cview(),
+                                                 b.cview(), 0.0f, c.view());
+                            },
+                            iters));
+
+      // Warm fast path: what a steady-state smm_gemm call costs.
+      record("warm", ns_per_call(
+                         [&] {
+                           core::smm_gemm(1.0f, a.cview(), b.cview(), 0.0f,
+                                          c.view(), threads, options);
+                         },
+                         iters));
+
+      // PrepackedB replay: pack B outside the loop, then stream As.
+      core::SmmOptions packed = options;
+      packed.pack_b = core::SmmOptions::Packing::kAlways;
+      const auto handle =
+          core::smm_prepack_b(b.cview(), shape.m, threads, packed);
+      record("prepacked", ns_per_call(
+                              [&] {
+                                handle.run(1.0f, a.cview(), 0.0f,
+                                           c.view());
+                              },
+                              iters));
+    }
+  }
+
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"ablate_dispatch\",\n  \"iters\": " << iters
+       << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    json << "    {\"m\": " << r.m << ", \"n\": " << r.n
+         << ", \"k\": " << r.k << ", \"threads\": " << r.threads
+         << ", \"mode\": \"" << r.mode << "\", \"ns_per_call\": " << r.ns
+         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("# wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -40,15 +40,22 @@ class AlignedBuffer {
 
   /// Reallocate to hold `count` elements; contents are value-initialized.
   void reset(index_t count) {
+    if (count > 0 && robust::should_fire(robust::FaultSite::kAllocFail))
+      throw Error(ErrorCode::kAlloc,
+                  "smmkit: injected scratch allocation failure");
+    reset_unchecked(count);
+  }
+
+  /// reset() without consulting the kAllocFail injection site — for
+  /// callers (the ExecScratch arena) that account the injection point
+  /// per logical buffer themselves.
+  void reset_unchecked(index_t count) {
     SMM_EXPECT(count >= 0, "buffer size must be non-negative");
     size_ = count;
     if (count == 0) {
       data_.reset();
       return;
     }
-    if (robust::should_fire(robust::FaultSite::kAllocFail))
-      throw Error(ErrorCode::kAlloc,
-                  "smmkit: injected scratch allocation failure");
     const std::size_t bytes =
         round_up(static_cast<std::size_t>(count) * sizeof(T));
     void* raw = std::aligned_alloc(kBufferAlignment, bytes);

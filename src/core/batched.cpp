@@ -44,6 +44,11 @@ void validate_batch(const std::vector<GemmBatchItem<T>>& items) {
                     ErrorCode::kBadShape,
                     strprintf("batched_smm: item %zu has null data", i));
   }
+  // A single-item batch has nothing to alias against: skip the extent
+  // vector + sort entirely (this path is hit per-call by adapters that
+  // funnel single GEMMs through the batch API, where the allocation and
+  // sort would be pure overhead).
+  if (items.size() < 2) return;
   // Outputs must not alias across items (workers write them
   // concurrently). Sort C ranges by start; any overlap shows up between
   // neighbours, so the check is O(n log n), not O(n^2).
@@ -100,6 +105,9 @@ void batched_smm(T alpha, const std::vector<GemmBatchItem<T>>& items,
   std::vector<std::pair<index_t, std::string>> failures;
   ErrorCode first_code = ErrorCode::kUnknown;
 
+  // run_parallel dispatches on the shared persistent WorkerPool: batch
+  // after batch reuses the same parked workers (and a one-item batch
+  // takes the single-thread bypass, touching no pool state at all).
   const int workers =
       std::min<int>(nworkers, std::max<std::size_t>(items.size(), 1));
   par::run_parallel(workers, [&](int w) {

@@ -1,6 +1,9 @@
 #include "src/core/plan_cache.h"
 
+#include <utility>
+
 #include "src/common/error.h"
+#include "src/robust/health.h"
 
 namespace smm::core {
 
@@ -11,38 +14,77 @@ PlanCache::PlanCache(const libs::GemmStrategy& strategy,
 }
 
 std::shared_ptr<const plan::GemmPlan> PlanCache::get(
-    GemmShape shape, plan::ScalarType scalar, int nthreads) {
+    GemmShape shape, plan::ScalarType scalar, int nthreads,
+    std::uint64_t fingerprint) {
+  return get_or_build(shape, scalar, nthreads, fingerprint, [&] {
+    return strategy_.make_plan(shape, scalar, nthreads);
+  });
+}
+
+std::shared_ptr<const plan::GemmPlan> PlanCache::get_or_build(
+    GemmShape shape, plan::ScalarType scalar, int nthreads,
+    std::uint64_t fingerprint, const PlanBuilder& build) {
   const Key key{shape.m, shape.n, shape.k, static_cast<int>(scalar),
-                nthreads};
+                nthreads, fingerprint};
+  std::promise<PlanPtr> promise;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     const auto it = index_.find(key);
     if (it != index_.end()) {
       ++hits_;
       lru_.splice(lru_.begin(), lru_, it->second);  // bump to front
+      robust::health().plan_cache_hits.fetch_add(
+          1, std::memory_order_relaxed);
       return it->second->second;
     }
+    const auto flight = inflight_.find(key);
+    if (flight != inflight_.end()) {
+      // Same key already building: share that build instead of doing a
+      // redundant one. Counted as a hit — this caller built nothing.
+      // (get() on the future rethrows the builder's exception, if any.)
+      auto future = flight->second;
+      ++hits_;
+      robust::health().plan_cache_hits.fetch_add(
+          1, std::memory_order_relaxed);
+      lock.unlock();
+      return future.get();
+    }
+    ++misses_;
+    robust::health().plan_cache_misses.fetch_add(
+        1, std::memory_order_relaxed);
+    inflight_.emplace(key, promise.get_future().share());
   }
-  // Build outside the lock: plan construction can be expensive and two
-  // threads racing on the same shape just do redundant work once.
-  auto plan = std::make_shared<const plan::GemmPlan>(
-      strategy_.make_plan(shape, scalar, nthreads));
-  builds_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = index_.find(key);
-  if (it != index_.end()) {
-    ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->second;
+
+  // Build outside the lock: plan construction is the expensive part and
+  // must not serialize hits on other keys behind it.
+  PlanPtr plan;
+  try {
+    plan = std::make_shared<const plan::GemmPlan>(build());
+    builds_.fetch_add(1, std::memory_order_relaxed);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inflight_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
   }
-  ++misses_;
-  lru_.emplace_front(key, std::move(plan));
-  index_[key] = lru_.begin();
-  if (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(key);
+    // clear() may have raced the build; insert into whatever state the
+    // cache is in now (a pre-existing entry is impossible — inflight_
+    // excluded every other builder of this key).
+    lru_.emplace_front(key, plan);
+    index_[key] = lru_.begin();
+    if (lru_.size() > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
   }
-  return lru_.front().second;
+  promise.set_value(plan);
+  return plan;
 }
 
 std::size_t PlanCache::size() const {
@@ -54,6 +96,8 @@ void PlanCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+  // In-flight builds are left to finish: their waiters still get a plan,
+  // and the completed build re-inserts into the emptied cache.
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   builds_.store(0, std::memory_order_relaxed);

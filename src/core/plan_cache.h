@@ -2,10 +2,14 @@
 // generation" recommendation (Section IV): like LIBXSMM's JIT dispatch,
 // the expensive shape-specific artifact (here a GemmPlan instead of
 // machine code) is built once per shape and looked up on every call.
-// Thread-safe; LRU-bounded.
+// Thread-safe; LRU-bounded; concurrent misses on the same key are
+// single-flighted (one build, every racer gets the same plan).
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
 #include <list>
 #include <map>
 #include <memory>
@@ -18,16 +22,34 @@ namespace smm::core {
 
 class PlanCache {
  public:
+  /// Builds the plan for a key on a miss; runs outside the cache lock.
+  using PlanBuilder = std::function<plan::GemmPlan()>;
+
   /// Caches plans produced by `strategy` (which must outlive the cache).
   explicit PlanCache(const libs::GemmStrategy& strategy,
                      std::size_t capacity = 256);
 
-  /// The plan for (shape, scalar, nthreads): cached, or built and
-  /// inserted. Returned as shared_ptr so an entry may be evicted while
-  /// callers still execute it.
+  /// The plan for (shape, scalar, nthreads, fingerprint): cached, or
+  /// built by the constructor strategy and inserted. `fingerprint`
+  /// disambiguates plans that share a shape but were built under
+  /// different options (e.g. core::options_fingerprint) — without it a
+  /// cache serving several option sets would alias their plans. Returned
+  /// as shared_ptr so an entry may be evicted while callers still
+  /// execute it.
   std::shared_ptr<const plan::GemmPlan> get(GemmShape shape,
                                             plan::ScalarType scalar,
-                                            int nthreads);
+                                            int nthreads,
+                                            std::uint64_t fingerprint = 0);
+
+  /// Like get(), but a miss builds through `build` instead of the
+  /// constructor strategy — the hook that lets one process-wide cache
+  /// serve every option set. Concurrent misses on one key are
+  /// single-flighted: the first caller builds, the racers block on the
+  /// in-flight build and share its plan (counted as hits — they did not
+  /// build); a build that throws propagates to every waiter.
+  std::shared_ptr<const plan::GemmPlan> get_or_build(
+      GemmShape shape, plan::ScalarType scalar, int nthreads,
+      std::uint64_t fingerprint, const PlanBuilder& build);
 
   [[nodiscard]] std::size_t size() const;
   // Counters are read lock-free while writers hold the mutex, so they
@@ -38,9 +60,9 @@ class PlanCache {
   [[nodiscard]] std::size_t misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
-  /// Plans built by callers bypassing or racing the cache (observability:
-  /// every miss implies one build; concurrent same-shape misses build
-  /// redundantly and the loser's build is counted here too).
+  /// Plans actually constructed on behalf of this cache. Single-flight
+  /// makes builds() == misses() in steady state; the counter stays
+  /// separate so tests can assert "warm calls build nothing".
   [[nodiscard]] std::size_t builds() const {
     return builds_.load(std::memory_order_relaxed);
   }
@@ -52,15 +74,21 @@ class PlanCache {
     index_t m, n, k;
     int scalar;
     int nthreads;
+    std::uint64_t fingerprint;
     auto operator<=>(const Key&) const = default;
   };
+  using PlanPtr = std::shared_ptr<const plan::GemmPlan>;
 
   const libs::GemmStrategy& strategy_;
   const std::size_t capacity_;
   mutable std::mutex mu_;
   // LRU: most recent at front; map points into the list.
-  std::list<std::pair<Key, std::shared_ptr<const plan::GemmPlan>>> lru_;
+  std::list<std::pair<Key, PlanPtr>> lru_;
   std::map<Key, decltype(lru_)::iterator> index_;
+  // Builds in flight: racers on the same key wait on the shared future
+  // instead of building redundantly. Entries are removed (under mu_)
+  // when the build completes or throws.
+  std::map<Key, std::shared_future<PlanPtr>> inflight_;
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
   std::atomic<std::size_t> builds_{0};

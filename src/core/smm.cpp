@@ -6,6 +6,7 @@
 #include "src/core/kernel_select.h"
 #include "src/core/parallel_select.h"
 #include "src/core/plan_builder.h"
+#include "src/core/plan_cache.h"
 #include "src/plan/native_executor.h"
 
 namespace smm::core {
@@ -133,6 +134,40 @@ const libs::GemmStrategy& reference_smm() {
   return instance;
 }
 
+std::uint64_t options_fingerprint(const SmmOptions& options) {
+  // FNV-1a over every field: any option that changes the plan the builder
+  // would emit must change the cache key, or two option sets alias.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(options.pack_a));
+  mix(static_cast<std::uint64_t>(options.pack_b));
+  mix(options.edge_pack ? 1u : 0u);
+  mix(options.adaptive_kernel ? 1u : 0u);
+  mix(static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(options.thread_cap)));
+  return h;
+}
+
+PlanCache& smm_plan_cache() {
+  static PlanCache cache{reference_smm()};
+  return cache;
+}
+
+namespace {
+
+std::shared_ptr<const plan::GemmPlan> cached_smm_plan(
+    GemmShape shape, plan::ScalarType scalar, int nthreads,
+    const SmmOptions& options) {
+  return smm_plan_cache().get_or_build(
+      shape, scalar, nthreads, options_fingerprint(options),
+      [&] { return ReferenceSmm{options}.make_plan(shape, scalar, nthreads); });
+}
+
+}  // namespace
+
 std::unique_ptr<libs::GemmStrategy> make_reference_smm(SmmOptions options) {
   return std::make_unique<ReferenceSmm>(options);
 }
@@ -148,12 +183,13 @@ void smm_gemm(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
                       (c.empty() || c.data() != nullptr),
                   ErrorCode::kBadShape, "smm_gemm operand has null data");
   SMM_EXPECT(nthreads >= 1, "smm_gemm needs at least one thread");
-  const ReferenceSmm strategy{options};
   const GemmShape shape{c.rows(), c.cols(), a.cols()};
   const auto scalar = sizeof(T) == 4 ? plan::ScalarType::kF32
                                      : plan::ScalarType::kF64;
-  const plan::GemmPlan p = strategy.make_plan(shape, scalar, nthreads);
-  plan::execute_plan(p, alpha, a, b, beta, c);
+  // Warm path: the plan is a cache lookup, not a rebuild — on SMM-sized
+  // shapes the build costs more than the multiply it describes.
+  const auto p = cached_smm_plan(shape, scalar, nthreads, options);
+  plan::execute_plan(*p, alpha, a, b, beta, c);
 }
 
 template void smm_gemm(float, ConstMatrixView<float>, ConstMatrixView<float>,
@@ -184,5 +220,24 @@ template void smm_gemm(Trans, Trans, float, ConstMatrixView<float>,
 template void smm_gemm(Trans, Trans, double, ConstMatrixView<double>,
                        ConstMatrixView<double>, double, MatrixView<double>,
                        int, const SmmOptions&);
+
+template <typename T>
+plan::PrepackedB<T> smm_prepack_b(ConstMatrixView<T> b, index_t m,
+                                  int nthreads, const SmmOptions& options) {
+  SMM_EXPECT(m >= 0, "smm_prepack_b needs a non-negative M");
+  SMM_EXPECT(nthreads >= 1, "smm_prepack_b needs at least one thread");
+  const GemmShape shape{m, b.cols(), b.rows()};
+  const auto scalar = sizeof(T) == 4 ? plan::ScalarType::kF32
+                                     : plan::ScalarType::kF64;
+  return plan::PrepackedB<T>(
+      cached_smm_plan(shape, scalar, nthreads, options), b);
+}
+
+template plan::PrepackedB<float> smm_prepack_b(ConstMatrixView<float>,
+                                               index_t, int,
+                                               const SmmOptions&);
+template plan::PrepackedB<double> smm_prepack_b(ConstMatrixView<double>,
+                                                index_t, int,
+                                                const SmmOptions&);
 
 }  // namespace smm::core

@@ -16,12 +16,16 @@
 //     when the tile grid cannot feed more threads.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "src/libs/gemm_interface.h"
 #include "src/matrix/view.h"
+#include "src/plan/native_executor.h"
 
 namespace smm::core {
+
+class PlanCache;
 
 struct SmmOptions {
   enum class Packing { kAuto, kAlways, kNever };
@@ -55,6 +59,26 @@ template <typename T>
 void smm_gemm(Trans trans_a, Trans trans_b, T alpha, ConstMatrixView<T> a,
               ConstMatrixView<T> b, T beta, MatrixView<T> c,
               int nthreads = 1, const SmmOptions& options = {});
+
+/// Stable hash of every SmmOptions field. This is the PlanCache
+/// fingerprint smm_gemm dispatches under: two option sets that would
+/// build different plans must never share a cache entry.
+std::uint64_t options_fingerprint(const SmmOptions& options);
+
+/// The process-wide plan cache behind smm_gemm. Warm calls (same shape,
+/// scalar, nthreads, options) look their plan up here and build nothing —
+/// the libxsmm-style dispatch the paper recommends for small shapes,
+/// where plan construction would otherwise dominate the call. Exposed so
+/// tests and benches can read the hit/miss/build counters and clear().
+PlanCache& smm_plan_cache();
+
+/// Pack B once against the cached plan for C(m x b.cols()) = A * B, then
+/// replay with handle.run(alpha, a, beta, c) — the batch/inference idiom
+/// where one B meets a stream of As. The handle borrows `b`.
+template <typename T>
+plan::PrepackedB<T> smm_prepack_b(ConstMatrixView<T> b, index_t m,
+                                  int nthreads = 1,
+                                  const SmmOptions& options = {});
 
 /// The packing decisions the auto heuristic would take (tests/benches).
 struct PackingDecision {

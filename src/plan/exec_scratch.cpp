@@ -1,0 +1,32 @@
+#include "src/plan/exec_scratch.h"
+
+#include <cstring>
+
+#include "src/common/error.h"
+
+namespace smm::plan {
+
+ExecScratch& ExecScratch::local() {
+  thread_local ExecScratch arena;
+  return arena;
+}
+
+void ExecScratch::release() {
+  SMM_EXPECT(!busy_, "ExecScratch::release while leased");
+  slab_.reset_unchecked(0);
+  capacity_ = 0;
+}
+
+void ExecScratch::reserve_and_zero(std::size_t bytes) {
+  if (bytes > capacity_) {
+    // High-water-mark growth: the slab only ever grows, so a steady
+    // stream of same-shape calls stabilizes after the first.
+    slab_.reset_unchecked(static_cast<index_t>(bytes));
+    capacity_ = bytes;
+    ++grows_;
+    return;  // reset_unchecked value-initializes — already zero
+  }
+  if (bytes > 0) std::memset(slab_.data(), 0, bytes);
+}
+
+}  // namespace smm::plan

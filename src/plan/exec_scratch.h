@@ -1,0 +1,128 @@
+// Reusable per-thread scratch arena for plan execution.
+//
+// Every execute_plan call used to heap-allocate one AlignedBuffer per
+// plan buffer declaration — malloc traffic on the exact path the paper
+// says is dominated by fixed per-call costs for small shapes. The arena
+// keeps one cache-aligned slab per thread, sized to the high-water mark
+// of every region it has served, and carves the plan's buffers out of it
+// with bump-pointer arithmetic: a warm same-shape call performs zero
+// heap allocations. Worker threads of the persistent pool each own an
+// arena, so the slabs stay warm across calls for as long as the pool
+// lives.
+//
+// The arena is deliberately not nested: one lease at a time per thread.
+// A caller that finds its thread's arena already leased (an execute
+// within an execute) falls back to plain per-buffer allocation, so
+// composition can never corrupt a live lease.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/aligned_buffer.h"
+#include "src/common/types.h"
+
+namespace smm::plan {
+
+class ExecScratch {
+ public:
+  /// The calling thread's arena (thread-local; created on first use).
+  static ExecScratch& local();
+
+  ExecScratch() = default;
+  ExecScratch(const ExecScratch&) = delete;
+  ExecScratch& operator=(const ExecScratch&) = delete;
+
+  /// Bytes the slab has grown to — the high-water mark over all leases.
+  /// Stable across repeated same-shape calls (asserted in tests: warm
+  /// calls allocate nothing).
+  [[nodiscard]] std::size_t high_water_bytes() const {
+    return capacity_;
+  }
+  /// How many times the slab had to (re)allocate.
+  [[nodiscard]] std::size_t grow_count() const { return grows_; }
+  /// Leases served (arena path only, not fallback).
+  [[nodiscard]] std::size_t lease_count() const { return leases_; }
+
+  /// Drop the slab (tests / memory-pressure hooks). Illegal while leased.
+  void release();
+
+  /// Carves `sizes` (element counts of T, each slice cache-aligned and
+  /// zero-filled) out of the arena for the lifetime of the lease. A size
+  /// of 0 yields a null slice. `ptr(i)` addresses slice i.
+  template <typename T>
+  class Lease {
+   public:
+    Lease(ExecScratch& arena, const std::vector<index_t>& sizes) {
+      // Consult the allocation fault-injection site once per non-empty
+      // slice — exactly what the per-buffer AlignedBuffer path did — so
+      // deterministic alloc-fault tests fire identically warm or cold.
+      for (const index_t elems : sizes)
+        if (elems > 0 &&
+            robust::should_fire(robust::FaultSite::kAllocFail))
+          throw Error(ErrorCode::kAlloc,
+                      "smmkit: injected scratch allocation failure");
+      ptrs_.resize(sizes.size(), nullptr);
+      if (!arena.busy_) {
+        arena_ = &arena;
+        arena.busy_ = true;
+        ++arena.leases_;
+        std::size_t total = 0;
+        for (const index_t elems : sizes)
+          total += aligned_bytes<T>(elems);
+        arena.reserve_and_zero(total);
+        std::size_t off = 0;
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+          if (sizes[i] == 0) continue;
+          ptrs_[i] = reinterpret_cast<T*>(arena.slab_.data() + off);
+          off += aligned_bytes<T>(sizes[i]);
+        }
+        return;
+      }
+      // Nested execute on this thread: plain per-buffer allocation, the
+      // pre-arena behaviour (AlignedBuffer value-initializes, and its
+      // own injection site stays disarmed here — already consulted).
+      fallback_.reserve(sizes.size());
+      for (std::size_t i = 0; i < sizes.size(); ++i) {
+        fallback_.emplace_back();
+        fallback_.back().reset_unchecked(sizes[i]);
+        ptrs_[i] = fallback_.back().data();
+      }
+    }
+
+    ~Lease() {
+      if (arena_ != nullptr) arena_->busy_ = false;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    [[nodiscard]] T* ptr(std::size_t i) const { return ptrs_[i]; }
+    [[nodiscard]] bool used_arena() const { return arena_ != nullptr; }
+
+   private:
+    ExecScratch* arena_ = nullptr;
+    std::vector<T*> ptrs_;
+    std::vector<AlignedBuffer<T>> fallback_;
+  };
+
+ private:
+  template <typename T>
+  static std::size_t aligned_bytes(index_t elems) {
+    const std::size_t bytes =
+        static_cast<std::size_t>(elems) * sizeof(T);
+    return (bytes + kBufferAlignment - 1) / kBufferAlignment *
+           kBufferAlignment;
+  }
+
+  void reserve_and_zero(std::size_t bytes);
+
+  // The slab itself never consults the fault-injection site (the lease
+  // already did, once per logical buffer): AlignedBuffer::reset_unchecked.
+  AlignedBuffer<unsigned char> slab_;
+  std::size_t capacity_ = 0;
+  std::size_t grows_ = 0;
+  std::size_t leases_ = 0;
+  bool busy_ = false;
+};
+
+}  // namespace smm::plan

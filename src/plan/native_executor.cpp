@@ -1,13 +1,14 @@
 #include "src/plan/native_executor.h"
 
+#include <cstddef>
 #include <memory>
-#include <vector>
+#include <utility>
 
-#include "src/common/aligned_buffer.h"
 #include "src/common/error.h"
 #include "src/kernels/microkernel.h"
 #include "src/kernels/registry.h"
 #include "src/pack/pack.h"
+#include "src/plan/exec_scratch.h"
 #include "src/robust/fault_injection.h"
 #include "src/threading/barrier.h"
 #include "src/threading/thread_pool.h"
@@ -15,6 +16,42 @@
 namespace smm::plan {
 
 namespace {
+
+/// Run one PackBOp against `b`, writing at `base` (the op's buffer).
+template <typename T>
+void run_pack_b_op(const PackBOp& op, ConstMatrixView<T> b, T* base) {
+  T* dst = base + op.dst_offset;
+  const auto block = b.block(op.k0, op.j0, op.kc, op.nc);
+  if (op.chunks.empty()) {
+    pack::pack_b(block, op.nr, op.pad, dst);
+  } else {
+    pack::pack_b_chunked(block, op.chunks, dst);
+  }
+}
+
+/// Run one ConvertOp against its source matrix, writing at `dst`.
+template <typename T>
+void run_convert_op(const ConvertOp& op, ConstMatrixView<T> src, T* dst) {
+  const index_t rows = op.transpose ? src.cols() : src.rows();
+  const index_t cols = op.transpose ? src.rows() : src.cols();
+  // Panel-major layout: (i, j) -> (i/ps)*ps*cols + j*ps + i%ps, rows
+  // zero-padded to a panel multiple (padding was zeroed at allocation).
+  for (index_t j = 0; j < cols; ++j) {
+    for (index_t i = 0; i < rows; ++i) {
+      const T v = op.transpose ? src(j, i) : src(i, j);
+      dst[(i / op.ps) * op.ps * cols + j * op.ps + (i % op.ps)] = v;
+    }
+  }
+}
+
+/// Elements a PackBOp writes past its dst_offset (panel-padded width
+/// times depth; an upper bound is fine — it is only used to prove two
+/// writes disjoint).
+index_t pack_b_written_elems(const PackBOp& op) {
+  index_t width = op.nc;
+  if (op.pad && op.nr > 0) width = (op.nc + op.nr - 1) / op.nr * op.nr;
+  return width * op.kc;
+}
 
 template <typename T>
 struct ExecContext {
@@ -24,17 +61,47 @@ struct ExecContext {
   ConstMatrixView<T> b;
   T beta;
   MatrixView<T> c;
-  std::vector<AlignedBuffer<T>> buffers;
+  const PrepackedB<T>* prepacked;  // may be null
+  ExecScratch::Lease<T> scratch;
+  std::vector<T*> buffers;  // base pointer per plan buffer
   std::vector<std::unique_ptr<par::Barrier>> barriers;
 
   ExecContext(const GemmPlan& p, T al, ConstMatrixView<T> av,
-              ConstMatrixView<T> bv, T be, MatrixView<T> cv)
-      : plan(p), alpha(al), a(av), b(bv), beta(be), c(cv) {
-    buffers.reserve(plan.buffers.size());
-    for (const auto& decl : plan.buffers) buffers.emplace_back(decl.elems);
+              ConstMatrixView<T> bv, T be, MatrixView<T> cv,
+              const PrepackedB<T>* pre)
+      : plan(p),
+        alpha(al),
+        a(av),
+        b(bv),
+        beta(be),
+        c(cv),
+        prepacked(pre),
+        scratch(ExecScratch::local(), scratch_sizes(p, pre)) {
+    buffers.resize(plan.buffers.size(), nullptr);
+    for (std::size_t i = 0; i < plan.buffers.size(); ++i) {
+      buffers[i] = serves_buffer(i)
+                       ? const_cast<T*>(prepacked->prepacked_data(i))
+                       : scratch.ptr(i);
+    }
     barriers.reserve(plan.barriers.size());
     for (const auto& decl : plan.barriers)
       barriers.push_back(std::make_unique<par::Barrier>(decl.participants));
+  }
+
+  [[nodiscard]] bool serves_buffer(std::size_t i) const {
+    return prepacked != nullptr && prepacked->serves_buffer(i);
+  }
+
+ private:
+  /// Per-buffer element counts the arena must carve; prepacked buffers
+  /// need no scratch at all.
+  static std::vector<index_t> scratch_sizes(const GemmPlan& p,
+                                            const PrepackedB<T>* pre) {
+    std::vector<index_t> sizes(p.buffers.size(), 0);
+    for (std::size_t i = 0; i < p.buffers.size(); ++i)
+      sizes[i] =
+          (pre != nullptr && pre->serves_buffer(i)) ? 0 : p.buffers[i].elems;
+    return sizes;
   }
 };
 
@@ -43,7 +110,7 @@ struct OpRunner {
   ExecContext<T>& ctx;
 
   void operator()(const PackAOp& op) const {
-    T* dst = ctx.buffers[static_cast<std::size_t>(op.buffer)].data() +
+    T* dst = ctx.buffers[static_cast<std::size_t>(op.buffer)] +
              op.dst_offset;
     const auto block = ctx.a.block(op.i0, op.k0, op.mc, op.kc);
     if (op.chunks.empty()) {
@@ -54,30 +121,16 @@ struct OpRunner {
   }
 
   void operator()(const PackBOp& op) const {
-    T* dst = ctx.buffers[static_cast<std::size_t>(op.buffer)].data() +
-             op.dst_offset;
-    const auto block = ctx.b.block(op.k0, op.j0, op.kc, op.nc);
-    if (op.chunks.empty()) {
-      pack::pack_b(block, op.nr, op.pad, dst);
-    } else {
-      pack::pack_b_chunked(block, op.chunks, dst);
-    }
+    const auto buf = static_cast<std::size_t>(op.buffer);
+    if (ctx.serves_buffer(buf)) return;  // packed once, up front
+    run_pack_b_op(op, ctx.b, ctx.buffers[buf]);
   }
 
   void operator()(const ConvertOp& op) const {
-    T* dst = ctx.buffers[static_cast<std::size_t>(op.buffer)].data();
+    const auto buf = static_cast<std::size_t>(op.buffer);
     const bool is_a = op.which == ConvertOp::Which::kA;
-    ConstMatrixView<T> src = is_a ? ctx.a : ctx.b;
-    const index_t rows = op.transpose ? src.cols() : src.rows();
-    const index_t cols = op.transpose ? src.rows() : src.cols();
-    // Panel-major layout: (i, j) -> (i/ps)*ps*cols + j*ps + i%ps, rows
-    // zero-padded to a panel multiple (padding was zeroed at allocation).
-    for (index_t j = 0; j < cols; ++j) {
-      for (index_t i = 0; i < rows; ++i) {
-        const T v = op.transpose ? src(j, i) : src(i, j);
-        dst[(i / op.ps) * op.ps * cols + j * op.ps + (i % op.ps)] = v;
-      }
-    }
+    if (!is_a && ctx.serves_buffer(buf)) return;  // converted up front
+    run_convert_op(op, is_a ? ctx.a : ctx.b, ctx.buffers[buf]);
   }
 
   void bind_operand(const OperandRef& ref, bool is_a, index_t tile_extent,
@@ -86,8 +139,7 @@ struct OpRunner {
     switch (ref.kind) {
       case OperandRef::Kind::kBuffer: {
         const T* base =
-            ctx.buffers[static_cast<std::size_t>(ref.buffer)].data() +
-            ref.offset;
+            ctx.buffers[static_cast<std::size_t>(ref.buffer)] + ref.offset;
         if (is_a) {
           ops.a = base;
           ops.a_ps = ref.ps;
@@ -139,7 +191,7 @@ struct OpRunner {
     if (op.c_buffer >= 0) {
       // K-split: accumulate into the private slab; the caller's beta is
       // applied by the reduction, so a fresh tile starts from zero.
-      ops.c = ctx.buffers[static_cast<std::size_t>(op.c_buffer)].data() +
+      ops.c = ctx.buffers[static_cast<std::size_t>(op.c_buffer)] +
               op.c_offset;
       ops.c_rs = 1;
       ops.c_cs = op.c_ld;
@@ -183,7 +235,7 @@ struct OpRunner {
 
   void operator()(const ReduceCOp& op) const {
     const T* slabs =
-        ctx.buffers[static_cast<std::size_t>(op.buffer)].data() + op.offset;
+        ctx.buffers[static_cast<std::size_t>(op.buffer)] + op.offset;
     for (index_t j = 0; j < op.cols; ++j) {
       for (index_t i = 0; i < op.rows; ++i) {
         double acc = 0;
@@ -201,11 +253,9 @@ struct OpRunner {
   }
 };
 
-}  // namespace
-
 template <typename T>
-void execute_plan(const GemmPlan& plan, T alpha, ConstMatrixView<T> a,
-                  ConstMatrixView<T> b, T beta, MatrixView<T> c) {
+void validate_operands(const GemmPlan& plan, ConstMatrixView<T> a,
+                       ConstMatrixView<T> b, MatrixView<T> c) {
   SMM_EXPECT_CODE(a.rows() == plan.shape.m && a.cols() == plan.shape.k,
                   ErrorCode::kBadShape,
                   "A shape does not match the plan");
@@ -223,8 +273,14 @@ void execute_plan(const GemmPlan& plan, T alpha, ConstMatrixView<T> a,
   const bool want_f32 = plan.scalar == ScalarType::kF32;
   SMM_EXPECT(want_f32 == (sizeof(T) == 4),
              "scalar type does not match the plan");
+}
 
-  ExecContext<T> ctx(plan, alpha, a, b, beta, c);
+template <typename T>
+void execute_plan_impl(const GemmPlan& plan, T alpha, ConstMatrixView<T> a,
+                       ConstMatrixView<T> b, T beta, MatrixView<T> c,
+                       const PrepackedB<T>* prepacked) {
+  validate_operands(plan, a, b, c);
+  ExecContext<T> ctx(plan, alpha, a, b, beta, c, prepacked);
   par::run_parallel(
       plan.nthreads,
       [&](int tid) {
@@ -241,11 +297,106 @@ void execute_plan(const GemmPlan& plan, T alpha, ConstMatrixView<T> a,
       });
 }
 
+}  // namespace
+
+template <typename T>
+void execute_plan(const GemmPlan& plan, T alpha, ConstMatrixView<T> a,
+                  ConstMatrixView<T> b, T beta, MatrixView<T> c) {
+  execute_plan_impl<T>(plan, alpha, a, b, beta, c, /*prepacked=*/nullptr);
+}
+
 template void execute_plan(const GemmPlan&, float, ConstMatrixView<float>,
                            ConstMatrixView<float>, float,
                            MatrixView<float>);
 template void execute_plan(const GemmPlan&, double, ConstMatrixView<double>,
                            ConstMatrixView<double>, double,
                            MatrixView<double>);
+
+// ---- PrepackedB ------------------------------------------------------------
+
+template <typename T>
+PrepackedB<T>::PrepackedB(std::shared_ptr<const GemmPlan> plan,
+                          ConstMatrixView<T> b)
+    : plan_(std::move(plan)), b_(b) {
+  SMM_EXPECT(plan_ != nullptr, "PrepackedB needs a plan");
+  SMM_EXPECT_CODE(b.rows() == plan_->shape.k && b.cols() == plan_->shape.n,
+                  ErrorCode::kBadShape,
+                  "B shape does not match the plan");
+  SMM_EXPECT_CODE(b.empty() || b.data() != nullptr, ErrorCode::kBadShape,
+                  "PrepackedB: B has null data");
+  const bool want_f32 = plan_->scalar == ScalarType::kF32;
+  SMM_EXPECT(want_f32 == (sizeof(T) == 4),
+             "scalar type does not match the plan");
+
+  // Classify every buffer: materializable iff written exclusively by
+  // B-side ops whose regions never overlap (re-packed buffers — several
+  // (kk, jj) blocks sharing one pack buffer — must keep packing per
+  // call). Kernel K-split slabs and PackA targets are never candidates.
+  const std::size_t nbuf = plan_->buffers.size();
+  std::vector<bool> b_written(nbuf, false);
+  std::vector<bool> disqualified(nbuf, false);
+  std::vector<std::vector<std::pair<index_t, index_t>>> regions(nbuf);
+  const auto note_region = [&](int buffer, index_t begin, index_t elems) {
+    const auto i = static_cast<std::size_t>(buffer);
+    b_written[i] = true;
+    const index_t end = begin + elems;
+    for (const auto& [rb, re] : regions[i])
+      if (begin < re && rb < end) disqualified[i] = true;  // overlap
+    regions[i].emplace_back(begin, end);
+  };
+  for (const auto& ops : plan_->thread_ops) {
+    for (const auto& op : ops) {
+      if (const auto* pb = std::get_if<PackBOp>(&op)) {
+        note_region(pb->buffer, pb->dst_offset, pack_b_written_elems(*pb));
+      } else if (const auto* cv = std::get_if<ConvertOp>(&op)) {
+        const auto i = static_cast<std::size_t>(cv->buffer);
+        if (cv->which == ConvertOp::Which::kB) {
+          note_region(cv->buffer, 0, plan_->buffers[i].elems);
+        } else {
+          disqualified[i] = true;
+        }
+      } else if (const auto* pa = std::get_if<PackAOp>(&op)) {
+        disqualified[static_cast<std::size_t>(pa->buffer)] = true;
+      } else if (const auto* k = std::get_if<KernelOp>(&op)) {
+        if (k->c_buffer >= 0)
+          disqualified[static_cast<std::size_t>(k->c_buffer)] = true;
+      }
+    }
+  }
+
+  is_prepacked_.assign(nbuf, false);
+  storage_.resize(nbuf);
+  for (std::size_t i = 0; i < nbuf; ++i) {
+    if (!b_written[i] || disqualified[i]) continue;
+    storage_[i].reset(plan_->buffers[i].elems);  // zeroed (pad regions)
+    is_prepacked_[i] = true;
+    materialized_ = true;
+  }
+  if (!materialized_) return;
+
+  // Pack once: run exactly the ops whose buffers we now own. Order
+  // within a buffer does not matter (regions are disjoint).
+  for (const auto& ops : plan_->thread_ops) {
+    for (const auto& op : ops) {
+      if (const auto* pb = std::get_if<PackBOp>(&op)) {
+        const auto i = static_cast<std::size_t>(pb->buffer);
+        if (is_prepacked_[i]) run_pack_b_op(*pb, b_, storage_[i].data());
+      } else if (const auto* cv = std::get_if<ConvertOp>(&op)) {
+        const auto i = static_cast<std::size_t>(cv->buffer);
+        if (cv->which == ConvertOp::Which::kB && is_prepacked_[i])
+          run_convert_op(*cv, b_, storage_[i].data());
+      }
+    }
+  }
+}
+
+template <typename T>
+void PrepackedB<T>::run(T alpha, ConstMatrixView<T> a, T beta,
+                        MatrixView<T> c) const {
+  execute_plan_impl<T>(*plan_, alpha, a, b_, beta, c, this);
+}
+
+template class PrepackedB<float>;
+template class PrepackedB<double>;
 
 }  // namespace smm::plan

@@ -2,18 +2,76 @@
 // C = alpha * A * B + beta * C. This is the correctness path — every
 // strategy's plan is executed through here in the test suite, and the
 // examples use it via the strategy convenience wrappers.
+//
+// Scratch comes from the calling thread's ExecScratch arena (zero heap
+// allocations once warm); repeated-B callers can additionally hoist the
+// B-packing work out of the call entirely with PrepackedB.
 #pragma once
 
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/common/aligned_buffer.h"
 #include "src/matrix/view.h"
 #include "src/plan/plan.h"
 
 namespace smm::plan {
 
 /// Execute `plan` (built for exactly these shapes/layouts). Spawns
-/// plan.nthreads threads when the plan is parallel. Throws smm::Error on
-/// shape mismatch.
+/// plan.nthreads bodies on the persistent worker pool when the plan is
+/// parallel. Throws smm::Error on shape mismatch.
 template <typename T>
 void execute_plan(const GemmPlan& plan, T alpha, ConstMatrixView<T> a,
                   ConstMatrixView<T> b, T beta, MatrixView<T> c);
+
+/// B packed once, replayed many times — the batch/inference idiom (and
+/// IAAT's amortization argument): when one B multiplies a stream of As,
+/// the per-call PackB cost that Table II shows dominating small-M GEMM
+/// is paid once here and every run() skips it.
+///
+/// A plan buffer is materialized when it is written exclusively by
+/// B-side ops (PackBOp / B ConvertOp) whose written regions are pairwise
+/// disjoint — i.e. B is packed once per call, not re-packed per
+/// (kk, jj) block. Plans that re-use a pack buffer across blocks (K or N
+/// beyond one cache block) replay unchanged instead: run() is then
+/// exactly execute_plan, never wrong, just not faster. materialized()
+/// reports which case this handle is.
+///
+/// The handle borrows `b` (direct-B tiles and non-materialized packs
+/// still read it): the caller keeps B's storage alive and unmodified for
+/// the life of the handle.
+template <typename T>
+class PrepackedB {
+ public:
+  /// Pack B's blocks for `plan` once. Throws kBadShape when b does not
+  /// match the plan.
+  PrepackedB(std::shared_ptr<const GemmPlan> plan, ConstMatrixView<T> b);
+
+  /// C = alpha * A * B + beta * C, skipping the materialized B packs.
+  void run(T alpha, ConstMatrixView<T> a, T beta, MatrixView<T> c) const;
+
+  /// True when at least one plan buffer is served from the handle (the
+  /// fast case). False falls back to full per-call execution.
+  [[nodiscard]] bool materialized() const { return materialized_; }
+  [[nodiscard]] const GemmPlan& plan() const { return *plan_; }
+
+  /// Executor plumbing: whether plan buffer `i` is served by this handle,
+  /// and (if so) its packed contents.
+  [[nodiscard]] bool serves_buffer(std::size_t i) const {
+    return i < is_prepacked_.size() && is_prepacked_[i];
+  }
+  [[nodiscard]] const T* prepacked_data(std::size_t i) const {
+    return storage_[i].data();
+  }
+
+ private:
+  std::shared_ptr<const GemmPlan> plan_;
+  ConstMatrixView<T> b_;
+  /// is_prepacked_[i] <=> storage_[i] holds buffer i's packed contents.
+  std::vector<bool> is_prepacked_;
+  std::vector<AlignedBuffer<T>> storage_;
+  bool materialized_ = false;
+};
 
 }  // namespace smm::plan

@@ -24,6 +24,11 @@ HealthSnapshot Health::snapshot() const {
   s.batched_items = batched_items.load(std::memory_order_relaxed);
   s.batched_item_failures =
       batched_item_failures.load(std::memory_order_relaxed);
+  s.pool_regions = pool_regions.load(std::memory_order_relaxed);
+  s.pool_spawn_fallbacks =
+      pool_spawn_fallbacks.load(std::memory_order_relaxed);
+  s.plan_cache_hits = plan_cache_hits.load(std::memory_order_relaxed);
+  s.plan_cache_misses = plan_cache_misses.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -39,16 +44,22 @@ void Health::reset() {
   alloc_failures = 0;
   batched_items = 0;
   batched_item_failures = 0;
+  pool_regions = 0;
+  pool_spawn_fallbacks = 0;
+  plan_cache_hits = 0;
+  plan_cache_misses = 0;
 }
 
 std::string HealthSnapshot::to_string() const {
   return strprintf(
       "guarded_runs=%zu clean=%zu retries=%zu rebuilds=%zu naive=%zu "
       "failures=%zu checksum_rej=%zu worker_panics=%zu alloc_fail=%zu "
-      "batched_items=%zu batched_item_failures=%zu",
+      "batched_items=%zu batched_item_failures=%zu pool_regions=%zu "
+      "pool_spawn_fallbacks=%zu plan_cache_hits=%zu plan_cache_misses=%zu",
       guarded_runs, clean_runs, retries, rebuild_fallbacks, naive_fallbacks,
       failures, checksum_rejections, worker_panics, alloc_failures,
-      batched_items, batched_item_failures);
+      batched_items, batched_item_failures, pool_regions,
+      pool_spawn_fallbacks, plan_cache_hits, plan_cache_misses);
 }
 
 }  // namespace smm::robust

@@ -24,6 +24,13 @@ struct HealthSnapshot {
   std::size_t alloc_failures = 0;
   std::size_t batched_items = 0;
   std::size_t batched_item_failures = 0;
+  // Call-overhead fast path (DESIGN.md §8): how many fork-join regions
+  // the persistent pool served vs fell back to spawn-per-call, and how
+  // the process-wide plan caches are hitting.
+  std::size_t pool_regions = 0;
+  std::size_t pool_spawn_fallbacks = 0;
+  std::size_t plan_cache_hits = 0;
+  std::size_t plan_cache_misses = 0;
 
   [[nodiscard]] std::string to_string() const;
 };
@@ -44,6 +51,10 @@ class Health {
   std::atomic<std::size_t> alloc_failures{0};
   std::atomic<std::size_t> batched_items{0};
   std::atomic<std::size_t> batched_item_failures{0};
+  std::atomic<std::size_t> pool_regions{0};
+  std::atomic<std::size_t> pool_spawn_fallbacks{0};
+  std::atomic<std::size_t> plan_cache_hits{0};
+  std::atomic<std::size_t> plan_cache_misses{0};
 
   [[nodiscard]] HealthSnapshot snapshot() const;
   void reset();

@@ -25,6 +25,7 @@
 #include "src/model/kernel_space.h"
 #include "src/model/peak.h"
 #include "src/model/prediction.h"
+#include "src/plan/exec_scratch.h"
 #include "src/plan/native_executor.h"
 #include "src/plan/plan_stats.h"
 #include "src/robust/abft.h"

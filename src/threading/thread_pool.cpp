@@ -9,6 +9,8 @@
 #include "src/common/error.h"
 #include "src/common/str.h"
 #include "src/robust/fault_injection.h"
+#include "src/robust/health.h"
+#include "src/threading/worker_pool.h"
 
 namespace smm::par {
 
@@ -19,41 +21,12 @@ namespace {
               strprintf("smmkit: injected worker fault on thread %d", tid));
 }
 
-}  // namespace
-
-void run_parallel(int nthreads, const std::function<void(int)>& body,
-                  const std::function<void()>& on_worker_failure) {
-  SMM_EXPECT(nthreads > 0, "run_parallel needs at least one thread");
-  if (nthreads == 1) {
-    if (robust::should_fire(robust::FaultSite::kWorkerThrow))
-      throw_injected_worker_fault(0);
-    body(0);
-    return;
-  }
-  std::vector<std::exception_ptr> errors(
-      static_cast<std::size_t>(nthreads));
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(nthreads));
-  for (int t = 0; t < nthreads; ++t) {
-    threads.emplace_back([&, t] {
-      try {
-        if (robust::should_fire(robust::FaultSite::kWorkerThrow))
-          throw_injected_worker_fault(t);
-        body(t);
-      } catch (...) {
-        errors[static_cast<std::size_t>(t)] = std::current_exception();
-        // Unblock peers before the join: a dead worker can never reach
-        // the synchronization points the surviving bodies wait on.
-        if (on_worker_failure) on_worker_failure();
-      }
-    });
-  }
-  for (auto& th : threads) th.join();
-
-  // Aggregate every worker failure: one failing worker rethrows its
-  // original exception (type preserved); several failing workers are
-  // combined into one kWorkerPanic error naming each thread, so no
-  // failure is silently dropped behind the first.
+/// Aggregate every worker failure: one failing worker rethrows its
+/// original exception (type preserved); several failing workers are
+/// combined into one kWorkerPanic error naming each thread, so no
+/// failure is silently dropped behind the first.
+void rethrow_failures(const std::vector<std::exception_ptr>& errors,
+                      int nthreads) {
   std::vector<std::pair<int, std::exception_ptr>> failed;
   for (int t = 0; t < nthreads; ++t)
     if (errors[static_cast<std::size_t>(t)])
@@ -75,6 +48,54 @@ void run_parallel(int nthreads, const std::function<void(int)>& body,
     combined += "]";
   }
   throw Error(ErrorCode::kWorkerPanic, combined);
+}
+
+/// Spawn-per-call fallback: used when the pool is busy with another
+/// region, when the caller is itself a pool worker (nested region), or
+/// when the region is wider than the pool's cap.
+void run_spawned(int nthreads, const std::function<void(int)>& body,
+                 const std::function<void()>& on_worker_failure,
+                 std::vector<std::exception_ptr>& errors) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        if (robust::should_fire(robust::FaultSite::kWorkerThrow))
+          throw_injected_worker_fault(t);
+        body(t);
+      } catch (...) {
+        errors[static_cast<std::size_t>(t)] = std::current_exception();
+        // Unblock peers before the join: a dead worker can never reach
+        // the synchronization points the surviving bodies wait on.
+        if (on_worker_failure) on_worker_failure();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace
+
+void run_parallel(int nthreads, const std::function<void(int)>& body,
+                  const std::function<void()>& on_worker_failure) {
+  SMM_EXPECT(nthreads > 0, "run_parallel needs at least one thread");
+  if (nthreads == 1) {
+    // Single-thread bypass: no pool handshake, no spawn, no error vector.
+    if (robust::should_fire(robust::FaultSite::kWorkerThrow))
+      throw_injected_worker_fault(0);
+    body(0);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(nthreads));
+  if (!WorkerPool::instance().try_run(nthreads, body, on_worker_failure,
+                                      errors)) {
+    robust::health().pool_spawn_fallbacks.fetch_add(
+        1, std::memory_order_relaxed);
+    run_spawned(nthreads, body, on_worker_failure, errors);
+  }
+  rethrow_failures(errors, nthreads);
 }
 
 int native_threads_available() {

@@ -1,10 +1,15 @@
 // Fork-join execution of per-thread programs.
 //
 // Plans may contain inter-thread barriers, so all `nthreads` bodies must
-// run concurrently — run_parallel spawns real threads per region (plans in
-// tests use small counts; the 64-thread results in the paper come from the
-// simulator, not native execution). A persistent pool is not worth the
-// complexity for fork-join regions whose bodies block on barriers.
+// run concurrently. Regions are served by the persistent WorkerPool
+// (worker_pool.h): workers are parked on a condvar and woken per region,
+// so the steady-state per-call cost is a dispatch handshake instead of
+// nthreads thread clones — the paper's Table II point that fixed
+// per-call costs dominate small-matrix work applies to thread spawns
+// more than to anything else on this path. Nested regions and callers
+// that find the pool busy fall back to spawn-per-call, which keeps the
+// old semantics available under arbitrary composition; nthreads == 1
+// bypasses both paths and runs the body in place.
 #pragma once
 
 #include <functional>

@@ -1,0 +1,117 @@
+#include "src/threading/worker_pool.h"
+
+#include "src/common/error.h"
+#include "src/common/str.h"
+#include "src/robust/fault_injection.h"
+#include "src/robust/health.h"
+
+namespace smm::par {
+
+namespace {
+
+// Set while a thread executes a region body — on parked workers and on
+// the master for the body it runs in place. A nested run_parallel from
+// such a thread must not touch the pool (region_mu_ is non-recursive).
+thread_local bool tls_in_pool_region = false;
+
+}  // namespace
+
+WorkerPool& WorkerPool::instance() {
+  static WorkerPool pool;
+  return pool;
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool WorkerPool::on_pool_thread() { return tls_in_pool_region; }
+
+void WorkerPool::run_body(const Task& task, int tid) {
+  tls_in_pool_region = true;
+  try {
+    if (robust::should_fire(robust::FaultSite::kWorkerThrow))
+      throw Error(ErrorCode::kWorkerPanic,
+                  strprintf("smmkit: injected worker fault on thread %d",
+                            tid));
+    (*task.body)(tid);
+  } catch (...) {
+    (*task.errors)[static_cast<std::size_t>(tid)] =
+        std::current_exception();
+    // Unblock peers immediately: a dead body can never reach the
+    // synchronization points the surviving bodies wait on.
+    if (*task.on_failure) (*task.on_failure)();
+  }
+  tls_in_pool_region = false;
+}
+
+void WorkerPool::worker_main(int wid, std::uint64_t seen) {
+  // `seen` was captured under mu_ at spawn registration, NOT read here:
+  // the spawning region bumps epoch_ right after ensure_workers returns,
+  // and a worker whose thread starts late must still see that bump as
+  // new work, or the region waits forever for it.
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+    if (stop_) return;
+    seen = epoch_;
+    if (wid >= task_nthreads_ - 1) continue;  // not part of this region
+    const Task task = task_;
+    lock.unlock();
+    run_body(task, /*tid=*/wid + 1);
+    lock.lock();
+    if (--pending_ == 0) cv_done_.notify_all();
+  }
+}
+
+void WorkerPool::ensure_workers(int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(workers_.size()) < count) {
+    const int wid = static_cast<int>(workers_.size());
+    const std::uint64_t spawn_epoch = epoch_;
+    workers_.emplace_back(
+        [this, wid, spawn_epoch] { worker_main(wid, spawn_epoch); });
+  }
+}
+
+bool WorkerPool::try_run(int nthreads,
+                         const std::function<void(int)>& body,
+                         const std::function<void()>& on_worker_failure,
+                         std::vector<std::exception_ptr>& errors) {
+  if (nthreads - 1 > kMaxWorkers) return false;
+  if (tls_in_pool_region) return false;
+  std::unique_lock<std::mutex> region(region_mu_, std::try_to_lock);
+  if (!region.owns_lock()) return false;
+
+  ensure_workers(nthreads - 1);
+  const Task task{&body, &on_worker_failure, &errors};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = task;
+    task_nthreads_ = nthreads;
+    pending_ = nthreads - 1;
+    ++epoch_;
+    ++regions_;
+    dispatches_ += static_cast<std::size_t>(nthreads - 1);
+  }
+  cv_work_.notify_all();
+  robust::health().pool_regions.fetch_add(1, std::memory_order_relaxed);
+
+  run_body(task, /*tid=*/0);  // master participates instead of blocking
+
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return pending_ == 0; });
+  return true;
+}
+
+WorkerPool::Stats WorkerPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{static_cast<int>(workers_.size()), regions_, dispatches_};
+}
+
+}  // namespace smm::par

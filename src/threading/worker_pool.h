@@ -1,0 +1,105 @@
+// Persistent worker pool behind par::run_parallel.
+//
+// The paper's Table II shows fixed per-call costs (Sync dominating
+// multi-threaded SMM); spawning and joining OS threads per fork-join
+// region is exactly such a cost — microseconds of kernel work to execute
+// microseconds of FMAs. The pool parks a set of workers on a condvar and
+// hands them fork-join regions by epoch: dispatching a region is one
+// mutex acquisition plus a notify_all, and completion is a counter, so
+// the steady-state per-call price is two wakeups instead of N clones.
+//
+// Plans may contain inter-thread barriers, so all nthreads bodies of a
+// region must run concurrently; the pool therefore dedicates one parked
+// worker per body (growing on demand, master runs body 0 in place) and
+// never multiplexes two bodies of one region onto a thread. Regions are
+// exclusive: a caller that cannot take the pool (it is busy, or the
+// caller is itself a pool worker mid-region) falls back to
+// spawn-per-call, so nesting and concurrent independent regions keep the
+// exact pre-pool semantics.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace smm::par {
+
+class WorkerPool {
+ public:
+  /// Hard cap on parked workers; regions wider than this fall back to
+  /// spawn-per-call (native_threads_available() is clamped to the same
+  /// bound, so only explicit oversubscription ever exceeds it).
+  static constexpr int kMaxWorkers = 256;
+
+  /// The process-wide pool used by run_parallel.
+  static WorkerPool& instance();
+
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Try to run body(0..nthreads-1) as one pool region: workers execute
+  /// tids 1..nthreads-1, the calling thread executes tid 0, and the call
+  /// returns after every body finished. Exceptions are captured into
+  /// `errors[tid]` (never rethrown here); a capturing body invokes
+  /// on_worker_failure immediately, while peers still run. Returns false
+  /// without running anything when the pool cannot take the region (busy
+  /// with another region, called from inside a region, or nthreads
+  /// exceeds kMaxWorkers + 1) — the caller then spawns threads instead.
+  bool try_run(int nthreads, const std::function<void(int)>& body,
+               const std::function<void()>& on_worker_failure,
+               std::vector<std::exception_ptr>& errors);
+
+  /// Observability (relaxed counters; see robust::health() for the
+  /// process-wide mirror).
+  struct Stats {
+    int workers = 0;             ///< threads currently parked/spawned
+    std::size_t regions = 0;     ///< regions served by the pool
+    std::size_t dispatches = 0;  ///< worker wakeups summed over regions
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// True on a thread currently executing a pool-region body (used by
+  /// run_parallel to route nested regions to the spawn path; taking the
+  /// non-recursive region lock from such a thread would be UB).
+  [[nodiscard]] static bool on_pool_thread();
+
+ private:
+  WorkerPool() = default;
+
+  struct Task {
+    const std::function<void(int)>* body = nullptr;
+    const std::function<void()>* on_failure = nullptr;
+    std::vector<std::exception_ptr>* errors = nullptr;
+  };
+
+  /// `start_epoch` is the epoch at spawn registration (captured under
+  /// mu_), so a late-starting thread still treats the spawning region's
+  /// epoch bump as new work.
+  void worker_main(int wid, std::uint64_t start_epoch);
+  void ensure_workers(int count);  // callers hold region_mu_
+  static void run_body(const Task& task, int tid);
+
+  // Serializes regions; try_run holds it for the whole region.
+  std::mutex region_mu_;
+
+  // Protects the epoch/task handoff and the worker roster.
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> workers_;
+  std::uint64_t epoch_ = 0;
+  Task task_;
+  int task_nthreads_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+  std::size_t regions_ = 0;
+  std::size_t dispatches_ = 0;
+};
+
+}  // namespace smm::par

@@ -23,15 +23,14 @@ TEST(Barrier, AllThreadsSeePhaseWrites) {
   Barrier barrier(kThreads);
   std::vector<int> counters(kPhases, 0);
   std::atomic<bool> torn{false};
-  run_parallel(kThreads, [&](int) {
+  run_parallel(kThreads, [&](int tid) {
     for (int p = 0; p < kPhases; ++p) {
       // Everyone checks the previous phase completed fully.
       if (p > 0 && counters[p - 1] != kThreads) torn = true;
       barrier.arrive_and_wait();
-      if (p % kThreads == 0) counters[p] = kThreads;  // one writer
+      if (tid == p % kThreads) counters[p] = kThreads;  // one writer
       barrier.arrive_and_wait();
-      if (counters[p] != kThreads && p % kThreads == 0) torn = true;
-      counters[p] = kThreads;
+      if (counters[p] != kThreads) torn = true;
       barrier.arrive_and_wait();
     }
   });
