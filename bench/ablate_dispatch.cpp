@@ -28,12 +28,24 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-double ns_per_call(const std::function<void()>& fn, int iters) {
+/// Best-of-reps: the fastest of `reps` per-call means. A single long
+/// measurement folds every scheduler preemption into the average —
+/// microsecond-scale calls on a shared host can double under one
+/// unlucky timeslice, which is exactly how earlier runs of this bench
+/// produced a phantom 16^3 "prepacked slower than rebuild" row. The min
+/// over independent batches reports the undisturbed cost.
+double ns_per_call(const std::function<void()>& fn, int iters, int reps) {
   fn();  // one unmeasured call: page in, warm pool/cache/arena
-  const auto t0 = Clock::now();
-  for (int i = 0; i < iters; ++i) fn();
-  const auto t1 = Clock::now();
-  return std::chrono::duration<double, std::nano>(t1 - t0).count() / iters;
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    const auto t1 = Clock::now();
+    const double per =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / iters;
+    if (r == 0 || per < best) best = per;
+  }
+  return best;
 }
 
 struct Row {
@@ -49,6 +61,7 @@ int main(int argc, char** argv) {
   using namespace smm;
   const int iters =
       std::stoi(bench::arg_value(argc, argv, "--iters", "2000"));
+  const int reps = std::stoi(bench::arg_value(argc, argv, "--reps", "5"));
   const std::string json_path =
       bench::arg_value(argc, argv, "--json", "BENCH_dispatch.json");
 
@@ -87,7 +100,7 @@ int main(int argc, char** argv) {
                               plan::execute_plan(plan, 1.0f, a.cview(),
                                                  b.cview(), 0.0f, c.view());
                             },
-                            iters));
+                            iters, reps));
 
       // Warm fast path: what a steady-state smm_gemm call costs.
       record("warm", ns_per_call(
@@ -95,7 +108,7 @@ int main(int argc, char** argv) {
                            core::smm_gemm(1.0f, a.cview(), b.cview(), 0.0f,
                                           c.view(), threads, options);
                          },
-                         iters));
+                         iters, reps));
 
       // PrepackedB replay: pack B outside the loop, then stream As.
       core::SmmOptions packed = options;
@@ -107,13 +120,13 @@ int main(int argc, char** argv) {
                                 handle.run(1.0f, a.cview(), 0.0f,
                                            c.view());
                               },
-                              iters));
+                              iters, reps));
     }
   }
 
   std::ofstream json(json_path);
   json << "{\n  \"bench\": \"ablate_dispatch\",\n  \"iters\": " << iters
-       << ",\n  \"rows\": [\n";
+       << ",\n  \"reps\": " << reps << ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
     json << "    {\"m\": " << r.m << ", \"n\": " << r.n

@@ -1,11 +1,59 @@
 // E8 — Table II: breakdown of the 64-thread BLIS-like SMM runtime for
 // M = 16..256 step 16, N = K = 2048 (assumed): % Kernel / PackA / PackB /
 // Sync plus the kernel efficiency — the paper's per-part overhead table.
+//
+// A second, native section re-measures the same decomposition on the host
+// with execute_plan_timed: per-thread pack / kernel / barrier wall-clock
+// of a 4-thread reference-SMM plan, the measured counterpart of the
+// simulated table (and the numbers the parallel cost model is fit to).
 #include "bench/bench_common.h"
+#include "src/common/rng.h"
 #include "src/common/str.h"
+#include "src/matrix/matrix.h"
+#include "src/plan/native_executor.h"
 
 namespace smm::bench {
 namespace {
+
+void native_thread_breakdown() {
+  constexpr int kThreads = 4;
+  std::printf(
+      "\n-- native per-thread breakdown: smm-ref, %d threads "
+      "(measured on this host) --\n",
+      kThreads);
+  core::SmmOptions options;
+  options.thread_scaling = core::SmmOptions::ThreadScaling::kStatic;
+  const auto strategy = core::make_reference_smm(options);
+  for (const GemmShape shape : {GemmShape{16, 256, 256},
+                                GemmShape{64, 256, 256},
+                                GemmShape{256, 256, 256}}) {
+    const auto plan =
+        strategy->make_plan(shape, plan::ScalarType::kF32, kThreads);
+    Rng rng(42);
+    Matrix<float> a(shape.m, shape.k), b(shape.k, shape.n),
+        c(shape.m, shape.n);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    c.fill_random(rng);
+    std::vector<plan::ThreadTiming> tts;
+    // Warm once (pool, scratch, pages), then take the measured replay.
+    plan::execute_plan_timed(plan, 1.0f, a.cview(), b.cview(), 0.0f,
+                             c.view(), tts);
+    plan::execute_plan_timed(plan, 1.0f, a.cview(), b.cview(), 0.0f,
+                             c.view(), tts);
+    std::printf(" %ldx%ldx%ld (%d threads)\n", static_cast<long>(shape.m),
+                static_cast<long>(shape.n), static_cast<long>(shape.k),
+                plan.nthreads);
+    std::printf("   t | Kernel%% |  Pack%% |  Sync%% | total us\n");
+    for (std::size_t t = 0; t < tts.size(); ++t) {
+      const auto& tt = tts[t];
+      const double total = tt.total_ns > 0 ? tt.total_ns : 1.0;
+      std::printf(" %3zu |   %5.1f |  %5.1f |  %5.1f | %8.1f\n", t,
+                  100 * tt.kernel_ns / total, 100 * tt.pack_ns / total,
+                  100 * tt.barrier_ns / total, tt.total_ns / 1000.0);
+    }
+  }
+}
 
 int run(int argc, char** argv) {
   sim::PlanPricer pricer(sim::phytium2000p());
@@ -36,6 +84,7 @@ int run(int argc, char** argv) {
       "paper row M=256: 82.2 | 6.5 |  9.7 | 1.2 | 74.6\n"
       "shape to check: PackB falls with M, Kernel rises, kernel "
       "efficiency climbs.\n");
+  native_thread_breakdown();
   return 0;
 }
 

@@ -1,0 +1,24 @@
+// Host calibration of the parallel runtime cost model.
+//
+// The static min_tiles_per_thread heuristic cannot see what a dispatch
+// or a barrier actually costs on the machine it runs on — which is the
+// whole reason the paper's Table II breakdown exists. This module
+// measures the four ParallelCostModel constants once per process (a few
+// hundred microseconds: a warm single-thread plan for flop_ns, a pack_b
+// sweep for pack_ns_per_elem, empty fork-join regions for dispatch_ns,
+// a 2-thread barrier ping for barrier_ns) so choose_parallel can price
+// candidates in predicted wall-clock on *this* host.
+#pragma once
+
+#include "src/model/parallel_runtime.h"
+
+namespace smm::core {
+
+/// This host's cost model, measured on first call and cached for the
+/// process lifetime (thread-safe). Any individual measurement that
+/// fails (e.g. an injected fault fires mid-calibration) falls back to
+/// the corresponding reference_cost_model() constant; hw_threads always
+/// reflects native_threads_available() and `measured` is always true.
+const model::ParallelCostModel& calibrated_cost_model();
+
+}  // namespace smm::core

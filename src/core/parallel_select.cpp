@@ -6,15 +6,21 @@
 
 namespace smm::core {
 
-ParallelChoice choose_parallel(GemmShape shape, int max_threads, index_t mr,
-                               index_t nr, index_t mc, index_t nc,
-                               index_t min_tiles_per_thread) {
-  SMM_EXPECT(max_threads >= 1, "need at least one thread");
+namespace {
+
+/// Margin a parallel candidate must beat serial (and a wider candidate
+/// must beat a narrower one) by before it is preferred: mispredicting
+/// toward too many threads costs real barrier/dispatch time, while
+/// mispredicting toward too few costs only modelled speedup.
+constexpr double kHysteresis = 0.90;
+
+/// Static decision: power-of-two thread count capped by the tile grid,
+/// with the deep-K escape hatch. This is the deterministic baseline the
+/// cost model refines.
+ParallelChoice choose_static(GemmShape shape, int max_threads, index_t mr,
+                             index_t nr, index_t mc, index_t nc,
+                             index_t min_tiles_per_thread) {
   ParallelChoice choice;
-  if (shape.m == 0 || shape.n == 0 || shape.k == 0) {
-    choice.nthreads = 1;
-    return choice;
-  }
   const index_t tiles_m = (shape.m + mr - 1) / mr;
   const index_t tiles_n = (shape.n + nr - 1) / nr;
   const index_t tiles = tiles_m * tiles_n;
@@ -42,6 +48,70 @@ ParallelChoice choose_parallel(GemmShape shape, int max_threads, index_t mr,
   choice.nthreads = threads;
   choice.ways = par::choose_ways(shape, threads, mr, nr, mc, nc);
   return choice;
+}
+
+/// Cost-model decision: price every power-of-two thread count up to the
+/// static cap (and the deep-K candidates) in predicted wall-clock and
+/// keep the cheapest, with hysteresis toward fewer threads.
+ParallelChoice choose_measured(GemmShape shape, int max_threads, index_t mr,
+                               index_t nr, index_t mc, index_t kc, index_t nc,
+                               index_t min_tiles_per_thread,
+                               const model::ParallelCostModel& cost) {
+  const index_t tiles_m = (shape.m + mr - 1) / mr;
+  const index_t tiles_n = (shape.n + nr - 1) / nr;
+  const index_t tiles = tiles_m * tiles_n;
+  index_t cap = std::max<index_t>(1, tiles / min_tiles_per_thread);
+  cap = std::min<index_t>(cap, max_threads);
+
+  ParallelChoice best;  // serial
+  double best_ns = model::predict_parallel_ns(cost, shape, 1, 1, par::Ways{},
+                                              mr, nr, mc, kc, nc);
+  for (int threads = 2; threads <= cap; threads *= 2) {
+    ParallelChoice cand;
+    cand.nthreads = threads;
+    cand.ways = par::choose_ways(shape, threads, mr, nr, mc, nc);
+    const double ns = model::predict_parallel_ns(
+        cost, shape, threads, 1, cand.ways, mr, nr, mc, kc, nc);
+    if (ns < kHysteresis * best_ns) {
+      best = cand;
+      best_ns = ns;
+    }
+  }
+
+  // Deep-K candidates are priced like everything else (slab reduction
+  // included) instead of being gated on a thread-count heuristic.
+  constexpr index_t kMinKSlice = 256;
+  if (shape.k >= 2 * kMinKSlice) {
+    const index_t k_cap =
+        std::min<index_t>(max_threads, shape.k / kMinKSlice);
+    for (int parts = 2; parts <= k_cap; parts *= 2) {
+      const double ns = model::predict_parallel_ns(
+          cost, shape, parts, parts, par::Ways{}, mr, nr, mc, kc, nc);
+      if (ns < kHysteresis * best_ns) {
+        best = ParallelChoice{};
+        best.nthreads = parts;
+        best.k_parts = parts;
+        best_ns = ns;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+ParallelChoice choose_parallel(GemmShape shape, int max_threads, index_t mr,
+                               index_t nr, index_t mc, index_t nc,
+                               index_t min_tiles_per_thread,
+                               const model::ParallelCostModel* cost,
+                               index_t kc) {
+  SMM_EXPECT(max_threads >= 1, "need at least one thread");
+  if (shape.m == 0 || shape.n == 0 || shape.k == 0) return ParallelChoice{};
+  if (cost != nullptr)
+    return choose_measured(shape, max_threads, mr, nr, mc, kc, nc,
+                           min_tiles_per_thread, *cost);
+  return choose_static(shape, max_threads, mr, nr, mc, nc,
+                       min_tiles_per_thread);
 }
 
 }  // namespace smm::core

@@ -4,6 +4,7 @@
 #pragma once
 
 #include "src/common/types.h"
+#include "src/model/parallel_runtime.h"
 #include "src/threading/partition.h"
 
 namespace smm::core {
@@ -20,8 +21,20 @@ struct ParallelChoice {
 /// The thread count is capped so every thread keeps at least
 /// `min_tiles_per_thread` micro-tiles (synchronizing 64 threads over a
 /// 4-tile problem is exactly the pathology Table II exposes).
+///
+/// With `cost == nullptr` the decision is the static heuristic above —
+/// deterministic, host-independent, what simulation goldens rely on.
+/// With a cost model, every thread count the static cap admits (plus the
+/// deep-K split candidates) is priced via model::predict_parallel_ns and
+/// the cheapest predicted wall-clock wins; serial keeps a 10% hysteresis
+/// edge so parallelism must clearly pay before it is chosen. The static
+/// tile cap stays a hard ceiling either way, so the cost model can only
+/// choose fewer threads than the heuristic, never more. `kc` is only
+/// read on the cost path (barrier crossings per kk step).
 ParallelChoice choose_parallel(GemmShape shape, int max_threads, index_t mr,
                                index_t nr, index_t mc, index_t nc,
-                               index_t min_tiles_per_thread = 4);
+                               index_t min_tiles_per_thread = 4,
+                               const model::ParallelCostModel* cost = nullptr,
+                               index_t kc = 512);
 
 }  // namespace smm::core

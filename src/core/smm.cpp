@@ -4,6 +4,7 @@
 
 #include "src/common/error.h"
 #include "src/core/kernel_select.h"
+#include "src/core/parallel_cost.h"
 #include "src/core/parallel_select.h"
 #include "src/core/plan_builder.h"
 #include "src/core/plan_cache.h"
@@ -75,8 +76,17 @@ class ReferenceSmm final : public libs::GemmStrategy {
     int max_threads = nthreads;
     if (options_.thread_cap > 0)
       max_threads = std::min(max_threads, options_.thread_cap);
-    const ParallelChoice par_choice = choose_parallel(
-        shape, std::max(1, max_threads), spec.mr, spec.nr, spec.mc, spec.nc);
+    // kAuto resolves to the static heuristic here: a directly built plan
+    // must be a pure function of (shape, scalar, nthreads, options), or
+    // simulated goldens would vary with the machine running the tests.
+    // The runtime entry points opt into kMeasured before reaching this.
+    const model::ParallelCostModel* cost =
+        options_.thread_scaling == SmmOptions::ThreadScaling::kMeasured
+            ? &calibrated_cost_model()
+            : nullptr;
+    const ParallelChoice par_choice =
+        choose_parallel(shape, std::max(1, max_threads), spec.mr, spec.nr,
+                        spec.mc, spec.nc, 4, cost, spec.kc);
     spec.nthreads = par_choice.nthreads;
     spec.ways = par_choice.ways;
     spec.k_parts = par_choice.k_parts;
@@ -148,6 +158,7 @@ std::uint64_t options_fingerprint(const SmmOptions& options) {
   mix(options.adaptive_kernel ? 1u : 0u);
   mix(static_cast<std::uint64_t>(
       static_cast<std::int64_t>(options.thread_cap)));
+  mix(static_cast<std::uint64_t>(options.thread_scaling));
   return h;
 }
 
@@ -164,6 +175,17 @@ std::shared_ptr<const plan::GemmPlan> cached_smm_plan(
   return smm_plan_cache().get_or_build(
       shape, scalar, nthreads, options_fingerprint(options),
       [&] { return ReferenceSmm{options}.make_plan(shape, scalar, nthreads); });
+}
+
+/// The runtime entry points resolve kAuto to the measured cost model:
+/// the decision (and the one-time calibration behind it) runs at most
+/// once per (shape, scalar, nthreads, options) because it happens inside
+/// the cached plan build.
+SmmOptions resolve_runtime_scaling(const SmmOptions& options) {
+  SmmOptions resolved = options;
+  if (resolved.thread_scaling == SmmOptions::ThreadScaling::kAuto)
+    resolved.thread_scaling = SmmOptions::ThreadScaling::kMeasured;
+  return resolved;
 }
 
 }  // namespace
@@ -188,7 +210,8 @@ void smm_gemm(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
                                      : plan::ScalarType::kF64;
   // Warm path: the plan is a cache lookup, not a rebuild — on SMM-sized
   // shapes the build costs more than the multiply it describes.
-  const auto p = cached_smm_plan(shape, scalar, nthreads, options);
+  const auto p = cached_smm_plan(shape, scalar, nthreads,
+                                 resolve_runtime_scaling(options));
   plan::execute_plan(*p, alpha, a, b, beta, c);
 }
 
@@ -230,7 +253,9 @@ plan::PrepackedB<T> smm_prepack_b(ConstMatrixView<T> b, index_t m,
   const auto scalar = sizeof(T) == 4 ? plan::ScalarType::kF32
                                      : plan::ScalarType::kF64;
   return plan::PrepackedB<T>(
-      cached_smm_plan(shape, scalar, nthreads, options), b);
+      cached_smm_plan(shape, scalar, nthreads,
+                      resolve_runtime_scaling(options)),
+      b);
 }
 
 template plan::PrepackedB<float> smm_prepack_b(ConstMatrixView<float>,

@@ -38,6 +38,18 @@ struct SmmOptions {
   bool adaptive_kernel = true;
   /// Hard thread cap; 0 derives the cap from the tile grid.
   int thread_cap = 0;
+  /// How the thread count/ways are decided within the caller's budget.
+  ///  - kStatic: the deterministic tile-grid heuristic alone.
+  ///  - kMeasured: candidates priced in predicted wall-clock with the
+  ///    host-calibrated cost model (core/parallel_cost.h) — may use
+  ///    fewer threads than requested when dispatch/sync would eat the
+  ///    speedup, never more than the static cap.
+  ///  - kAuto: kMeasured on the runtime entry points (smm_gemm,
+  ///    smm_prepack_b), kStatic for directly built strategies
+  ///    (make_plan), so plans fed to the simulator and golden tests
+  ///    never depend on the build host.
+  enum class ThreadScaling { kAuto, kStatic, kMeasured };
+  ThreadScaling thread_scaling = ThreadScaling::kAuto;
 };
 
 /// Process-wide instance with default options.

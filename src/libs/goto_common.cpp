@@ -303,7 +303,10 @@ void build_grid_parallel(GemmPlan& plan, const GotoConfig& cfg,
   const index_t kc_max = std::min(cfg.kc, shape.k);
 
   // One shared, cooperatively packed B buffer and one barrier per column
-  // group; a private A buffer per thread.
+  // group; a private A buffer per thread. A 1-row grid has nothing to
+  // synchronize: each column thread packs and consumes its own B~, so no
+  // barrier is declared or crossed (barrier-free disjoint-C plan).
+  const bool sync_b = grid.pr > 1;
   std::vector<int> buf_b(static_cast<std::size_t>(grid.pc), -1);
   std::vector<int> group_barrier(static_cast<std::size_t>(grid.pc), -1);
   for (int c = 0; c < grid.pc; ++c) {
@@ -312,8 +315,9 @@ void build_grid_parallel(GemmPlan& plan, const GotoConfig& cfg,
     const index_t width = std::min(cfg.nc, std::max<index_t>(cols.size(), 1));
     buf_b[static_cast<std::size_t>(c)] = plan::add_buffer(
         plan, padded_extent(width, cfg.tiles.nr) * kc_max);
-    group_barrier[static_cast<std::size_t>(c)] =
-        plan::add_barrier(plan, grid.pr);
+    if (sync_b)
+      group_barrier[static_cast<std::size_t>(c)] =
+          plan::add_barrier(plan, grid.pr);
   }
   std::vector<int> buf_a(static_cast<std::size_t>(nthreads), -1);
   for (int t = 0; t < nthreads; ++t) {
@@ -357,7 +361,7 @@ void build_grid_parallel(GemmPlan& plan, const GotoConfig& cfg,
               static_cast<std::size_t>(my_chunks.begin),
               static_cast<std::size_t>(my_chunks.end), bb, kk, jj, kc_eff));
         }
-        ops.push_back(plan::BarrierOp{bar});
+        if (sync_b) ops.push_back(plan::BarrierOp{bar});
 
         for (index_t ii = rows.begin; ii < rows.end; ii += cfg.mc) {
           const index_t mc_eff = std::min(cfg.mc, rows.end - ii);
@@ -374,7 +378,7 @@ void build_grid_parallel(GemmPlan& plan, const GotoConfig& cfg,
                           m_list.size());
         }
         // B buffer is reused next kk step: everyone must be done reading.
-        ops.push_back(plan::BarrierOp{bar});
+        if (sync_b) ops.push_back(plan::BarrierOp{bar});
       }
     }
   }
@@ -398,10 +402,17 @@ void build_ways_parallel(GemmPlan& plan, const GotoConfig& cfg,
   const index_t kc_max = std::min(cfg.kc, shape.k);
   const int group_b_threads = ways.ic * ways.jr * ways.ir;  // share B~
   const int group_a_threads = ways.jr * ways.ir;            // share A~
+  // A 1-thread packing group owns its buffer outright: nobody else ever
+  // reads or overwrites it, so its barriers are elided entirely (a pure
+  // jc decomposition synchronizes only at the fork-join edges). Table II
+  // charges every crossing to Sync, so the builder emits none it can
+  // prove unnecessary.
+  const bool sync_b = group_b_threads > 1;
+  const bool sync_a = group_a_threads > 1;
 
   // Buffers/barriers: one B per jc group, one A per (jc, ic) subgroup.
   std::vector<int> buf_b(static_cast<std::size_t>(ways.jc));
-  std::vector<int> bar_b(static_cast<std::size_t>(ways.jc));
+  std::vector<int> bar_b(static_cast<std::size_t>(ways.jc), -1);
   for (int jc = 0; jc < ways.jc; ++jc) {
     const par::Range cols =
         par::split_range_aligned(shape.n, ways.jc, jc, cfg.tiles.nr);
@@ -409,11 +420,12 @@ void build_ways_parallel(GemmPlan& plan, const GotoConfig& cfg,
         std::min(cfg.nc, std::max<index_t>(cols.size(), 1));
     buf_b[static_cast<std::size_t>(jc)] = plan::add_buffer(
         plan, padded_extent(width, cfg.tiles.nr) * kc_max);
-    bar_b[static_cast<std::size_t>(jc)] =
-        plan::add_barrier(plan, group_b_threads);
+    if (sync_b)
+      bar_b[static_cast<std::size_t>(jc)] =
+          plan::add_barrier(plan, group_b_threads);
   }
   std::vector<int> buf_a(static_cast<std::size_t>(ways.jc * ways.ic));
-  std::vector<int> bar_a(static_cast<std::size_t>(ways.jc * ways.ic));
+  std::vector<int> bar_a(static_cast<std::size_t>(ways.jc * ways.ic), -1);
   for (int jc = 0; jc < ways.jc; ++jc) {
     for (int ic = 0; ic < ways.ic; ++ic) {
       const par::Range rows =
@@ -423,7 +435,7 @@ void build_ways_parallel(GemmPlan& plan, const GotoConfig& cfg,
       const auto slot = static_cast<std::size_t>(jc * ways.ic + ic);
       buf_a[slot] = plan::add_buffer(
           plan, padded_extent(height, cfg.tiles.mr) * kc_max);
-      bar_a[slot] = plan::add_barrier(plan, group_a_threads);
+      if (sync_a) bar_a[slot] = plan::add_barrier(plan, group_a_threads);
     }
   }
 
@@ -472,7 +484,7 @@ void build_ways_parallel(GemmPlan& plan, const GotoConfig& cfg,
               static_cast<std::size_t>(bchunks.end), my_buf_b, kk, jj,
               kc_eff));
         }
-        ops.push_back(plan::BarrierOp{my_bar_b});
+        if (sync_b) ops.push_back(plan::BarrierOp{my_bar_b});
 
         for (index_t ii = rows.begin; ii < rows.end; ii += cfg.mc) {
           const index_t mc_eff = std::min(cfg.mc, rows.end - ii);
@@ -491,7 +503,7 @@ void build_ways_parallel(GemmPlan& plan, const GotoConfig& cfg,
                 static_cast<std::size_t>(achunks.end), my_buf_a, ii, kk,
                 kc_eff));
           }
-          ops.push_back(plan::BarrierOp{my_bar_a});
+          if (sync_a) ops.push_back(plan::BarrierOp{my_bar_a});
 
           // jr/ir ways split the micro-tile grid of this block.
           const par::Range jtiles = par::split_range(
@@ -505,10 +517,10 @@ void build_ways_parallel(GemmPlan& plan, const GotoConfig& cfg,
                           static_cast<std::size_t>(itiles.begin),
                           static_cast<std::size_t>(itiles.end));
           // A~ is overwritten next ii step; everyone must be done with it.
-          ops.push_back(plan::BarrierOp{my_bar_a});
+          if (sync_a) ops.push_back(plan::BarrierOp{my_bar_a});
         }
         // End of the kk step (B~ about to be overwritten).
-        ops.push_back(plan::BarrierOp{my_bar_b});
+        if (sync_b) ops.push_back(plan::BarrierOp{my_bar_b});
       }
     }
   }

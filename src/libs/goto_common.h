@@ -97,7 +97,9 @@ void build_singlethread(plan::GemmPlan& plan, const GotoConfig& cfg);
 
 /// 2-D grid parallel driver (Marker / OpenBLAS, Section III-D): C split
 /// into a pr x pc thread grid; column groups share a cooperatively packed
-/// B buffer with barriers after PackB and at the end of each kk step.
+/// B buffer with barriers after PackB and at the end of each kk step
+/// (elided when pr == 1 — each column thread then owns its B~ outright
+/// and the plan is barrier-free).
 /// `grid` with pr == 0 means "choose automatically" (most-square split);
 /// OpenBLAS passes {nthreads, 1} — the paper: its per-thread workload is
 /// mc/64 x nc x kc, i.e. all threads split M.
@@ -108,7 +110,10 @@ void build_grid_parallel(plan::GemmPlan& plan, const GotoConfig& cfg,
 /// jc groups share a B buffer; (jc, ic) subgroups share an A buffer; jr/ir
 /// split the micro-tile grid. Barriers follow the paper's Section III-D
 /// description (pack A, pack B, end of the kk loop), each involving only
-/// the threads that share the buffer. Requires pack_a && pack_b.
+/// the threads that share the buffer; 1-thread groups are provably
+/// race-free and emit no barrier at all, so a pure-jc decomposition
+/// (disjoint C columns, no K split) synchronizes only at the fork-join
+/// edges. Requires pack_a && pack_b.
 void build_ways_parallel(plan::GemmPlan& plan, const GotoConfig& cfg,
                          par::Ways ways);
 

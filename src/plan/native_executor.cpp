@@ -1,5 +1,6 @@
 #include "src/plan/native_executor.h"
 
+#include <chrono>
 #include <cstddef>
 #include <memory>
 #include <utility>
@@ -253,6 +254,43 @@ struct OpRunner {
   }
 };
 
+double steady_now_ns() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// OpRunner wrapped with per-category wall-clock accounting — the native
+/// counterpart of the simulator's Table II breakdown. Kept separate from
+/// OpRunner so the untimed hot path pays zero clock reads.
+template <typename T>
+struct TimedOpRunner {
+  OpRunner<T> inner;
+  ThreadTiming& t;
+
+  template <typename Op>
+  void charge(double ThreadTiming::* slot, const Op& op) {
+    const double t0 = steady_now_ns();
+    inner(op);
+    t.*slot += steady_now_ns() - t0;
+  }
+
+  void operator()(const PackAOp& op) { charge(&ThreadTiming::pack_ns, op); }
+  void operator()(const PackBOp& op) { charge(&ThreadTiming::pack_ns, op); }
+  void operator()(const ConvertOp& op) { charge(&ThreadTiming::pack_ns, op); }
+  void operator()(const KernelOp& op) {
+    charge(&ThreadTiming::kernel_ns, op);
+  }
+  void operator()(const BarrierOp& op) {
+    charge(&ThreadTiming::barrier_ns, op);
+  }
+  void operator()(const ScaleCOp& op) { charge(&ThreadTiming::other_ns, op); }
+  void operator()(const ReduceCOp& op) {
+    charge(&ThreadTiming::other_ns, op);
+  }
+};
+
 template <typename T>
 void validate_operands(const GemmPlan& plan, ConstMatrixView<T> a,
                        ConstMatrixView<T> b, MatrixView<T> c) {
@@ -278,16 +316,24 @@ void validate_operands(const GemmPlan& plan, ConstMatrixView<T> a,
 template <typename T>
 void execute_plan_impl(const GemmPlan& plan, T alpha, ConstMatrixView<T> a,
                        ConstMatrixView<T> b, T beta, MatrixView<T> c,
-                       const PrepackedB<T>* prepacked) {
+                       const PrepackedB<T>* prepacked,
+                       std::vector<ThreadTiming>* timings = nullptr) {
   validate_operands(plan, a, b, c);
   ExecContext<T> ctx(plan, alpha, a, b, beta, c, prepacked);
   par::run_parallel(
       plan.nthreads,
       [&](int tid) {
-        OpRunner<T> runner{ctx};
-        for (const auto& op :
-             plan.thread_ops[static_cast<std::size_t>(tid)])
-          std::visit(runner, op);
+        const auto& ops = plan.thread_ops[static_cast<std::size_t>(tid)];
+        if (timings == nullptr) {
+          OpRunner<T> runner{ctx};
+          for (const auto& op : ops) std::visit(runner, op);
+        } else {
+          ThreadTiming& tt = (*timings)[static_cast<std::size_t>(tid)];
+          TimedOpRunner<T> runner{OpRunner<T>{ctx}, tt};
+          const double t0 = steady_now_ns();
+          for (const auto& op : ops) std::visit(runner, op);
+          tt.total_ns = steady_now_ns() - t0;
+        }
       },
       // A worker that dies can never arrive at its remaining BarrierOps;
       // poison every plan barrier so peers fail instead of blocking
@@ -311,6 +357,26 @@ template void execute_plan(const GemmPlan&, float, ConstMatrixView<float>,
 template void execute_plan(const GemmPlan&, double, ConstMatrixView<double>,
                            ConstMatrixView<double>, double,
                            MatrixView<double>);
+
+template <typename T>
+void execute_plan_timed(const GemmPlan& plan, T alpha, ConstMatrixView<T> a,
+                        ConstMatrixView<T> b, T beta, MatrixView<T> c,
+                        std::vector<ThreadTiming>& timings) {
+  timings.assign(static_cast<std::size_t>(plan.nthreads), ThreadTiming{});
+  execute_plan_impl<T>(plan, alpha, a, b, beta, c, /*prepacked=*/nullptr,
+                       &timings);
+}
+
+template void execute_plan_timed(const GemmPlan&, float,
+                                 ConstMatrixView<float>,
+                                 ConstMatrixView<float>, float,
+                                 MatrixView<float>,
+                                 std::vector<ThreadTiming>&);
+template void execute_plan_timed(const GemmPlan&, double,
+                                 ConstMatrixView<double>,
+                                 ConstMatrixView<double>, double,
+                                 MatrixView<double>,
+                                 std::vector<ThreadTiming>&);
 
 // ---- PrepackedB ------------------------------------------------------------
 

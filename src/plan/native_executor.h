@@ -15,6 +15,7 @@
 #include "src/common/aligned_buffer.h"
 #include "src/matrix/view.h"
 #include "src/plan/plan.h"
+#include "src/plan/plan_stats.h"
 
 namespace smm::plan {
 
@@ -24,6 +25,17 @@ namespace smm::plan {
 template <typename T>
 void execute_plan(const GemmPlan& plan, T alpha, ConstMatrixView<T> a,
                   ConstMatrixView<T> b, T beta, MatrixView<T> c);
+
+/// execute_plan with a measured per-thread wall-clock breakdown in the
+/// Table II categories (pack / kernel / barrier / other). `timings` is
+/// resized to plan.nthreads and overwritten. Each op is bracketed by two
+/// clock reads, so per-call overhead is higher than execute_plan — this
+/// is the diagnosis path (table2_breakdown, ablate_parallel_v2), not the
+/// production one.
+template <typename T>
+void execute_plan_timed(const GemmPlan& plan, T alpha, ConstMatrixView<T> a,
+                        ConstMatrixView<T> b, T beta, MatrixView<T> c,
+                        std::vector<ThreadTiming>& timings);
 
 /// B packed once, replayed many times — the batch/inference idiom (and
 /// IAAT's amortization argument): when one B multiplies a stream of As,

@@ -46,4 +46,23 @@ PlanStats analyze(const GemmPlan& plan) {
   return stats;
 }
 
+std::vector<ThreadOpStats> analyze_threads(const GemmPlan& plan) {
+  std::vector<ThreadOpStats> out(plan.thread_ops.size());
+  for (std::size_t t = 0; t < plan.thread_ops.size(); ++t) {
+    // Reuse the whole-plan visitor on one thread's ops, then project the
+    // per-thread fields out of it — one accounting, two views.
+    PlanStats s;
+    StatsVisitor v{s};
+    for (const auto& op : plan.thread_ops[t]) std::visit(v, op);
+    out[t].pack_a_ops = s.pack_a_ops;
+    out[t].pack_b_ops = s.pack_b_ops;
+    out[t].convert_ops = s.convert_ops;
+    out[t].kernel_ops = s.kernel_ops;
+    out[t].barrier_ops = s.barrier_ops;
+    out[t].packed_elems = s.packed_a_elems + s.packed_b_elems;
+    out[t].computed_flops = s.computed_flops;
+  }
+  return out;
+}
+
 }  // namespace smm::plan

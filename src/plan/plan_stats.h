@@ -5,6 +5,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/common/types.h"
 #include "src/plan/plan.h"
@@ -36,5 +37,33 @@ struct PlanStats {
 };
 
 PlanStats analyze(const GemmPlan& plan);
+
+/// Structural per-thread breakdown of the same counters: who packs what,
+/// who crosses which barriers, how the kernel flops are spread. This is
+/// the static complement of ThreadTiming — imbalance visible here (one
+/// thread packing while its peers only cross barriers) shows up there as
+/// barrier wait time.
+struct ThreadOpStats {
+  index_t pack_a_ops = 0;
+  index_t pack_b_ops = 0;
+  index_t convert_ops = 0;
+  index_t kernel_ops = 0;
+  index_t barrier_ops = 0;
+  index_t packed_elems = 0;  ///< PackA + PackB elements this thread copies
+  double computed_flops = 0;
+};
+std::vector<ThreadOpStats> analyze_threads(const GemmPlan& plan);
+
+/// Measured wall-clock breakdown of one thread of one
+/// execute_plan_timed() run (native_executor.h), in the Table II
+/// categories. barrier_ns includes the wait, so load imbalance lands
+/// here rather than inflating a peer's kernel_ns.
+struct ThreadTiming {
+  double pack_ns = 0;     ///< PackA/PackB/Convert ops
+  double kernel_ns = 0;   ///< KernelOps
+  double barrier_ns = 0;  ///< BarrierOps (arrival + wait)
+  double other_ns = 0;    ///< ScaleC/ReduceC ops
+  double total_ns = 0;    ///< whole per-thread op sequence
+};
 
 }  // namespace smm::plan

@@ -1,47 +1,98 @@
 #include "src/threading/barrier.h"
 
 #include "src/common/error.h"
+#include "src/threading/thread_pool.h"
 
 namespace smm::par {
 
-Barrier::Barrier(int participants) : participants_(participants) {
+namespace {
+
+/// Spin budget before parking. Sized so a barrier whose peers are a few
+/// microseconds behind resolves without a syscall, while a genuinely
+/// stalled round parks quickly instead of burning a core.
+constexpr int kSpinRounds = 4096;
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+}  // namespace
+
+Barrier::Barrier(int participants)
+    : participants_(participants),
+      spin_(participants <= native_threads_available()) {
   SMM_EXPECT(participants > 0, "barrier needs at least one participant");
 }
 
+void Barrier::throw_poisoned() {
+  throw Error(ErrorCode::kWorkerPanic,
+              "smmkit: parallel region aborted: a peer worker failed before "
+              "reaching the barrier");
+}
+
 void Barrier::arrive_and_wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (poisoned_) {
-    throw Error(ErrorCode::kWorkerPanic,
-                "smmkit: parallel region aborted: a peer worker failed before "
-                "reaching the barrier");
-  }
-  const bool my_sense = sense_;
-  if (++waiting_ == participants_) {
-    waiting_ = 0;
-    sense_ = !sense_;
+  if (poisoned_.load(std::memory_order_acquire)) throw_poisoned();
+  if (participants_ == 1) return;
+
+  // Every participant of round r was released from round r-1 after the
+  // epoch bump, so the epoch read here is the round's stable sense even
+  // though peers may already be arriving for it.
+  const std::uint32_t my_epoch = epoch_.load(std::memory_order_acquire);
+  const int pos = arrived_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (pos == participants_) {
+    // Reset before the release bump: a peer can only re-arrive after it
+    // observes the bump, so the counter is quiescent here.
+    arrived_.store(0, std::memory_order_relaxed);
+    {
+      // The bump is published under mu_ so a parking waiter cannot miss
+      // it between its predicate check and cv_.wait.
+      std::lock_guard<std::mutex> lock(mu_);
+      epoch_.store(my_epoch + 1, std::memory_order_release);
+    }
     cv_.notify_all();
     return;
   }
-  cv_.wait(lock, [&] { return poisoned_ || sense_ != my_sense; });
-  if (poisoned_ && sense_ == my_sense) {
-    // Woken by poison(), not by a completed round: this round can never
-    // finish, so leave the barrier in a sane state and fail.
-    --waiting_;
-    throw Error(ErrorCode::kWorkerPanic,
-                "smmkit: parallel region aborted: a peer worker failed before "
-                "reaching the barrier");
+
+  if (spin_) {
+    for (int i = 0; i < kSpinRounds; ++i) {
+      if (epoch_.load(std::memory_order_acquire) != my_epoch) return;
+      if (poisoned_.load(std::memory_order_acquire)) {
+        if (epoch_.load(std::memory_order_acquire) != my_epoch) return;
+        // This round can never complete; withdraw the arrival so the
+        // count stays sane for any arrivals that race the poison.
+        arrived_.fetch_sub(1, std::memory_order_acq_rel);
+        throw_poisoned();
+      }
+      cpu_relax();
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return epoch_.load(std::memory_order_acquire) != my_epoch ||
+           poisoned_.load(std::memory_order_acquire);
+  });
+  if (epoch_.load(std::memory_order_acquire) == my_epoch) {
+    // Woken by poison(), not by a completed round.
+    arrived_.fetch_sub(1, std::memory_order_acq_rel);
+    throw_poisoned();
   }
 }
 
 void Barrier::poison() {
-  std::lock_guard<std::mutex> lock(mu_);
-  poisoned_ = true;
+  {
+    // Publish under mu_ for the same reason as the epoch bump: a waiter
+    // between predicate check and park must not miss the wakeup.
+    std::lock_guard<std::mutex> lock(mu_);
+    poisoned_.store(true, std::memory_order_release);
+  }
   cv_.notify_all();
-}
-
-bool Barrier::poisoned() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return poisoned_;
 }
 
 }  // namespace smm::par

@@ -3,13 +3,23 @@
 // paper identifies (after packing A, after packing B, at the end of the
 // kk loop — Section III-D).
 //
+// Synchronization is the cost Table II says dominates multi-threaded SMM,
+// so arrival is tiered: the hot path is one fetch_add plus a bounded spin
+// on an atomic epoch (the "sense" that reverses each round) and touches
+// no mutex at all; only a waiter that exhausts its spin budget — or a
+// barrier wider than the machine's concurrency, where spinning would
+// steal cycles from the very peer being waited for — parks on a condvar.
+//
 // The barrier is poisonable: a worker that dies mid-plan can never
 // arrive, so without poisoning its peers would block forever and the
-// fork-join join() would deadlock. poison() wakes every waiter and makes
-// all subsequent arrivals throw instead of waiting.
+// fork-join join() would deadlock. poison() wakes every waiter (spinners
+// observe the flag, parkers are notified) and makes all subsequent
+// arrivals throw instead of waiting.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "src/common/types.h"
@@ -33,15 +43,27 @@ class Barrier {
   void poison();
 
   [[nodiscard]] int participants() const { return participants_; }
-  [[nodiscard]] bool poisoned() const;
+  [[nodiscard]] bool poisoned() const {
+    return poisoned_.load(std::memory_order_acquire);
+  }
 
  private:
+  [[noreturn]] static void throw_poisoned();
+
   const int participants_;
-  mutable std::mutex mu_;
+  /// Spinning only pays when the host can actually run every participant
+  /// concurrently; an oversubscribed barrier parks immediately so the
+  /// waiter's timeslice goes to the peers it is waiting for.
+  const bool spin_;
+  /// Completed-round counter — the reversing sense. A waiter is released
+  /// the moment the epoch it arrived under changes.
+  std::atomic<std::uint32_t> epoch_{0};
+  std::atomic<int> arrived_{0};
+  std::atomic<bool> poisoned_{false};
+  // Parking lot only (spin-exhausted waiters and poison wakeups); never
+  // taken on the fast path except by the releasing arrival.
+  std::mutex mu_;
   std::condition_variable cv_;
-  int waiting_ = 0;
-  bool sense_ = false;  // flips each full round
-  bool poisoned_ = false;
 };
 
 }  // namespace smm::par

@@ -1,6 +1,7 @@
 #include "src/threading/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
 #include <string>
 #include <thread>
@@ -98,9 +99,28 @@ void run_parallel(int nthreads, const std::function<void(int)>& body,
   rethrow_failures(errors, nthreads);
 }
 
+namespace detail {
+
+int compute_threads_available(unsigned hw, const char* env) {
+  int threads = static_cast<int>(std::clamp(hw, 1u, 256u));
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long cap = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && cap > 0)
+      threads = std::min<long>(threads, cap);
+  }
+  return threads;
+}
+
+}  // namespace detail
+
 int native_threads_available() {
-  const unsigned hw = std::thread::hardware_concurrency();
-  return static_cast<int>(std::clamp(hw, 1u, 256u));
+  // Cached: hardware_concurrency() is a syscall on some libstdc++
+  // configurations and this query sits on the per-call dispatch path
+  // (parallel selection, barrier construction).
+  static const int cached = detail::compute_threads_available(
+      std::thread::hardware_concurrency(), std::getenv("SMMKIT_MAX_THREADS"));
+  return cached;
 }
 
 }  // namespace smm::par

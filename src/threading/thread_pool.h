@@ -33,7 +33,19 @@ namespace smm::par {
 void run_parallel(int nthreads, const std::function<void(int)>& body,
                   const std::function<void()>& on_worker_failure = {});
 
-/// Hardware concurrency clamped to [1, 256].
+/// Threads worth offering to callers: hardware concurrency clamped to
+/// [1, 256], further capped by the SMMKIT_MAX_THREADS environment
+/// variable when set (container deployments that cgroup-limit a process
+/// below what hardware_concurrency() reports). Computed once on first
+/// call and cached — this sits on the per-call dispatch path.
 int native_threads_available();
+
+namespace detail {
+/// The uncached policy behind native_threads_available(), exposed so
+/// tests can probe env handling without mutating process-wide state:
+/// clamp hw to [1, 256], then apply `env` (SMMKIT_MAX_THREADS value;
+/// null/empty/garbage/non-positive values are ignored).
+int compute_threads_available(unsigned hw, const char* env);
+}  // namespace detail
 
 }  // namespace smm::par
