@@ -1,15 +1,31 @@
-// Cost of robustness: guarded execution vs the raw planned path, across
-// SMM shapes. Three configurations —
-//   raw        : execute_plan on a cached plan (today's fast path)
+// Cost of robustness: the hardened warm path vs the raw planned path,
+// across SMM shapes. Four per-call regimes —
+//   raw        : execute_plan on a cached plan (no dispatch, no hooks
+//                beyond the compiled-in disarmed injection sites)
+//   warm       : smm_gemm steady state — the production warm path with
+//                every PR-4 hardening hook in place (watchdog-bounded
+//                pool, degradable arena/cache/prepack) but nothing armed
 //   guard-off  : GuardedExecutor with verification disabled (snapshot +
 //                dispatch overhead only)
 //   guard-abft : GuardedExecutor with row-checksum verification
-// The delta between raw and guard-abft is the price of never returning an
-// unverified result; the paper's ABFT point is that this price shrinks as
-// small-M GEMM gets faster.
+// warm/raw is the price of the hardened dispatch layer and is gated by
+// --check (CI perf smoke): hardening that is not free when disarmed is a
+// regression. guard-abft/raw is the price of never returning an
+// unverified result; the paper's ABFT point is that this price shrinks
+// as small-M GEMM gets faster.
+//
+// Timing is best-of-reps (see ablate_dispatch: the min over independent
+// batches reports the undisturbed cost; a mean folds scheduler
+// preemptions into microsecond-scale calls). Emits CSV to stdout (and
+// --csv <path>) plus a JSON summary to --json <path> (default
+// BENCH_robust.json).
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "src/common/rng.h"
@@ -20,25 +36,61 @@
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
 using namespace smm;
 
-double time_us(int reps, const std::function<void()>& fn) {
-  fn();  // warm-up (plans cached, buffers faulted in)
-  const auto t0 = std::chrono::steady_clock::now();
-  for (int r = 0; r < reps; ++r) fn();
-  const auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::micro>(t1 - t0).count() /
-         reps;
+double batch_ns_per_call(const std::function<void()>& fn, int iters) {
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  const auto t1 = Clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / iters;
 }
+
+/// Best-of-reps with the modes interleaved: rep r times one batch of
+/// every mode back to back. The interleaving is what makes the warm/raw
+/// gate stable on a shared host — a load spike or frequency ramp that
+/// lands on rep r taxes every mode's rep r, instead of landing entirely
+/// inside one mode's measurement window and faking a regression.
+/// Returns per_rep[r][m]; callers take the min per mode for reporting
+/// and gate on within-rep ratios (see main).
+std::vector<std::vector<double>> interleaved_ns_per_call(
+    const std::vector<std::function<void()>>& modes, int iters, int reps) {
+  std::vector<std::vector<double>> per_rep(
+      static_cast<std::size_t>(reps), std::vector<double>(modes.size()));
+  for (const auto& fn : modes) fn();  // unmeasured: warm pool/cache/arena
+  for (int r = 0; r < reps; ++r)
+    for (std::size_t m = 0; m < modes.size(); ++m)
+      per_rep[static_cast<std::size_t>(r)][m] =
+          batch_ns_per_call(modes[m], iters);
+  return per_rep;
+}
+
+struct Row {
+  index_t m, n, k;
+  double raw_ns, warm_ns, guard_off_ns, guard_abft_ns;
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int reps = std::max(
-      1, std::stoi(bench::arg_value(argc, argv, "--reps", "200")));
+  const int iters =
+      std::max(1, std::stoi(bench::arg_value(argc, argv, "--iters", "2000")));
+  const int reps =
+      std::max(1, std::stoi(bench::arg_value(argc, argv, "--reps", "5")));
+  const bool check = bench::has_flag(argc, argv, "--check");
+  const std::string json_path =
+      bench::arg_value(argc, argv, "--json", "BENCH_robust.json");
+  // The CI gate: warm may cost at most 5% over raw, plus an absolute
+  // floor so nanosecond jitter on the tiniest shapes cannot flake the
+  // job (a 16^3 call is ~hundreds of ns; 5% of that is noise).
+  const double gate_ratio =
+      std::stod(bench::arg_value(argc, argv, "--gate-ratio", "1.05"));
+  const double gate_slack_ns =
+      std::stod(bench::arg_value(argc, argv, "--gate-slack-ns", "150"));
+
   bench::CsvSink csv(argc, argv,
-                     "m,n,k,raw_us,guard_off_us,guard_abft_us,"
-                     "overhead_off,overhead_abft");
+                     "m,n,k,raw_ns,warm_ns,guard_off_ns,guard_abft_ns,"
+                     "warm_over_raw,overhead_off,overhead_abft");
 
   const GemmShape shapes[] = {{8, 8, 8},    {16, 16, 16},  {32, 32, 32},
                               {64, 64, 64}, {96, 96, 96},  {2, 96, 96},
@@ -49,6 +101,10 @@ int main(int argc, char** argv) {
   robust::GuardedExecutor guard_off(off);
   robust::GuardedExecutor guard_abft;  // verify = true by default
   core::PlanCache raw_cache(core::reference_smm());
+  const core::SmmOptions options;  // defaults: the production configuration
+
+  std::vector<Row> rows;
+  bool gate_failed = false;
 
   for (const GemmShape& s : shapes) {
     Rng rng(42);
@@ -57,23 +113,79 @@ int main(int argc, char** argv) {
     b.fill_random(rng);
     c.fill_random(rng);
 
-    const double raw = time_us(reps, [&] {
-      const auto plan =
-          raw_cache.get(s, plan::ScalarType::kF32, /*nthreads=*/1);
-      plan::execute_plan(*plan, 1.0f, a.cview(), b.cview(), 0.0f,
-                         c.view());
-    });
-    const double g_off = time_us(reps, [&] {
-      guard_off.run(1.0f, a.cview(), b.cview(), 0.0f, c.view());
-    });
-    const double g_abft = time_us(reps, [&] {
-      guard_abft.run(1.0f, a.cview(), b.cview(), 0.0f, c.view());
-    });
+    const std::vector<std::function<void()>> modes = {
+        [&] {
+          const auto plan =
+              raw_cache.get(s, plan::ScalarType::kF32, /*nthreads=*/1);
+          plan::execute_plan(*plan, 1.0f, a.cview(), b.cview(), 0.0f,
+                             c.view());
+        },
+        [&] {
+          core::smm_gemm(1.0f, a.cview(), b.cview(), 0.0f, c.view(), 1,
+                         options);
+        },
+        [&] { guard_off.run(1.0f, a.cview(), b.cview(), 0.0f, c.view()); },
+        [&] { guard_abft.run(1.0f, a.cview(), b.cview(), 0.0f, c.view()); },
+    };
+    // Size the batch by time, not count: one batch ~25 ms regardless of
+    // shape, so 128^3 does not take minutes and 8^3 still amortizes the
+    // clock reads over thousands of calls.
+    const double est = batch_ns_per_call(modes[0], 4);
+    const int batch_iters = static_cast<int>(std::clamp(
+        25e6 / std::max(est, 1.0), 8.0, static_cast<double>(iters)));
+    const auto per_rep = interleaved_ns_per_call(modes, batch_iters, reps);
+    const auto best_of = [&](std::size_t m) {
+      double best = per_rep[0][m];
+      for (const auto& rep : per_rep) best = std::min(best, rep[m]);
+      return best;
+    };
+    const double raw = best_of(0), warm = best_of(1), g_off = best_of(2),
+                 g_abft = best_of(3);
+    // The gate compares warm and raw *within* a rep (same load, same
+    // frequency) and needs only one steady rep to pass: cross-rep minima
+    // can pair a fast raw batch from a boosted rep with warm batches
+    // that never saw the boost.
+    double gate_best = per_rep[0][1] / per_rep[0][0];
+    double gate_raw = per_rep[0][0], gate_warm = per_rep[0][1];
+    for (const auto& rep : per_rep)
+      if (rep[1] / rep[0] < gate_best) {
+        gate_best = rep[1] / rep[0];
+        gate_raw = rep[0];
+        gate_warm = rep[1];
+      }
 
-    csv.row(strprintf("%ld,%ld,%ld,%.3f,%.3f,%.3f,%.2fx,%.2fx",
+    rows.push_back({s.m, s.n, s.k, raw, warm, g_off, g_abft});
+    csv.row(strprintf("%ld,%ld,%ld,%.1f,%.1f,%.1f,%.1f,%.3f,%.2fx,%.2fx",
                       static_cast<long>(s.m), static_cast<long>(s.n),
-                      static_cast<long>(s.k), raw, g_off, g_abft,
-                      g_off / raw, g_abft / raw));
+                      static_cast<long>(s.k), raw, warm, g_off, g_abft,
+                      warm / raw, g_off / raw, g_abft / raw));
+
+    if (check && gate_warm > gate_raw * gate_ratio + gate_slack_ns) {
+      std::fprintf(stderr,
+                   "PERF GATE FAILED %ldx%ldx%ld: best within-rep warm "
+                   "%.1f ns > raw %.1f ns * %.2f + %.0f ns\n",
+                   static_cast<long>(s.m), static_cast<long>(s.n),
+                   static_cast<long>(s.k), gate_warm, gate_raw, gate_ratio,
+                   gate_slack_ns);
+      gate_failed = true;
+    }
   }
+
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"ablate_robust\",\n  \"iters\": " << iters
+       << ",\n  \"reps\": " << reps << ",\n  \"gate_ratio\": " << gate_ratio
+       << ",\n  \"gate_slack_ns\": " << gate_slack_ns << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    json << "    {\"m\": " << r.m << ", \"n\": " << r.n << ", \"k\": " << r.k
+         << ", \"raw_ns\": " << r.raw_ns << ", \"warm_ns\": " << r.warm_ns
+         << ", \"guard_off_ns\": " << r.guard_off_ns
+         << ", \"guard_abft_ns\": " << r.guard_abft_ns << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("# wrote %s\n", json_path.c_str());
+
+  if (gate_failed) return 1;
   return 0;
 }

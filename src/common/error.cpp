@@ -22,6 +22,16 @@ const char* to_string(ErrorCode code) {
       return "checksum-mismatch";
     case ErrorCode::kWorkerPanic:
       return "worker-panic";
+    case ErrorCode::kPoolTimeout:
+      return "pool-timeout";
+    case ErrorCode::kPoolSpawnFail:
+      return "pool-spawn-fail";
+    case ErrorCode::kArenaExhausted:
+      return "arena-exhausted";
+    case ErrorCode::kCacheInsertFail:
+      return "cache-insert-fail";
+    case ErrorCode::kPrepackFallback:
+      return "prepack-fallback";
   }
   return "?";
 }

@@ -21,6 +21,11 @@ enum class ErrorCode {
   kKernelFault,        ///< a micro-kernel produced (or hit) a fault
   kChecksumMismatch,   ///< ABFT verification rejected the result
   kWorkerPanic,        ///< exception escaped a parallel worker body
+  kPoolTimeout,        ///< watchdog: a pool worker missed its deadline
+  kPoolSpawnFail,      ///< worker-thread creation failed (pool or spawn path)
+  kArenaExhausted,     ///< ExecScratch slab growth failed under pressure
+  kCacheInsertFail,    ///< PlanCache could not insert a freshly built plan
+  kPrepackFallback,    ///< PrepackedB could not materialize its buffers
 };
 
 const char* to_string(ErrorCode code);

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/error.h"
+#include "src/robust/fault_injection.h"
 #include "src/robust/health.h"
 
 namespace smm::core {
@@ -26,65 +27,96 @@ std::shared_ptr<const plan::GemmPlan> PlanCache::get_or_build(
     std::uint64_t fingerprint, const PlanBuilder& build) {
   const Key key{shape.m, shape.n, shape.k, static_cast<int>(scalar),
                 nthreads, fingerprint};
-  std::promise<PlanPtr> promise;
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    const auto it = index_.find(key);
-    if (it != index_.end()) {
-      ++hits_;
-      lru_.splice(lru_.begin(), lru_, it->second);  // bump to front
-      robust::health().plan_cache_hits.fetch_add(
-          1, std::memory_order_relaxed);
-      return it->second->second;
+  for (;;) {
+    std::promise<PlanPtr> promise;
+    std::shared_future<PlanPtr> inflight;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      const auto it = index_.find(key);
+      if (it != index_.end()) {
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, it->second);  // bump to front
+        robust::health().plan_cache_hits.fetch_add(
+            1, std::memory_order_relaxed);
+        return it->second->second;
+      }
+      const auto flight = inflight_.find(key);
+      if (flight != inflight_.end()) {
+        // Same key already building: share that build instead of doing a
+        // redundant one. Counted as a hit — this caller built nothing.
+        inflight = flight->second;
+        ++hits_;
+        robust::health().plan_cache_hits.fetch_add(
+            1, std::memory_order_relaxed);
+      } else {
+        ++misses_;
+        robust::health().plan_cache_misses.fetch_add(
+            1, std::memory_order_relaxed);
+        inflight_.emplace(key, promise.get_future().share());
+      }
     }
-    const auto flight = inflight_.find(key);
-    if (flight != inflight_.end()) {
-      // Same key already building: share that build instead of doing a
-      // redundant one. Counted as a hit — this caller built nothing.
-      // (get() on the future rethrows the builder's exception, if any.)
-      auto future = flight->second;
-      ++hits_;
-      robust::health().plan_cache_hits.fetch_add(
-          1, std::memory_order_relaxed);
-      lock.unlock();
-      return future.get();
-    }
-    ++misses_;
-    robust::health().plan_cache_misses.fetch_add(
-        1, std::memory_order_relaxed);
-    inflight_.emplace(key, promise.get_future().share());
-  }
 
-  // Build outside the lock: plan construction is the expensive part and
-  // must not serialize hits on other keys behind it.
-  PlanPtr plan;
-  try {
-    plan = std::make_shared<const plan::GemmPlan>(build());
-    builds_.fetch_add(1, std::memory_order_relaxed);
-  } catch (...) {
+    if (inflight.valid()) {
+      try {
+        return inflight.get();
+      } catch (...) {
+        // The build this caller piggybacked on failed. That failure is
+        // the builder's own to report; swallowing it here and retrying
+        // the full lookup keeps one transient fault from fanning out to
+        // every concurrent caller of the key (and the failed in-flight
+        // entry is already erased, so the retry starts clean).
+        continue;
+      }
+    }
+
+    // This caller builds. Outside the lock: plan construction is the
+    // expensive part and must not serialize hits on other keys behind it.
+    PlanPtr plan;
+    try {
+      plan = std::make_shared<const plan::GemmPlan>(build());
+      builds_.fetch_add(1, std::memory_order_relaxed);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        inflight_.erase(key);
+      }
+      promise.set_exception(std::current_exception());
+      throw;
+    }
+
     {
       std::lock_guard<std::mutex> lock(mu_);
       inflight_.erase(key);
+      // clear() may have raced the build; insert into whatever state the
+      // cache is in now (a pre-existing entry is impossible — inflight_
+      // excluded every other builder of this key). An insert failure
+      // (injected, or an allocation failing under real memory pressure)
+      // degrades to serving the plan uncached: the caller paid for the
+      // build and must get its plan; only future calls repay the miss.
+      try {
+        if (robust::should_fire(robust::FaultSite::kCacheInsertFail))
+          throw Error(ErrorCode::kCacheInsertFail,
+                      "smmkit: injected plan-cache insert failure");
+        lru_.emplace_front(key, plan);
+        try {
+          index_[key] = lru_.begin();
+        } catch (...) {
+          lru_.pop_front();  // keep lru_/index_ consistent
+          throw;
+        }
+        if (lru_.size() > capacity_) {
+          index_.erase(lru_.back().first);
+          lru_.pop_back();
+        }
+      } catch (...) {
+        insert_failures_.fetch_add(1, std::memory_order_relaxed);
+        robust::health().plan_cache_insert_failures.fetch_add(
+            1, std::memory_order_relaxed);
+      }
     }
-    promise.set_exception(std::current_exception());
-    throw;
+    promise.set_value(plan);
+    return plan;
   }
-
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    inflight_.erase(key);
-    // clear() may have raced the build; insert into whatever state the
-    // cache is in now (a pre-existing entry is impossible — inflight_
-    // excluded every other builder of this key).
-    lru_.emplace_front(key, plan);
-    index_[key] = lru_.begin();
-    if (lru_.size() > capacity_) {
-      index_.erase(lru_.back().first);
-      lru_.pop_back();
-    }
-  }
-  promise.set_value(plan);
-  return plan;
 }
 
 std::size_t PlanCache::size() const {

@@ -46,7 +46,12 @@ class PlanCache {
   /// serve every option set. Concurrent misses on one key are
   /// single-flighted: the first caller builds, the racers block on the
   /// in-flight build and share its plan (counted as hits — they did not
-  /// build); a build that throws propagates to every waiter.
+  /// build). A build that throws propagates to its own caller only;
+  /// waiters that shared the failed build retry the lookup (becoming
+  /// builders themselves if needed), so one transient fault cannot fan
+  /// out across every concurrent call, and a failed build is never
+  /// cached. If inserting the freshly built plan fails (memory
+  /// pressure), the plan is served uncached instead of throwing.
   std::shared_ptr<const plan::GemmPlan> get_or_build(
       GemmShape shape, plan::ScalarType scalar, int nthreads,
       std::uint64_t fingerprint, const PlanBuilder& build);
@@ -65,6 +70,10 @@ class PlanCache {
   /// separate so tests can assert "warm calls build nothing".
   [[nodiscard]] std::size_t builds() const {
     return builds_.load(std::memory_order_relaxed);
+  }
+  /// Freshly built plans the cache could not insert (served uncached).
+  [[nodiscard]] std::size_t insert_failures() const {
+    return insert_failures_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   void clear();
@@ -92,6 +101,7 @@ class PlanCache {
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
   std::atomic<std::size_t> builds_{0};
+  std::atomic<std::size_t> insert_failures_{0};
 };
 
 }  // namespace smm::core

@@ -59,6 +59,15 @@ const libs::GemmStrategy& reference_smm();
 std::unique_ptr<libs::GemmStrategy> make_reference_smm(SmmOptions options);
 
 /// Convenience one-call API: C = alpha*A*B + beta*C with the reference SMM.
+///
+/// Failure semantics (DESIGN.md §10): memory-pressure trouble on the warm
+/// path degrades instead of throwing — a full scratch arena falls back to
+/// per-call buffers, a plan-cache insert failure serves the plan
+/// uncached, and prepack handles fall back to pack-on-the-fly — so only
+/// genuine faults surface. Those are fail-stop: a dead/hung pool worker
+/// fails the call with kWorkerPanic/kPoolTimeout (the watchdog bounds the
+/// wait; the pool quarantines and rebuilds itself), and callers that need
+/// retry/verify semantics on top wrap calls in robust::GuardedExecutor.
 template <typename T>
 void smm_gemm(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
               MatrixView<T> c, int nthreads = 1,

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/common/error.h"
+#include "src/robust/fault_injection.h"
 
 namespace smm::plan {
 
@@ -18,6 +19,14 @@ void ExecScratch::release() {
 }
 
 void ExecScratch::reserve_and_zero(std::size_t bytes) {
+  // Memory-pressure injection: the slab refuses to serve this lease.
+  // Consulted on every reserve (not just growth) so chaos tests can hit
+  // it on warm paths too; the Lease catches and degrades to per-buffer
+  // allocation.
+  if (bytes > 0 &&
+      robust::should_fire(robust::FaultSite::kArenaExhausted))
+    throw Error(ErrorCode::kArenaExhausted,
+                "smmkit: injected scratch-arena exhaustion");
   if (bytes > capacity_) {
     // High-water-mark growth: the slab only ever grows, so a steady
     // stream of same-shape calls stabilizes after the first.

@@ -21,6 +21,7 @@
 
 #include "src/common/aligned_buffer.h"
 #include "src/common/types.h"
+#include "src/robust/health.h"
 
 namespace smm::plan {
 
@@ -64,24 +65,38 @@ class ExecScratch {
                       "smmkit: injected scratch allocation failure");
       ptrs_.resize(sizes.size(), nullptr);
       if (!arena.busy_) {
-        arena_ = &arena;
-        arena.busy_ = true;
-        ++arena.leases_;
-        std::size_t total = 0;
-        for (const index_t elems : sizes)
-          total += aligned_bytes<T>(elems);
-        arena.reserve_and_zero(total);
-        std::size_t off = 0;
-        for (std::size_t i = 0; i < sizes.size(); ++i) {
-          if (sizes[i] == 0) continue;
-          ptrs_[i] = reinterpret_cast<T*>(arena.slab_.data() + off);
-          off += aligned_bytes<T>(sizes[i]);
+        try {
+          arena.busy_ = true;
+          std::size_t total = 0;
+          for (const index_t elems : sizes)
+            total += aligned_bytes<T>(elems);
+          arena.reserve_and_zero(total);
+          arena_ = &arena;
+          ++arena.leases_;
+          std::size_t off = 0;
+          for (std::size_t i = 0; i < sizes.size(); ++i) {
+            if (sizes[i] == 0) continue;
+            ptrs_[i] = reinterpret_cast<T*>(arena.slab_.data() + off);
+            off += aligned_bytes<T>(sizes[i]);
+          }
+          return;
+        } catch (...) {
+          // Slab growth failed (injected kArenaExhausted, or a real
+          // bad_alloc under memory pressure): un-lease the arena and
+          // degrade to the per-buffer path below. A shrunken heap may
+          // still serve N small buffers after refusing one big slab —
+          // and if it cannot, the per-buffer failure propagates to the
+          // guarded executor's alloc-fault handling as before.
+          arena.busy_ = false;
+          arena_ = nullptr;
+          robust::health().arena_fallbacks.fetch_add(
+              1, std::memory_order_relaxed);
         }
-        return;
       }
-      // Nested execute on this thread: plain per-buffer allocation, the
-      // pre-arena behaviour (AlignedBuffer value-initializes, and its
-      // own injection site stays disarmed here — already consulted).
+      // Nested execute on this thread (or arena fallback): plain
+      // per-buffer allocation, the pre-arena behaviour (AlignedBuffer
+      // value-initializes, and its own injection site stays disarmed
+      // here — already consulted).
       fallback_.reserve(sizes.size());
       for (std::size_t i = 0; i < sizes.size(); ++i) {
         fallback_.emplace_back();
@@ -116,8 +131,10 @@ class ExecScratch {
 
   void reserve_and_zero(std::size_t bytes);
 
-  // The slab itself never consults the fault-injection site (the lease
-  // already did, once per logical buffer): AlignedBuffer::reset_unchecked.
+  // The slab never consults the kAllocFail site (the lease already did,
+  // once per logical buffer): AlignedBuffer::reset_unchecked. It has its
+  // own kArenaExhausted site in reserve_and_zero, which models the slab
+  // itself failing — the Lease catches that and falls back per-buffer.
   AlignedBuffer<unsigned char> slab_;
   std::size_t capacity_ = 0;
   std::size_t grows_ = 0;

@@ -11,6 +11,7 @@
 #include "src/pack/pack.h"
 #include "src/plan/exec_scratch.h"
 #include "src/robust/fault_injection.h"
+#include "src/robust/health.h"
 #include "src/threading/barrier.h"
 #include "src/threading/thread_pool.h"
 
@@ -432,11 +433,27 @@ PrepackedB<T>::PrepackedB(std::shared_ptr<const GemmPlan> plan,
 
   is_prepacked_.assign(nbuf, false);
   storage_.resize(nbuf);
-  for (std::size_t i = 0; i < nbuf; ++i) {
-    if (!b_written[i] || disqualified[i]) continue;
-    storage_[i].reset(plan_->buffers[i].elems);  // zeroed (pad regions)
-    is_prepacked_[i] = true;
-    materialized_ = true;
+  try {
+    for (std::size_t i = 0; i < nbuf; ++i) {
+      if (!b_written[i] || disqualified[i]) continue;
+      if (robust::should_fire(robust::FaultSite::kPrepackAlloc))
+        throw Error(ErrorCode::kPrepackFallback,
+                    "smmkit: injected prepack allocation failure");
+      storage_[i].reset(plan_->buffers[i].elems);  // zeroed (pad regions)
+      is_prepacked_[i] = true;
+      materialized_ = true;
+    }
+  } catch (const std::bad_alloc&) {
+    degrade_to_unmaterialized();
+  } catch (const Error& e) {
+    // Allocation-class failures degrade to pack-on-the-fly (run() is
+    // then exactly execute_plan — never wrong, just not faster);
+    // anything else is a real bug and propagates.
+    if (e.code() != ErrorCode::kAlloc &&
+        e.code() != ErrorCode::kPrepackFallback &&
+        e.code() != ErrorCode::kArenaExhausted)
+      throw;
+    degrade_to_unmaterialized();
   }
   if (!materialized_) return;
 
@@ -454,6 +471,18 @@ PrepackedB<T>::PrepackedB(std::shared_ptr<const GemmPlan> plan,
       }
     }
   }
+}
+
+template <typename T>
+void PrepackedB<T>::degrade_to_unmaterialized() {
+  // Release whatever was materialized before the failure and fall back
+  // to per-call packing for every buffer.
+  storage_.clear();
+  storage_.resize(plan_->buffers.size());
+  is_prepacked_.assign(plan_->buffers.size(), false);
+  materialized_ = false;
+  robust::health().prepack_fallbacks.fetch_add(1,
+                                               std::memory_order_relaxed);
 }
 
 template <typename T>

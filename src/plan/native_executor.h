@@ -78,6 +78,11 @@ class PrepackedB {
   }
 
  private:
+  /// Allocation failure mid-materialization (injected or real memory
+  /// pressure): drop to the non-materialized mode — correct, just the
+  /// per-call packing cost comes back.
+  void degrade_to_unmaterialized();
+
   std::shared_ptr<const GemmPlan> plan_;
   ConstMatrixView<T> b_;
   /// is_prepacked_[i] <=> storage_[i] holds buffer i's packed contents.

@@ -30,8 +30,50 @@ const char* to_string(FaultSite site) {
       return "alloc-fail";
     case FaultSite::kKernelMiscompute:
       return "kernel-miscompute";
+    case FaultSite::kWorkerHang:
+      return "worker-hang";
+    case FaultSite::kPoolSpawnFail:
+      return "pool-spawn-fail";
+    case FaultSite::kArenaExhausted:
+      return "arena-exhausted";
+    case FaultSite::kCacheInsertFail:
+      return "cache-insert-fail";
+    case FaultSite::kPrepackAlloc:
+      return "prepack-alloc";
+    case FaultSite::kBarrierTrip:
+      return "barrier-trip";
   }
   return "?";
+}
+
+HangController& HangController::instance() {
+  static HangController* controller = new HangController();  // leaked
+  return *controller;
+}
+
+void HangController::block_here() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++waiting_;
+  cv_.wait(lock, [&] { return canceled_; });
+  --waiting_;
+}
+
+void HangController::cancel_all() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    canceled_ = true;
+  }
+  cv_.notify_all();
+}
+
+void HangController::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  canceled_ = false;
+}
+
+int HangController::waiting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_;
 }
 
 struct FaultInjector::SiteState {

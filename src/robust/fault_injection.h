@@ -12,7 +12,9 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 
 #include "src/common/types.h"
 
@@ -24,8 +26,14 @@ enum class FaultSite : int {
   kWorkerThrow,        ///< par::run_parallel: throw from a worker body
   kAllocFail,          ///< AlignedBuffer::reset: scratch allocation fails
   kKernelMiscompute,   ///< native executor: corrupt one C element post-kernel
+  kWorkerHang,         ///< WorkerPool: park a worker until the hang is canceled
+  kPoolSpawnFail,      ///< worker-thread creation fails (pool grow + spawn path)
+  kArenaExhausted,     ///< ExecScratch: the slab cannot serve the lease
+  kCacheInsertFail,    ///< PlanCache: inserting a freshly built plan fails
+  kPrepackAlloc,       ///< PrepackedB: materialization allocation fails
+  kBarrierTrip,        ///< Barrier::arrive_and_wait: the arrival faults
 };
-inline constexpr int kFaultSiteCount = 4;
+inline constexpr int kFaultSiteCount = 10;
 
 const char* to_string(FaultSite site);
 
@@ -95,6 +103,40 @@ inline void maybe_corrupt(FaultSite site, T* buf, index_t count) {
     maybe_corrupt_f64(site, reinterpret_cast<double*>(buf), count);
   }
 }
+
+/// Parking lot for kWorkerHang. A "hung" worker is not abandoned memory —
+/// it blocks here, off the caller's stack, until something cancels the
+/// hang: the pool watchdog (after poisoning the region) or a test/chaos
+/// teardown. A canceled hang returns from block_here(), and the injection
+/// site then throws like any other worker fault, so the thread unwinds
+/// through the normal failure-aggregation path instead of leaking.
+class HangController {
+ public:
+  /// Leaked singleton: a worker may still be parked here at process exit
+  /// (a hang nobody canceled); destroying the condvar under it would be UB.
+  static HangController& instance();
+
+  /// Block until cancel_all(); returns immediately if already canceled.
+  void block_here();
+  /// Release every parked thread and make future block_here() calls
+  /// return immediately (until reset()).
+  void cancel_all();
+  /// Re-arm blocking after a cancel (tests between cases).
+  void reset();
+  /// Threads currently parked.
+  [[nodiscard]] int waiting() const;
+
+ private:
+  HangController() = default;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool canceled_ = false;
+  int waiting_ = 0;
+};
+
+/// Shorthands used by the pool watchdog and test teardown.
+inline void cancel_injected_hangs() { HangController::instance().cancel_all(); }
+inline void reset_injected_hangs() { HangController::instance().reset(); }
 
 /// RAII: disarms everything on destruction (tests use it so one failing
 /// case cannot leak an armed fault into the next).

@@ -107,7 +107,15 @@ RunReport GuardedExecutor::run(T alpha, ConstMatrixView<T> a,
         h.worker_panics.fetch_add(1, std::memory_order_relaxed);
         break;
       case ErrorCode::kAlloc:
+      case ErrorCode::kArenaExhausted:
         h.alloc_failures.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ErrorCode::kPoolTimeout:
+      case ErrorCode::kPoolSpawnFail:
+        // Counted at the source (pool_watchdog_timeouts /
+        // pool_spawn_failures); classify as a worker-side failure here
+        // so the guarded-run view stays complete.
+        h.worker_panics.fetch_add(1, std::memory_order_relaxed);
         break;
       default:
         break;
@@ -186,11 +194,17 @@ RunReport GuardedExecutor::run(T alpha, ConstMatrixView<T> a,
   }
 
   // Stage 2: rebuild from the strategy — recovers from a corrupted cache
-  // entry or a plan-level fault the retry could not clear.
+  // entry or a plan-level fault the retry could not clear. Pool-class
+  // faults (a hung/timed-out worker, thread creation failing) indict the
+  // parallel runtime itself, not the plan: rebuild serial so the fresh
+  // attempt needs no workers at all.
   if (options_.allow_rebuild) {
+    const bool pool_fault = report.last_error == ErrorCode::kWorkerPanic ||
+                            report.last_error == ErrorCode::kPoolTimeout ||
+                            report.last_error == ErrorCode::kPoolSpawnFail;
     try {
       const plan::GemmPlan fresh =
-          strategy_.make_plan(shape, scalar, threads);
+          strategy_.make_plan(shape, scalar, pool_fault ? 1 : threads);
       if (attempt(fresh)) {
         finish(Outcome::kDegraded, "rebuilt-plan");
         h.rebuild_fallbacks.fetch_add(1, std::memory_order_relaxed);

@@ -29,6 +29,16 @@ HealthSnapshot Health::snapshot() const {
       pool_spawn_fallbacks.load(std::memory_order_relaxed);
   s.plan_cache_hits = plan_cache_hits.load(std::memory_order_relaxed);
   s.plan_cache_misses = plan_cache_misses.load(std::memory_order_relaxed);
+  s.pool_watchdog_timeouts =
+      pool_watchdog_timeouts.load(std::memory_order_relaxed);
+  s.pool_quarantines = pool_quarantines.load(std::memory_order_relaxed);
+  s.pool_rebuilds = pool_rebuilds.load(std::memory_order_relaxed);
+  s.pool_spawn_failures =
+      pool_spawn_failures.load(std::memory_order_relaxed);
+  s.arena_fallbacks = arena_fallbacks.load(std::memory_order_relaxed);
+  s.plan_cache_insert_failures =
+      plan_cache_insert_failures.load(std::memory_order_relaxed);
+  s.prepack_fallbacks = prepack_fallbacks.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -48,6 +58,13 @@ void Health::reset() {
   pool_spawn_fallbacks = 0;
   plan_cache_hits = 0;
   plan_cache_misses = 0;
+  pool_watchdog_timeouts = 0;
+  pool_quarantines = 0;
+  pool_rebuilds = 0;
+  pool_spawn_failures = 0;
+  arena_fallbacks = 0;
+  plan_cache_insert_failures = 0;
+  prepack_fallbacks = 0;
 }
 
 std::string HealthSnapshot::to_string() const {
@@ -55,11 +72,17 @@ std::string HealthSnapshot::to_string() const {
       "guarded_runs=%zu clean=%zu retries=%zu rebuilds=%zu naive=%zu "
       "failures=%zu checksum_rej=%zu worker_panics=%zu alloc_fail=%zu "
       "batched_items=%zu batched_item_failures=%zu pool_regions=%zu "
-      "pool_spawn_fallbacks=%zu plan_cache_hits=%zu plan_cache_misses=%zu",
+      "pool_spawn_fallbacks=%zu plan_cache_hits=%zu plan_cache_misses=%zu "
+      "pool_watchdog_timeouts=%zu pool_quarantines=%zu pool_rebuilds=%zu "
+      "pool_spawn_failures=%zu arena_fallbacks=%zu "
+      "plan_cache_insert_failures=%zu prepack_fallbacks=%zu",
       guarded_runs, clean_runs, retries, rebuild_fallbacks, naive_fallbacks,
       failures, checksum_rejections, worker_panics, alloc_failures,
       batched_items, batched_item_failures, pool_regions,
-      pool_spawn_fallbacks, plan_cache_hits, plan_cache_misses);
+      pool_spawn_fallbacks, plan_cache_hits, plan_cache_misses,
+      pool_watchdog_timeouts, pool_quarantines, pool_rebuilds,
+      pool_spawn_failures, arena_fallbacks, plan_cache_insert_failures,
+      prepack_fallbacks);
 }
 
 }  // namespace smm::robust

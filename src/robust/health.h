@@ -31,6 +31,17 @@ struct HealthSnapshot {
   std::size_t pool_spawn_fallbacks = 0;
   std::size_t plan_cache_hits = 0;
   std::size_t plan_cache_misses = 0;
+  // Runtime hardening (DESIGN.md §10): watchdog detections, pool
+  // lifecycle events, and the memory-pressure degradations. Each counter
+  // is the observable face of one failure class — survivable faults must
+  // still show up here.
+  std::size_t pool_watchdog_timeouts = 0;
+  std::size_t pool_quarantines = 0;
+  std::size_t pool_rebuilds = 0;
+  std::size_t pool_spawn_failures = 0;
+  std::size_t arena_fallbacks = 0;
+  std::size_t plan_cache_insert_failures = 0;
+  std::size_t prepack_fallbacks = 0;
 
   [[nodiscard]] std::string to_string() const;
 };
@@ -55,6 +66,13 @@ class Health {
   std::atomic<std::size_t> pool_spawn_fallbacks{0};
   std::atomic<std::size_t> plan_cache_hits{0};
   std::atomic<std::size_t> plan_cache_misses{0};
+  std::atomic<std::size_t> pool_watchdog_timeouts{0};
+  std::atomic<std::size_t> pool_quarantines{0};
+  std::atomic<std::size_t> pool_rebuilds{0};
+  std::atomic<std::size_t> pool_spawn_failures{0};
+  std::atomic<std::size_t> arena_fallbacks{0};
+  std::atomic<std::size_t> plan_cache_insert_failures{0};
+  std::atomic<std::size_t> prepack_fallbacks{0};
 
   [[nodiscard]] HealthSnapshot snapshot() const;
   void reset();

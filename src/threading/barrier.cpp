@@ -1,6 +1,7 @@
 #include "src/threading/barrier.h"
 
 #include "src/common/error.h"
+#include "src/robust/fault_injection.h"
 #include "src/threading/thread_pool.h"
 
 namespace smm::par {
@@ -37,6 +38,14 @@ void Barrier::throw_poisoned() {
 }
 
 void Barrier::arrive_and_wait() {
+  if (robust::should_fire(robust::FaultSite::kBarrierTrip)) {
+    // An arrival that faults can never complete the round: poison first
+    // so peers (current waiters and later arrivals) fail instead of
+    // waiting for this participant forever, then die like any worker.
+    poison();
+    throw Error(ErrorCode::kWorkerPanic,
+                "smmkit: injected barrier fault at arrival");
+  }
   if (poisoned_.load(std::memory_order_acquire)) throw_poisoned();
   if (participants_ == 1) return;
 

@@ -24,8 +24,12 @@ namespace {
 
 /// Aggregate every worker failure: one failing worker rethrows its
 /// original exception (type preserved); several failing workers are
-/// combined into one kWorkerPanic error naming each thread, so no
-/// failure is silently dropped behind the first.
+/// combined into one error naming each thread, so no failure is
+/// silently dropped behind the first. When every failure is an
+/// smm::Error with the same code (e.g. all workers timed out or all
+/// spawns failed), the aggregate keeps that code so callers like the
+/// guarded executor can still classify the fault; mixed failures
+/// aggregate as kWorkerPanic.
 void rethrow_failures(const std::vector<std::exception_ptr>& errors,
                       int nthreads) {
   std::vector<std::pair<int, std::exception_ptr>> failed;
@@ -37,18 +41,28 @@ void rethrow_failures(const std::vector<std::exception_ptr>& errors,
   std::string combined =
       strprintf("smmkit: %zu of %d workers failed:", failed.size(),
                 nthreads);
+  bool first = true;
+  bool same_code = true;
+  ErrorCode common = ErrorCode::kWorkerPanic;
   for (const auto& [tid, err] : failed) {
     combined += strprintf(" [thread %d: ", tid);
     try {
       std::rethrow_exception(err);
+    } catch (const Error& e) {
+      combined += e.what();
+      if (first) common = e.code();
+      else if (e.code() != common) same_code = false;
     } catch (const std::exception& e) {
       combined += e.what();
+      same_code = false;
     } catch (...) {
       combined += "non-standard exception";
+      same_code = false;
     }
     combined += "]";
+    first = false;
   }
-  throw Error(ErrorCode::kWorkerPanic, combined);
+  throw Error(same_code ? common : ErrorCode::kWorkerPanic, combined);
 }
 
 /// Spawn-per-call fallback: used when the pool is busy with another
@@ -60,18 +74,52 @@ void run_spawned(int nthreads, const std::function<void(int)>& body,
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nthreads));
   for (int t = 0; t < nthreads; ++t) {
-    threads.emplace_back([&, t] {
-      try {
-        if (robust::should_fire(robust::FaultSite::kWorkerThrow))
-          throw_injected_worker_fault(t);
-        body(t);
-      } catch (...) {
-        errors[static_cast<std::size_t>(t)] = std::current_exception();
-        // Unblock peers before the join: a dead worker can never reach
-        // the synchronization points the surviving bodies wait on.
-        if (on_worker_failure) on_worker_failure();
-      }
-    });
+    bool spawn_failed = false;
+    std::string why;
+    try {
+      if (robust::should_fire(robust::FaultSite::kPoolSpawnFail))
+        throw Error(ErrorCode::kPoolSpawnFail,
+                    strprintf("smmkit: injected thread-spawn failure "
+                              "(thread %d)",
+                              t));
+      threads.emplace_back([&, t] {
+        try {
+          if (robust::should_fire(robust::FaultSite::kWorkerThrow))
+            throw_injected_worker_fault(t);
+          body(t);
+        } catch (...) {
+          errors[static_cast<std::size_t>(t)] = std::current_exception();
+          // Unblock peers before the join: a dead worker can never reach
+          // the synchronization points the surviving bodies wait on.
+          if (on_worker_failure) on_worker_failure();
+        }
+      });
+    } catch (const Error& e) {
+      spawn_failed = true;
+      why = e.what();
+    } catch (const std::system_error& e) {
+      // Thread creation itself failed (resource exhaustion). Before this
+      // path existed, destroying the vector of still-joinable threads
+      // here called std::terminate.
+      spawn_failed = true;
+      why = e.what();
+    }
+    if (spawn_failed) {
+      // The remaining bodies can never run: mark every unspawned tid
+      // failed and poison the region so the already-running bodies fail
+      // out of their barriers instead of waiting for peers that do not
+      // exist.
+      for (int miss = t; miss < nthreads; ++miss)
+        errors[static_cast<std::size_t>(miss)] =
+            std::make_exception_ptr(Error(
+                ErrorCode::kPoolSpawnFail,
+                strprintf("smmkit: could not spawn worker thread %d: %s",
+                          miss, why.c_str())));
+      robust::health().pool_spawn_failures.fetch_add(
+          1, std::memory_order_relaxed);
+      if (on_worker_failure) on_worker_failure();
+      break;
+    }
   }
   for (auto& th : threads) th.join();
 }

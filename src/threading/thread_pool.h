@@ -21,8 +21,12 @@ namespace smm::par {
 /// Run body(tid) for tid in [0, nthreads) on concurrent threads and join.
 /// body must be thread-safe across tids. Exceptions in bodies are
 /// captured; after the join a single failure is rethrown as-is, while
-/// multiple failures are aggregated into one smm::Error (kWorkerPanic)
-/// whose message names every failing thread.
+/// multiple failures are aggregated into one smm::Error whose message
+/// names every failing thread — the aggregate keeps the failures' common
+/// ErrorCode when they all share one (pool timeout, spawn failure), and
+/// is kWorkerPanic otherwise. Never hangs: pool regions are bounded by
+/// the WorkerPool watchdog, and a thread-spawn failure on the fallback
+/// path fails the unspawned tids instead of leaking joinable threads.
 ///
 /// on_worker_failure, if set, is invoked on the failing worker's thread
 /// the moment its exception is captured — before the join, while peers

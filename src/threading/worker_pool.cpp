@@ -1,5 +1,9 @@
 #include "src/threading/worker_pool.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <system_error>
+
 #include "src/common/error.h"
 #include "src/common/str.h"
 #include "src/robust/fault_injection.h"
@@ -21,62 +25,208 @@ WorkerPool& WorkerPool::instance() {
   return pool;
 }
 
+WorkerPool::WorkerPool() {
+  // Generous default: the watchdog exists to catch dead workers, not slow
+  // ones — a false positive poisons a healthy region mid-computation.
+  long ms = 30000;
+  if (const char* env = std::getenv("SMMKIT_POOL_TIMEOUT_MS");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 0) ms = v;
+  }
+  timeout_ms_.store(ms, std::memory_order_relaxed);
+}
+
 WorkerPool::~WorkerPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
   cv_work_.notify_all();
+  watchdog_cv_.notify_all();
   for (auto& w : workers_) w.join();
+  if (watchdog_.joinable()) watchdog_.join();
 }
 
 bool WorkerPool::on_pool_thread() { return tls_in_pool_region; }
 
-void WorkerPool::run_body(const Task& task, int tid) {
+void WorkerPool::set_watchdog_timeout_ms(long ms) {
+  timeout_ms_.store(ms < 0 ? 0 : ms, std::memory_order_relaxed);
+}
+
+long WorkerPool::watchdog_timeout_ms() const {
+  return timeout_ms_.load(std::memory_order_relaxed);
+}
+
+bool WorkerPool::quarantined() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_;
+}
+
+void WorkerPool::serve(const std::shared_ptr<Region>& r, int tid) {
   tls_in_pool_region = true;
+  std::exception_ptr err;
   try {
+    if (tid != 0 && robust::should_fire(robust::FaultSite::kWorkerHang)) {
+      // Models a stalled/descheduled/killed worker: park off the caller's
+      // stack until the watchdog (or a test) cancels the hang, then fail
+      // like any dead worker would.
+      robust::HangController::instance().block_here();
+      throw Error(ErrorCode::kPoolTimeout,
+                  strprintf("smmkit: injected worker hang on thread %d "
+                            "(released after cancel)",
+                            tid));
+    }
     if (robust::should_fire(robust::FaultSite::kWorkerThrow))
       throw Error(ErrorCode::kWorkerPanic,
                   strprintf("smmkit: injected worker fault on thread %d",
                             tid));
-    (*task.body)(tid);
+    bool run = true;
+    if (tid != 0) {
+      std::lock_guard<std::mutex> g(r->mu);
+      run = !r->abandoned;  // caller gone: its body may dangle
+    }
+    if (run) (*r->body)(tid);
   } catch (...) {
-    (*task.errors)[static_cast<std::size_t>(tid)] =
-        std::current_exception();
-    // Unblock peers immediately: a dead body can never reach the
-    // synchronization points the surviving bodies wait on.
-    if (*task.on_failure) (*task.on_failure)();
+    err = std::current_exception();
   }
   tls_in_pool_region = false;
+  {
+    std::lock_guard<std::mutex> g(r->mu);
+    // While !abandoned (the flag is only flipped under r->mu) the caller
+    // is still blocked inside try_run, so body/on_failure/errors are
+    // alive. tid 0 is the caller's own thread: its slot is always safe.
+    if (tid == 0 || !r->abandoned) {
+      if (err) {
+        r->errors[static_cast<std::size_t>(tid)] = err;
+        // Unblock peers immediately: a dead body can never reach the
+        // synchronization points the surviving bodies wait on.
+        if (r->on_failure != nullptr && *r->on_failure) (*r->on_failure)();
+      }
+      r->finished[static_cast<std::size_t>(tid)] = 1;
+    }
+    // Drop the local reference while still holding r->mu. The caller
+    // both reads the exception and releases the region's reference under
+    // this mutex, so every release is mutex-ordered and the final delete
+    // can never race a reader (exception_ptr's refcount lives in
+    // uninstrumented libstdc++, invisible to TSan).
+    err = nullptr;
+    if (tid != 0 && --r->pending == 0) r->done_cv.notify_all();
+  }
 }
 
-void WorkerPool::worker_main(int wid, std::uint64_t seen) {
+void WorkerPool::worker_main(int wid, std::uint64_t seen,
+                             std::uint64_t generation) {
   // `seen` was captured under mu_ at spawn registration, NOT read here:
   // the spawning region bumps epoch_ right after ensure_workers returns,
   // and a worker whose thread starts late must still see that bump as
-  // new work, or the region waits forever for it.
+  // new work, or the region waits forever for it. A generation mismatch
+  // means the roster was rebuilt after a quarantine: this thread is no
+  // longer part of the pool and exits.
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen; });
-    if (stop_) return;
+    cv_work_.wait(lock, [&] {
+      return stop_ || generation_ != generation || epoch_ != seen;
+    });
+    if (stop_ || generation_ != generation) return;
     seen = epoch_;
     if (wid >= task_nthreads_ - 1) continue;  // not part of this region
-    const Task task = task_;
+    const std::shared_ptr<Region> region = region_;
     lock.unlock();
-    run_body(task, /*tid=*/wid + 1);
+    serve(region, /*tid=*/wid + 1);
     lock.lock();
-    if (--pending_ == 0) cv_done_.notify_all();
   }
 }
 
-void WorkerPool::ensure_workers(int count) {
+void WorkerPool::watchdog_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::uint64_t last_epoch = 0;
+  while (!stop_) {
+    watchdog_cv_.wait(lock, [&] {
+      return stop_ ||
+             (region_ != nullptr && deadline_armed_ && epoch_ != last_epoch);
+    });
+    if (stop_) return;
+    const std::shared_ptr<Region> region = region_;
+    const auto deadline = region_deadline_;
+    const long timeout = timeout_ms_.load(std::memory_order_relaxed);
+    last_epoch = epoch_;
+    lock.unlock();
+
+    {
+      std::unique_lock<std::mutex> g(region->mu);
+      const bool done = region->done_cv.wait_until(
+          g, deadline, [&] { return region->pending == 0; });
+      if (!done) {
+        region->timed_out = true;
+        // Cancel the region: the caller's failure hook poisons the plan
+        // barriers, so every body that is still alive fails out of its
+        // next synchronization point instead of waiting forever for the
+        // dead worker.
+        if (region->on_failure != nullptr && *region->on_failure)
+          (*region->on_failure)();
+        g.unlock();
+        robust::cancel_injected_hangs();
+        g.lock();
+        // Grace period: poisoned bodies need a moment to unwind. A
+        // worker that still has not reported in is treated as lost —
+        // the region is abandoned (survivors skip the caller's body,
+        // which is about to go out of scope) and the master is released.
+        const auto grace = std::chrono::milliseconds(
+            std::clamp(timeout / 4, 10L, 1000L));
+        if (!region->done_cv.wait_for(
+                g, grace, [&] { return region->pending == 0; }))
+          region->abandoned = true;
+        region->done_cv.notify_all();
+      }
+    }
+    lock.lock();
+  }
+}
+
+bool WorkerPool::ensure_workers(int count) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<int>(workers_.size()) < count &&
+      robust::should_fire(robust::FaultSite::kPoolSpawnFail)) {
+    robust::health().pool_spawn_failures.fetch_add(
+        1, std::memory_order_relaxed);
+    return false;
+  }
   while (static_cast<int>(workers_.size()) < count) {
     const int wid = static_cast<int>(workers_.size());
     const std::uint64_t spawn_epoch = epoch_;
-    workers_.emplace_back(
-        [this, wid, spawn_epoch] { worker_main(wid, spawn_epoch); });
+    const std::uint64_t generation = generation_;
+    try {
+      workers_.emplace_back([this, wid, spawn_epoch, generation] {
+        worker_main(wid, spawn_epoch, generation);
+      });
+    } catch (const std::system_error&) {
+      // Resource exhaustion. The partial roster stays parked (it is
+      // still valid); this region is declined and served by the spawn
+      // fallback — which may itself fail, but per-call threads release
+      // their resources, persistent ones would hold them forever.
+      robust::health().pool_spawn_failures.fetch_add(
+          1, std::memory_order_relaxed);
+      return false;
+    }
   }
+  return true;
+}
+
+void WorkerPool::rebuild() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Retire the old roster: healthy parked workers wake on the generation
+  // bump and exit; a hung worker exits whenever its hang resolves. They
+  // are detached — joining would inherit the very hang the quarantine is
+  // escaping.
+  ++generation_;
+  for (auto& w : workers_) w.detach();
+  workers_.clear();
+  quarantined_ = false;
+  ++rebuilds_;
+  robust::health().pool_rebuilds.fetch_add(1, std::memory_order_relaxed);
+  cv_work_.notify_all();
 }
 
 bool WorkerPool::try_run(int nthreads,
@@ -85,33 +235,125 @@ bool WorkerPool::try_run(int nthreads,
                          std::vector<std::exception_ptr>& errors) {
   if (nthreads - 1 > kMaxWorkers) return false;
   if (tls_in_pool_region) return false;
-  std::unique_lock<std::mutex> region(region_mu_, std::try_to_lock);
-  if (!region.owns_lock()) return false;
+  std::unique_lock<std::mutex> region_lock(region_mu_, std::try_to_lock);
+  if (!region_lock.owns_lock()) return false;
 
-  ensure_workers(nthreads - 1);
-  const Task task{&body, &on_worker_failure, &errors};
+  bool need_rebuild = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    task_ = task;
+    need_rebuild = quarantined_;
+  }
+  if (need_rebuild) {
+    // Declining this one region lets the spawn fallback serve it while
+    // the fresh roster spins up lazily on the next dispatch.
+    rebuild();
+    return false;
+  }
+
+  if (!ensure_workers(nthreads - 1)) return false;
+
+  const long timeout = timeout_ms_.load(std::memory_order_relaxed);
+  std::shared_ptr<Region> region;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!spare_region_) spare_region_ = std::make_shared<Region>();
+    region = spare_region_;
+    {
+      std::lock_guard<std::mutex> g(region->mu);
+      region->body = &body;
+      region->on_failure = &on_worker_failure;
+      region->nthreads = nthreads;
+      region->pending = nthreads - 1;
+      region->timed_out = false;
+      region->abandoned = false;
+      region->errors.assign(static_cast<std::size_t>(nthreads), nullptr);
+      region->finished.assign(static_cast<std::size_t>(nthreads), 0);
+    }
+    region_ = region;
     task_nthreads_ = nthreads;
-    pending_ = nthreads - 1;
     ++epoch_;
     ++regions_;
     dispatches_ += static_cast<std::size_t>(nthreads - 1);
+    deadline_armed_ = timeout > 0;
+    if (timeout > 0) {
+      region_deadline_ = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(timeout);
+      if (!watchdog_.joinable()) {
+        try {
+          watchdog_ = std::thread([this] { watchdog_main(); });
+        } catch (const std::system_error&) {
+          // No watchdog thread available: the pool still works, it just
+          // cannot detect hangs. Deliberate best-effort.
+        }
+      }
+    }
   }
   cv_work_.notify_all();
+  if (timeout > 0) watchdog_cv_.notify_one();
   robust::health().pool_regions.fetch_add(1, std::memory_order_relaxed);
 
-  run_body(task, /*tid=*/0);  // master participates instead of blocking
+  serve(region, /*tid=*/0);  // master participates instead of blocking
 
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [&] { return pending_ == 0; });
+  bool timed_out = false;
+  bool abandoned = false;
+  {
+    std::unique_lock<std::mutex> g(region->mu);
+    region->done_cv.wait(
+        g, [&] { return region->pending == 0 || region->abandoned; });
+    timed_out = region->timed_out;
+    abandoned = region->abandoned;
+    for (int t = 0; t < nthreads; ++t)
+      errors[static_cast<std::size_t>(t)] =
+          region->errors[static_cast<std::size_t>(t)];
+    if (timed_out) {
+      for (int t = 1; t < nthreads; ++t) {
+        auto& slot = errors[static_cast<std::size_t>(t)];
+        if (!region->finished[static_cast<std::size_t>(t)] && !slot)
+          slot = std::make_exception_ptr(Error(
+              ErrorCode::kPoolTimeout,
+              strprintf("smmkit: pool worker (thread %d) missed the "
+                        "%ld ms watchdog deadline",
+                        t, timeout)));
+      }
+    }
+    // Release the region's exception references here, on the caller's
+    // thread and under the region mutex — not when the next (possibly
+    // unrelated) caller recycles the region. The exception object must
+    // not be deleted on a thread that never synchronized with its
+    // readers: exception_ptr's refcount lives in uninstrumented
+    // libstdc++, so TSan cannot prove a cross-thread last release safe.
+    region->errors.assign(region->errors.size(), nullptr);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    region_.reset();
+    if (abandoned) spare_region_.reset();  // the lost worker still owns it
+    if (timed_out) {
+      ++watchdog_timeouts_;
+      robust::health().pool_watchdog_timeouts.fetch_add(
+          1, std::memory_order_relaxed);
+      // Quarantine before releasing region_mu_: the next try_run must
+      // see it and rebuild, never dispatch onto a roster with a lost
+      // worker.
+      if (!quarantined_) {
+        quarantined_ = true;
+        ++quarantines_;
+        robust::health().pool_quarantines.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    }
+  }
   return true;
 }
 
 WorkerPool::Stats WorkerPool::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return Stats{static_cast<int>(workers_.size()), regions_, dispatches_};
+  return Stats{static_cast<int>(workers_.size()),
+               regions_,
+               dispatches_,
+               watchdog_timeouts_,
+               quarantines_,
+               rebuilds_};
 }
 
 }  // namespace smm::par

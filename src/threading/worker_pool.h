@@ -16,13 +16,30 @@
 // caller is itself a pool worker mid-region) falls back to
 // spawn-per-call, so nesting and concurrent independent regions keep the
 // exact pre-pool semantics.
+//
+// Watchdog + quarantine (DESIGN.md §10): a persistent pool turns one
+// hung/parked/killed worker into a process-wide hang — every later
+// region waits on the dead thread forever. A dedicated watchdog thread
+// therefore puts a deadline on each in-flight region: on expiry it
+// poisons the region (the caller's on_worker_failure hook, which cancels
+// plan barriers), releases injected hangs, and — if workers still have
+// not reported in after a grace period — abandons the region (survivors
+// skip the caller's body, which may no longer exist) and quarantines the
+// pool. The timed-out call fails with ErrorCode::kPoolTimeout instead of
+// hanging. A quarantined pool rebuilds its roster (fresh generation,
+// old threads detached) on the next try_run, which is declined once so
+// the caller serves that region via spawn-per-call while the new roster
+// comes up.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <chrono>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -49,8 +66,13 @@ class WorkerPool {
   /// `errors[tid]` (never rethrown here); a capturing body invokes
   /// on_worker_failure immediately, while peers still run. Returns false
   /// without running anything when the pool cannot take the region (busy
-  /// with another region, called from inside a region, or nthreads
-  /// exceeds kMaxWorkers + 1) — the caller then spawns threads instead.
+  /// with another region, called from inside a region, nthreads exceeds
+  /// kMaxWorkers + 1, the pool is quarantined and rebuilding, or growing
+  /// the roster failed) — the caller then spawns threads instead.
+  ///
+  /// If the watchdog deadline expires mid-region, tids that never
+  /// reported in get Error(kPoolTimeout) in their error slot and the
+  /// call still returns true (the caller's aggregation raises it).
   bool try_run(int nthreads, const std::function<void(int)>& body,
                const std::function<void()>& on_worker_failure,
                std::vector<std::exception_ptr>& errors);
@@ -61,6 +83,9 @@ class WorkerPool {
     int workers = 0;             ///< threads currently parked/spawned
     std::size_t regions = 0;     ///< regions served by the pool
     std::size_t dispatches = 0;  ///< worker wakeups summed over regions
+    std::size_t watchdog_timeouts = 0;  ///< regions past their deadline
+    std::size_t quarantines = 0;        ///< pool taken out of service
+    std::size_t rebuilds = 0;           ///< fresh rosters after quarantine
   };
   [[nodiscard]] Stats stats() const;
 
@@ -69,37 +94,83 @@ class WorkerPool {
   /// non-recursive region lock from such a thread would be UB).
   [[nodiscard]] static bool on_pool_thread();
 
- private:
-  WorkerPool() = default;
+  /// Per-region watchdog deadline in milliseconds; 0 disables the
+  /// watchdog. Defaults to SMMKIT_POOL_TIMEOUT_MS (or 30000 — generous:
+  /// a false positive poisons a healthy slow region). Tests shrink it.
+  void set_watchdog_timeout_ms(long ms);
+  [[nodiscard]] long watchdog_timeout_ms() const;
 
-  struct Task {
+  /// True while the pool is out of service awaiting its rebuild.
+  [[nodiscard]] bool quarantined() const;
+
+ private:
+  WorkerPool();
+
+  /// One fork-join region's shared state. Heap-held behind shared_ptr:
+  /// an abandoned worker may outlive the try_run call that created the
+  /// region, so nothing it touches may live on the caller's stack.
+  struct Region {
     const std::function<void(int)>* body = nullptr;
     const std::function<void()>* on_failure = nullptr;
-    std::vector<std::exception_ptr>* errors = nullptr;
+    int nthreads = 0;
+
+    std::mutex mu;
+    std::condition_variable done_cv;
+    int pending = 0;       ///< workers (not the master) still running
+    bool timed_out = false;
+    /// Watchdog gave up waiting: the caller will return, so body /
+    /// on_failure / the error slots must no longer be touched by late
+    /// workers (except the master's own slot 0 — the master IS the
+    /// caller).
+    bool abandoned = false;
+    std::vector<std::exception_ptr> errors;
+    std::vector<unsigned char> finished;
   };
 
   /// `start_epoch` is the epoch at spawn registration (captured under
   /// mu_), so a late-starting thread still treats the spawning region's
-  /// epoch bump as new work.
-  void worker_main(int wid, std::uint64_t start_epoch);
-  void ensure_workers(int count);  // callers hold region_mu_
-  static void run_body(const Task& task, int tid);
+  /// epoch bump as new work. `generation` pins the thread to one roster:
+  /// a rebuild bumps the generation and the old roster exits.
+  void worker_main(int wid, std::uint64_t start_epoch,
+                   std::uint64_t generation);
+  void watchdog_main();
+  /// Execute body `tid` of `region` with capture/poison/accounting.
+  void serve(const std::shared_ptr<Region>& region, int tid);
+  /// Grow the roster to `count` workers. Returns false when thread
+  /// creation failed (injected kPoolSpawnFail or std::system_error);
+  /// callers then decline the region. Callers hold region_mu_.
+  bool ensure_workers(int count);
+  /// Start a fresh roster after quarantine. Callers hold region_mu_.
+  void rebuild();
 
   // Serializes regions; try_run holds it for the whole region.
   std::mutex region_mu_;
 
-  // Protects the epoch/task handoff and the worker roster.
+  // Protects the epoch/region handoff and the worker roster.
   mutable std::mutex mu_;
   std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
+  std::condition_variable watchdog_cv_;
   std::vector<std::thread> workers_;
+  std::thread watchdog_;
+  std::shared_ptr<Region> region_;  ///< in-flight region (null when idle)
+  std::chrono::steady_clock::time_point region_deadline_{};
+  bool deadline_armed_ = false;  ///< region_deadline_ applies to region_
   std::uint64_t epoch_ = 0;
-  Task task_;
+  std::uint64_t generation_ = 0;
   int task_nthreads_ = 0;
-  int pending_ = 0;
   bool stop_ = false;
+  bool quarantined_ = false;
   std::size_t regions_ = 0;
   std::size_t dispatches_ = 0;
+  std::size_t watchdog_timeouts_ = 0;
+  std::size_t quarantines_ = 0;
+  std::size_t rebuilds_ = 0;
+  std::atomic<long> timeout_ms_;
+
+  /// Reused across regions (regions are serialized, so between regions
+  /// the master owns it exclusively); replaced after an abandonment —
+  /// the hung worker still holds a reference to the old one.
+  std::shared_ptr<Region> spare_region_;
 };
 
 }  // namespace smm::par

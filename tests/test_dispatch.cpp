@@ -186,7 +186,13 @@ TEST(PlanCacheDispatch, GetOrBuildSingleFlightsConcurrentMisses) {
     EXPECT_EQ(results[0].get(), results[static_cast<std::size_t>(t)].get());
 }
 
-TEST(PlanCacheDispatch, BuildFailurePropagatesToEveryWaiter) {
+TEST(PlanCacheDispatch, PersistentBuildFailureFailsEveryCallerCleanly) {
+  // A build failure belongs to its own caller: waiters that shared the
+  // failed flight retry the lookup (becoming builders themselves). With
+  // a builder that ALWAYS throws, every caller therefore eventually
+  // builds-and-throws its own failure — and none blocks forever. (The
+  // single-failure case where waiters recover is
+  // ChaosTest.SingleFlightBuildFailureDoesNotPoisonCacheOrWaiters.)
   core::PlanCache cache(core::reference_smm(), 8);
   constexpr int kThreads = 4;
   std::atomic<int> throwers{0};

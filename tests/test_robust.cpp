@@ -17,6 +17,7 @@
 #include "src/robust/guarded_executor.h"
 #include "src/robust/health.h"
 #include "src/threading/thread_pool.h"
+#include "src/threading/worker_pool.h"
 #include "tests/test_helpers.h"
 
 namespace smm {
@@ -468,6 +469,113 @@ TEST_F(RobustTest, VerificationOffStillCatchesThrownFaults) {
   EXPECT_EQ(report.first_error, ErrorCode::kAlloc);
   EXPECT_EQ(report.checksum_residual, 0.0);
   EXPECT_TRUE(bit_equal(s.prob.c.cview(), s.c_clean.cview()));
+}
+
+// ---- guarded executor x warm path ------------------------------------------
+// The fast paths of PRs 2-3 (plan cache, worker pool, prepack, barrier
+// elision) each meet the guarded chain under fire: recovery must neither
+// evict the cached plan nor poison the pool.
+
+TEST_F(RobustTest, WarmCachedPlanSurvivesRecoveryAndStaysCached) {
+  GuardedExecutor guard(*strategy_, GuardOptions{});
+  Scenario s = make_scenario(guard, 1.0f, 0.0f);  // builds + caches
+  EXPECT_EQ(guard.cache().builds(), 1u);
+  {
+    ScopedFault fault(FaultSite::kKernelMiscompute, {0, 1, 21});
+    const RunReport report = guard.run(
+        1.0f, s.prob.a.cview(), s.prob.b.cview(), 0.0f, s.prob.c.view());
+    EXPECT_EQ(report.outcome, Outcome::kRecovered) << report.summary();
+    EXPECT_TRUE(bit_equal(s.prob.c.cview(), s.c_clean.cview()));
+  }
+  // The transient fault cost retries, never the cache entry: the next
+  // warm call is clean and nothing was rebuilt into the cache.
+  const RunReport warm = guard.run(
+      1.0f, s.prob.a.cview(), s.prob.b.cview(), 0.0f, s.prob.c.view());
+  EXPECT_EQ(warm.outcome, Outcome::kOk) << warm.summary();
+  EXPECT_EQ(guard.cache().builds(), 1u);
+  EXPECT_TRUE(bit_equal(s.prob.c.cview(), s.c_clean.cview()));
+}
+
+TEST_F(RobustTest, PooledParallelRecoveryLeavesPoolHealthy) {
+  // Warm the pool so the guarded region below is pool-served, then make
+  // one pooled worker throw: the guard must recover and the pool must
+  // keep serving regions (no quarantine — a thrown body is a normal
+  // captured failure, not a hang).
+  par::run_parallel(2, [](int) {});
+  auto& pool = par::WorkerPool::instance();
+  const auto stats_before = pool.stats();
+
+  GuardedExecutor guard(*strategy_, GuardOptions{});
+  Scenario s = make_scenario(guard, 1.0f, 0.0f, /*nthreads=*/2);
+  ScopedFault fault(FaultSite::kWorkerThrow, {0, 1});
+  const RunReport report =
+      guard.run(1.0f, s.prob.a.cview(), s.prob.b.cview(), 0.0f,
+                s.prob.c.view(), /*nthreads=*/2);
+  EXPECT_EQ(report.outcome, Outcome::kRecovered) << report.summary();
+  EXPECT_TRUE(bit_equal(s.prob.c.cview(), s.c_clean.cview()));
+
+  const auto stats_after = pool.stats();
+  EXPECT_GT(stats_after.regions, stats_before.regions);
+  EXPECT_EQ(stats_after.quarantines, stats_before.quarantines);
+  EXPECT_FALSE(pool.quarantined());
+}
+
+TEST_F(RobustTest, BarrierElidedParallelPlanRecovers) {
+  // Direct-operand decomposition of this shape runs 4 ways with zero
+  // barriers (probed below): worker failure recovery must not depend on
+  // barrier poisoning existing in the plan.
+  core::SmmOptions opts;
+  opts.pack_a = opts.pack_b = core::SmmOptions::Packing::kNever;
+  opts.edge_pack = false;
+  const auto strategy = core::make_reference_smm(opts);
+  ASSERT_TRUE(strategy
+                  ->make_plan({48, 512, 32}, plan::ScalarType::kF32, 4)
+                  .barriers.empty());
+
+  GuardedExecutor guard(*strategy, GuardOptions{});
+  test::GemmProblem<float> prob(48, 512, 32, 0xE11D);
+  prob.reference(1.0f, 0.0f);
+  ScopedFault fault(FaultSite::kWorkerThrow, {0, 1});
+  const RunReport report =
+      guard.run(1.0f, prob.a.cview(), prob.b.cview(), 0.0f, prob.c.view(),
+                /*nthreads=*/4);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.first_error, ErrorCode::kWorkerPanic);
+  EXPECT_TRUE(prob.check(32));
+}
+
+TEST_F(RobustTest, CorruptedPrepackIsCaughtByChecksumVerification) {
+  // A bit flip during PrepackedB materialization poisons every replay —
+  // the worst case for the amortized path. ABFT is the detection story:
+  // the same row-checksum verify the guard runs rejects the replayed C.
+  core::SmmOptions opts;
+  opts.pack_b = core::SmmOptions::Packing::kAlways;
+  test::GemmProblem<float> prob(24, 16, 12, 0x5EED);
+  // Warm the process-wide plan cache first: a cold call runs
+  // calibration/warm-up packs, and the single fire must land in the
+  // handle's materialized storage, not in a throwaway buffer.
+  { const auto warm = core::smm_prepack_b<float>(prob.b.cview(), 24, 1, opts); }
+  {
+    ScopedFault fault(FaultSite::kPackBitFlip, {0, 1, 0xBAD});
+    const auto handle =
+        core::smm_prepack_b<float>(prob.b.cview(), /*m=*/24, 1, opts);
+    ASSERT_TRUE(handle.materialized());
+    handle.run(1.0f, prob.a.cview(), 0.0f, prob.c.view());
+    const robust::ChecksumReport cr = robust::verify_gemm_checksum<float>(
+        1.0f, prob.a.cview(), prob.b.cview(), 0.0f, nullptr, 24,
+        prob.c.cview(), /*tolerance_scale=*/64.0);
+    EXPECT_FALSE(cr.ok) << "corrupted prepack passed verification";
+  }
+  // A clean handle over the same B verifies.
+  const auto handle =
+      core::smm_prepack_b<float>(prob.b.cview(), /*m=*/24, 1, opts);
+  handle.run(1.0f, prob.a.cview(), 0.0f, prob.c.view());
+  const robust::ChecksumReport cr = robust::verify_gemm_checksum<float>(
+      1.0f, prob.a.cview(), prob.b.cview(), 0.0f, nullptr, 24,
+      prob.c.cview(), /*tolerance_scale=*/64.0);
+  EXPECT_TRUE(cr.ok);
+  prob.reference(1.0f, 0.0f);
+  EXPECT_TRUE(prob.check(12));
 }
 
 }  // namespace
