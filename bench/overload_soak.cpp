@@ -1,0 +1,322 @@
+// Overload soak (DESIGN.md §11, acceptance harness): sustained traffic at
+// a multiple of the service's measured capacity, verifying the admission
+// layer degrades the way it promises:
+//   - zero deadlocks: a monitor thread aborts the process (exit 2) if the
+//     soak misses its global deadline;
+//   - zero unexpected exceptions: every terminal code must be ok,
+//     kOverloaded (refused), kCancelled / kDeadlineExceeded (stopped), or
+//     kWorkerPanic inside the induced fault window;
+//   - goodput: completed requests per second stays >= --goodput-frac
+//     (default 0.9) of the measured single-lane capacity — shedding load
+//     must not destroy the work the lane does accept;
+//   - bounded latency: every admitted request reaches a terminal state
+//     within 2x its deadline plus a fixed scheduling slack;
+//   - O(us) rejection: the mean submit() latency of refused requests
+//     stays under --reject-us (generous default for sanitizer builds);
+//   - observable degradation: shed, rejection, deadline-miss,
+//     cancellation, breaker-trip, and breaker-rejection counters are all
+//     nonzero by the end — a failure class that never fired was not
+//     soaked. The breaker leg is induced by a brief kWorkerThrow window
+//     mid-soak.
+//
+//   overload_soak [--seconds 10] [--overload 4] [--deadline-ms 100]
+//                 [--goodput-frac 0.9] [--reject-us 2000] [--slack-ms 300]
+//
+// Exit 0 on a clean soak, 1 on a violated invariant, 2 on the global
+// deadline.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/rng.h"
+#include "src/matrix/matrix.h"
+#include "src/robust/fault_injection.h"
+#include "src/robust/health.h"
+#include "src/service/smm_service.h"
+
+namespace {
+
+using namespace smm;
+using Clock = std::chrono::steady_clock;
+using service::Priority;
+using service::Result;
+using service::ServiceOptions;
+using service::SmmService;
+using service::Ticket;
+
+constexpr index_t kDim = 64;  // one request = 64^3 double GEMM
+
+struct Totals {
+  std::atomic<std::size_t> ok{0};
+  std::atomic<std::size_t> refused{0};
+  std::atomic<std::size_t> stopped{0};
+  std::atomic<std::size_t> infra{0};       // kWorkerPanic in fault window
+  std::atomic<std::size_t> unexpected{0};
+  std::atomic<std::size_t> late{0};        // terminal past the latency cap
+  std::atomic<std::size_t> reject_samples{0};
+  std::atomic<long long> reject_us_sum{0};
+  std::atomic<long long> reject_us_max{0};
+  std::atomic<bool> fault_window{false};
+};
+
+struct Pending {
+  Ticket ticket;
+  Clock::time_point submitted;
+  long deadline_ms = 0;
+};
+
+/// One producer lane-pair: a submitter paced at its share of the offered
+/// rate and a collector that waits each ticket in order and classifies
+/// its terminal state.
+struct Producer {
+  std::mutex mu;
+  std::deque<Pending> pending;
+  std::condition_variable cv;
+  bool done_submitting = false;
+};
+
+void collect(Producer& p, Totals& totals, long latency_slack_ms) {
+  for (;;) {
+    Pending item;
+    {
+      std::unique_lock<std::mutex> lock(p.mu);
+      p.cv.wait(lock,
+                [&] { return !p.pending.empty() || p.done_submitting; });
+      if (p.pending.empty()) return;
+      item = p.pending.front();
+      p.pending.pop_front();
+    }
+    const Result& r = item.ticket.wait();
+    const auto waited_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            Clock::now() - item.submitted)
+            .count();
+    if (r.ok) {
+      totals.ok.fetch_add(1);
+    } else if (r.code == ErrorCode::kOverloaded ||
+               r.code == ErrorCode::kShuttingDown) {
+      totals.refused.fetch_add(1);
+    } else if (r.code == ErrorCode::kCancelled ||
+               r.code == ErrorCode::kDeadlineExceeded) {
+      totals.stopped.fetch_add(1);
+    } else if (r.code == ErrorCode::kWorkerPanic &&
+               totals.fault_window.load(std::memory_order_relaxed)) {
+      totals.infra.fetch_add(1);
+    } else {
+      totals.unexpected.fetch_add(1);
+      std::fprintf(stderr, "unexpected terminal state: %s\n",
+                   r.message.c_str());
+    }
+    // Refusals are terminal at submit; the latency cap applies to
+    // admitted requests only.
+    if (r.code != ErrorCode::kOverloaded &&
+        r.code != ErrorCode::kShuttingDown &&
+        waited_ms > 2 * item.deadline_ms + latency_slack_ms) {
+      totals.late.fetch_add(1);
+      std::fprintf(stderr, "late terminal: %lld ms (deadline %ld ms)\n",
+                   static_cast<long long>(waited_ms), item.deadline_ms);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int seconds =
+      std::stoi(bench::arg_value(argc, argv, "--seconds", "10"));
+  const double overload =
+      std::stod(bench::arg_value(argc, argv, "--overload", "4"));
+  const long deadline_ms =
+      std::stol(bench::arg_value(argc, argv, "--deadline-ms", "100"));
+  const double goodput_frac =
+      std::stod(bench::arg_value(argc, argv, "--goodput-frac", "0.9"));
+  const long reject_us_cap =
+      std::stol(bench::arg_value(argc, argv, "--reject-us", "2000"));
+  const long slack_ms =
+      std::stol(bench::arg_value(argc, argv, "--slack-ms", "300"));
+
+  ServiceOptions options;
+  options.lanes = 1;
+  options.threads_per_request = 2;  // requests cross the worker pool
+  options.queue_depth = 32;
+  options.shed_low_watermark = 0.25;
+  options.shed_high_watermark = 0.75;
+  options.breaker.failure_threshold = 3;
+  options.breaker.open_for = std::chrono::milliseconds(50);
+  SmmService service(options);
+
+  Rng rng(42);
+  Matrix<double> a(kDim, kDim), b(kDim, kDim);
+  a.fill_random(rng);
+  b.fill_random(rng);
+
+  // Measure single-lane capacity with a synchronous submit/wait loop
+  // (warm cache, same binary, same sanitizers as the soak itself).
+  Matrix<double> c0(kDim, kDim);
+  for (int i = 0; i < 10; ++i)
+    service.submit(1.0, a.cview(), b.cview(), 0.0, c0.view()).wait();
+  const auto cal0 = Clock::now();
+  constexpr int kCalRequests = 100;
+  for (int i = 0; i < kCalRequests; ++i)
+    service.submit(1.0, a.cview(), b.cview(), 0.0, c0.view()).wait();
+  const double unit_s =
+      std::chrono::duration<double>(Clock::now() - cal0).count() /
+      kCalRequests;
+  const double capacity = 1.0 / unit_s;
+  std::printf("calibration: %.1f us/request, capacity %.0f req/s\n",
+              unit_s * 1e6, capacity);
+
+  // Zero-deadlock gate: the whole soak (including drain) must finish well
+  // before this global deadline or the monitor kills the process.
+  std::atomic<bool> finished{false};
+  std::thread monitor([&] {
+    const auto deadline =
+        Clock::now() + std::chrono::seconds(3 * seconds + 60);
+    while (Clock::now() < deadline) {
+      if (finished.load()) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::fprintf(stderr, "GLOBAL DEADLINE: soak did not finish\n");
+    std::_Exit(2);
+  });
+
+  Totals totals;
+  constexpr int kProducers = 2;
+  Producer producers[kProducers];
+  std::vector<std::thread> threads;
+  const auto t_end = Clock::now() + std::chrono::seconds(seconds);
+  const auto period = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(kProducers / (overload * capacity)));
+
+  for (int w = 0; w < kProducers; ++w) {
+    Producer& p = producers[w];
+    threads.emplace_back([&, w] { collect(p, totals, slack_ms); });
+    threads.emplace_back([&, w] {
+      // Each submitter owns a ring of C buffers; slot reuse waits on the
+      // ticket that last wrote it, which also bounds outstanding work.
+      constexpr int kRing = 64;
+      std::vector<Matrix<double>> cs;
+      Ticket ring[kRing];
+      for (int i = 0; i < kRing; ++i) cs.emplace_back(kDim, kDim);
+      std::uint64_t n = 0;
+      auto next = Clock::now();
+      while (Clock::now() < t_end) {
+        const int slot = static_cast<int>(n % kRing);
+        if (ring[slot].valid()) ring[slot].wait();
+        // Priority mix: mostly normal, some low (shed fodder), some high.
+        const Priority priority = (n % 8 == 0)   ? Priority::kLow
+                                  : (n % 8 == 1) ? Priority::kHigh
+                                                 : Priority::kNormal;
+        // Every 64th request carries a 1 ms deadline: under a saturated
+        // queue it expires while queued (the deadline-miss leg).
+        const long dl = (n % 64 == 63) ? 1 : deadline_ms;
+        const auto t0 = Clock::now();
+        Ticket t = service.submit(1.0, a.cview(), b.cview(), 0.0,
+                                  cs[slot].view(), priority, dl);
+        const auto submit_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - t0)
+                .count();
+        if (t.done() && !t.wait().ok &&
+            t.wait().code == ErrorCode::kOverloaded) {
+          totals.reject_samples.fetch_add(1);
+          totals.reject_us_sum.fetch_add(submit_us);
+          long long seen = totals.reject_us_max.load();
+          while (submit_us > seen &&
+                 !totals.reject_us_max.compare_exchange_weak(seen,
+                                                             submit_us)) {
+          }
+        }
+        if (n % 128 == 5) t.cancel();  // the cancellation leg
+        ring[slot] = t;
+        {
+          std::lock_guard<std::mutex> lock(p.mu);
+          p.pending.push_back({t, t0, dl});
+        }
+        p.cv.notify_one();
+        ++n;
+        next += period;
+        std::this_thread::sleep_until(next);
+      }
+      for (auto& t : ring)
+        if (t.valid()) t.wait();
+      {
+        std::lock_guard<std::mutex> lock(p.mu);
+        p.done_submitting = true;
+      }
+      p.cv.notify_one();
+    });
+  }
+
+  // Mid-soak fault window: repeated worker throws trip the breaker; the
+  // disarm lets the half-open probe recover it.
+  std::this_thread::sleep_for(std::chrono::seconds(seconds / 2));
+  totals.fault_window.store(true);
+  robust::FaultInjector::instance().arm(
+      robust::FaultSite::kWorkerThrow,
+      robust::FaultSpec{/*fire_after=*/0, /*max_fires=*/6});
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  robust::FaultInjector::instance().disarm_all();
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  totals.fault_window.store(false);
+
+  for (auto& t : threads) t.join();
+  const double elapsed = seconds;
+  service.drain();
+  const auto stats = service.stats();
+  service.shutdown();
+  finished.store(true);
+  monitor.join();
+
+  const double goodput = static_cast<double>(totals.ok.load()) / elapsed;
+  const double reject_us_mean =
+      totals.reject_samples.load() == 0
+          ? 0.0
+          : static_cast<double>(totals.reject_us_sum.load()) /
+                static_cast<double>(totals.reject_samples.load());
+  const auto health = robust::health().snapshot();
+
+  std::printf(
+      "ok %zu refused %zu stopped %zu infra %zu unexpected %zu late %zu\n",
+      totals.ok.load(), totals.refused.load(), totals.stopped.load(),
+      totals.infra.load(), totals.unexpected.load(), totals.late.load());
+  std::printf("goodput %.0f req/s (capacity %.0f, frac %.2f)\n", goodput,
+              capacity, goodput / capacity);
+  std::printf("reject latency: mean %.1f us, max %lld us (%zu samples)\n",
+              reject_us_mean, totals.reject_us_max.load(),
+              totals.reject_samples.load());
+  std::printf(
+      "counters: shed %zu rejected %zu deadline_misses %zu "
+      "cancellations %zu breaker_trips %zu breaker_rejections %zu\n",
+      stats.shed, stats.rejected, stats.deadline_misses,
+      stats.cancellations, health.service_breaker_trips,
+      stats.breaker_rejections);
+
+  bool failed = false;
+  const auto gate = [&](bool bad, const char* what) {
+    if (!bad) return;
+    std::fprintf(stderr, "GATE FAILED: %s\n", what);
+    failed = true;
+  };
+  gate(totals.unexpected.load() != 0, "unexpected exceptions");
+  gate(totals.late.load() != 0, "admitted request terminal past 2x deadline");
+  gate(goodput < goodput_frac * capacity, "goodput below threshold");
+  gate(totals.reject_samples.load() == 0, "no O(us) rejections sampled");
+  gate(reject_us_mean > static_cast<double>(reject_us_cap),
+       "rejection latency above cap");
+  gate(stats.shed == 0, "shed counter stayed zero");
+  gate(stats.rejected == 0, "rejected counter stayed zero");
+  gate(stats.deadline_misses == 0, "deadline_misses counter stayed zero");
+  gate(stats.cancellations == 0, "cancellations counter stayed zero");
+  gate(health.service_breaker_trips == 0, "breaker never tripped");
+  gate(stats.breaker_rejections == 0, "breaker never rejected");
+  std::printf("overload_soak: %s\n", failed ? "FAIL" : "PASS");
+  return failed ? 1 : 0;
+}

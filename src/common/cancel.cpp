@@ -1,0 +1,15 @@
+#include "src/common/cancel.h"
+
+namespace smm {
+
+void CancelToken::throw_if_stopped() const {
+  if (state_ == nullptr) return;
+  if (state_->cancelled.load(std::memory_order_relaxed))
+    throw Error(ErrorCode::kCancelled, "smmkit: request cancelled");
+  if (state_->has_deadline &&
+      std::chrono::steady_clock::now() >= state_->deadline)
+    throw Error(ErrorCode::kDeadlineExceeded,
+                "smmkit: request deadline exceeded");
+}
+
+}  // namespace smm

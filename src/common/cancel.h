@@ -1,0 +1,135 @@
+// Cooperative cancellation and deadlines for the execution stack.
+//
+// The paper's motivating workload is serving-style (floods of small GEMMs
+// from DNN inference), and a serving system must be able to stop work
+// that nobody is waiting for any more: a request whose deadline passed,
+// or one the client cancelled. A small GEMM cannot be preempted, but its
+// plan is a sequence of coarse ops (pack a block, run a kernel sweep,
+// cross a barrier), so the executor checks a token at op boundaries and
+// unwinds with a typed error — kCancelled for an explicit cancel,
+// kDeadlineExceeded for an expired deadline.
+//
+// The token is deliberately cheap: the cancelled flag is one relaxed
+// atomic load per check, and the clock (the expensive part) is only read
+// every few ops via CancelChecker's stride. A default-constructed token
+// is inert — checking it is a null test — so non-serving callers pay
+// nothing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "src/common/error.h"
+
+namespace smm {
+
+namespace detail {
+struct CancelState {
+  std::atomic<bool> cancelled{false};
+  /// Immutable after construction (concurrent reads need no ordering).
+  std::chrono::steady_clock::time_point deadline{};
+  bool has_deadline = false;
+};
+}  // namespace detail
+
+/// Read side: cheap to copy, safe to share across threads. An empty
+/// (default-constructed) token can never report cancellation.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// True when this token is attached to a CancelSource.
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  /// The flag alone — no clock read. Relaxed: cancellation is a hint the
+  /// executor acts on at the next op boundary, not a synchronization.
+  [[nodiscard]] bool cancel_requested() const {
+    return state_ != nullptr &&
+           state_->cancelled.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool has_deadline() const {
+    return state_ != nullptr && state_->has_deadline;
+  }
+  [[nodiscard]] std::chrono::steady_clock::time_point deadline() const {
+    return state_ != nullptr ? state_->deadline
+                             : std::chrono::steady_clock::time_point{};
+  }
+
+  /// Clock check (one steady_clock read when a deadline is set).
+  [[nodiscard]] bool expired() const {
+    return has_deadline() &&
+           std::chrono::steady_clock::now() >= state_->deadline;
+  }
+
+  /// True when the work this token guards should stop, for any reason.
+  [[nodiscard]] bool stop_requested() const {
+    return cancel_requested() || expired();
+  }
+
+  /// Throws Error(kCancelled) on an explicit cancel, then
+  /// Error(kDeadlineExceeded) on an expired deadline. The ordering means
+  /// an explicitly cancelled request reports kCancelled even when its
+  /// deadline also lapsed.
+  void throw_if_stopped() const;
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<const detail::CancelState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<const detail::CancelState> state_;
+};
+
+/// Write side: owns the shared state, hands out tokens.
+class CancelSource {
+ public:
+  /// No deadline; cancellable only explicitly.
+  CancelSource() : state_(std::make_shared<detail::CancelState>()) {}
+  /// Cancels itself at `deadline`.
+  explicit CancelSource(std::chrono::steady_clock::time_point deadline)
+      : CancelSource() {
+    state_->deadline = deadline;
+    state_->has_deadline = true;
+  }
+
+  void request_cancel() {
+    state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool cancel_requested() const {
+    return state_->cancelled.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] CancelToken token() const { return CancelToken(state_); }
+
+ private:
+  std::shared_ptr<detail::CancelState> state_;
+};
+
+/// Op-boundary checker: the cancelled flag is consulted on every check()
+/// (one relaxed load), the clock only every `clock_stride` checks — a
+/// KernelOp on an SMM-sized tile runs for tens of nanoseconds, so a
+/// steady_clock read per op would be measurable overhead where a strided
+/// one is not. A null/invalid token makes check() a branch on nullptr.
+class CancelChecker {
+ public:
+  explicit CancelChecker(const CancelToken* token, int clock_stride = 16)
+      : token_(token != nullptr && token->valid() ? token : nullptr),
+        stride_(clock_stride < 1 ? 1 : clock_stride) {}
+
+  void check() {
+    if (token_ == nullptr) return;
+    if (token_->cancel_requested())
+      token_->throw_if_stopped();  // throws kCancelled
+    if (--countdown_ <= 0) {
+      countdown_ = stride_;
+      if (token_->expired()) token_->throw_if_stopped();
+    }
+  }
+
+ private:
+  const CancelToken* token_;
+  int stride_;
+  int countdown_ = 0;
+};
+
+}  // namespace smm

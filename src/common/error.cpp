@@ -32,6 +32,16 @@ const char* to_string(ErrorCode code) {
       return "cache-insert-fail";
     case ErrorCode::kPrepackFallback:
       return "prepack-fallback";
+    case ErrorCode::kCancelled:
+      return "cancelled";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+    case ErrorCode::kShuttingDown:
+      return "shutting-down";
+    case ErrorCode::kNonFinite:
+      return "non-finite";
   }
   return "?";
 }

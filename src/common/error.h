@@ -26,6 +26,13 @@ enum class ErrorCode {
   kArenaExhausted,     ///< ExecScratch slab growth failed under pressure
   kCacheInsertFail,    ///< PlanCache could not insert a freshly built plan
   kPrepackFallback,    ///< PrepackedB could not materialize its buffers
+  // Serving layer (DESIGN.md §11): admission, deadlines, lifecycle.
+  kCancelled,          ///< the caller cancelled the request
+  kDeadlineExceeded,   ///< the request's deadline passed before completion
+  kOverloaded,         ///< admission control rejected the request (queue
+                       ///< full, cost budget spent, shed, or breaker open)
+  kShuttingDown,       ///< the service is draining; no new work admitted
+  kNonFinite,          ///< an input operand contains NaN/Inf
 };
 
 const char* to_string(ErrorCode code);

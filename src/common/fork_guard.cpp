@@ -1,0 +1,65 @@
+#include "src/common/fork_guard.h"
+
+#include <pthread.h>
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace smm::common {
+
+namespace {
+
+/// Leaked on purpose: atfork handlers can fire during static destruction
+/// (a destructor that forks) — the registry must outlive everything.
+std::mutex& registry_mu() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+std::vector<ForkHandlers>& registry() {
+  static std::vector<ForkHandlers>* v = new std::vector<ForkHandlers>;
+  return *v;
+}
+
+void on_prepare() {
+  // Held across the fork: a concurrent register_fork_handlers must not
+  // reallocate the vector between prepare and parent/child.
+  registry_mu().lock();
+  for (auto& h : registry())
+    if (h.prepare) h.prepare();
+}
+
+void on_parent() {
+  auto& r = registry();
+  for (auto it = r.rbegin(); it != r.rend(); ++it)
+    if (it->parent) it->parent();
+  registry_mu().unlock();
+}
+
+void on_child() {
+  auto& r = registry();
+  for (auto it = r.rbegin(); it != r.rend(); ++it)
+    if (it->child) it->child();
+  // The child inherits the lock from prepare — the forking thread is the
+  // one that took it, and it is the thread running this handler.
+  registry_mu().unlock();
+}
+
+}  // namespace
+
+void register_fork_handlers(ForkHandlers handlers) {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    pthread_atfork(&on_prepare, &on_parent, &on_child);
+  });
+  std::lock_guard<std::mutex> lock(registry_mu());
+  registry().push_back(std::move(handlers));
+}
+
+std::size_t fork_handler_count() {
+  std::lock_guard<std::mutex> lock(registry_mu());
+  return registry().size();
+}
+
+}  // namespace smm::common

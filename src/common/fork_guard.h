@@ -1,0 +1,43 @@
+// Fork safety (DESIGN.md §11): fork() in a multi-threaded process copies
+// exactly one thread — the caller. Every pool worker, watchdog, and
+// in-flight plan build simply does not exist in the child, yet the
+// child's copied WorkerPool/PlanCache state still claims they do; the
+// first post-fork smm_gemm would then wait forever on threads that were
+// never born. Process-wide singletons register a ForkHandlers triple
+// here; one pthread_atfork registration (installed on first use) runs
+// them around every fork:
+//
+//  - prepare (parent, before fork): take the singleton's locks so the
+//    child's memory snapshot is internally consistent — no mutex copied
+//    mid-critical-section, no half-updated roster.
+//  - parent (parent, after fork): release the locks; nothing changed.
+//  - child (child, after fork): still holding the copied locks, reset
+//    the state that referenced parent-only threads (quarantine/clear the
+//    roster, drop in-flight builds), then release.
+//
+// prepare handlers run in registration order; parent/child run in
+// reverse, so lock acquisition nests correctly across singletons.
+//
+// Registration is append-only (pthread_atfork handlers cannot be
+// removed), so only immortal process-wide singletons may register —
+// never objects with a shorter lifetime.
+#pragma once
+
+#include <functional>
+
+namespace smm::common {
+
+struct ForkHandlers {
+  std::function<void()> prepare;  ///< parent, immediately before fork()
+  std::function<void()> parent;   ///< parent, immediately after fork()
+  std::function<void()> child;    ///< child, immediately after fork()
+};
+
+/// Append `handlers` to the process-wide registry. The first call
+/// installs the single pthread_atfork hook. Thread-safe.
+void register_fork_handlers(ForkHandlers handlers);
+
+/// Number of registered handler triples (tests).
+std::size_t fork_handler_count();
+
+}  // namespace smm::common

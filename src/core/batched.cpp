@@ -79,9 +79,13 @@ void validate_batch(const std::vector<GemmBatchItem<T>>& items) {
 
 template <typename T>
 void batched_smm(T alpha, const std::vector<GemmBatchItem<T>>& items,
-                 T beta, PlanCache& cache, int nworkers) {
+                 T beta, PlanCache& cache, int nworkers,
+                 const CancelToken* cancel) {
   SMM_EXPECT(nworkers >= 1, "batched_smm needs at least one worker");
   validate_batch(items);
+  // A token already stopped at entry fails the whole batch before any
+  // plan is resolved or any C is written.
+  if (cancel != nullptr) cancel->throw_if_stopped();
   robust::health().batched_items.fetch_add(items.size(),
                                            std::memory_order_relaxed);
   const auto scalar =
@@ -116,8 +120,17 @@ void batched_smm(T alpha, const std::vector<GemmBatchItem<T>>& items,
     for (index_t i = range.begin; i < range.end; ++i) {
       const auto& item = items[static_cast<std::size_t>(i)];
       try {
-        plan::execute_plan(*plans[static_cast<std::size_t>(i)], alpha,
-                           item.a, item.b, beta, item.c);
+        // Checked before each item: once the token stops, every remaining
+        // item in this worker's range fails with the stop code, its C
+        // untouched.
+        if (cancel != nullptr) cancel->throw_if_stopped();
+        if (cancel != nullptr && cancel->valid()) {
+          plan::execute_plan(*plans[static_cast<std::size_t>(i)], alpha,
+                             item.a, item.b, beta, item.c, *cancel);
+        } else {
+          plan::execute_plan(*plans[static_cast<std::size_t>(i)], alpha,
+                             item.a, item.b, beta, item.c);
+        }
       } catch (const Error& e) {
         std::lock_guard<std::mutex> lock(failures_mu);
         if (failures.empty()) first_code = e.code();
@@ -144,12 +157,14 @@ void batched_smm(T alpha, const std::vector<GemmBatchItem<T>>& items,
 }
 
 template void batched_smm(float, const std::vector<GemmBatchItem<float>>&,
-                          float, PlanCache&, int);
+                          float, PlanCache&, int, const CancelToken*);
 template void batched_smm(double, const std::vector<GemmBatchItem<double>>&,
-                          double, PlanCache&, int);
+                          double, PlanCache&, int, const CancelToken*);
 
 PlanCache& default_plan_cache() {
   static PlanCache cache(reference_smm());
+  static const bool fork_guarded = (cache.protect_across_fork(), true);
+  (void)fork_guarded;
   return cache;
 }
 

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "src/common/cancel.h"
 #include "src/core/plan_cache.h"
 #include "src/matrix/view.h"
 
@@ -28,9 +29,15 @@ struct GemmBatchItem {
 /// runtime failures of individual items do not stop the rest of the
 /// batch — they are aggregated into one smm::Error naming every failed
 /// item.
+///
+/// `cancel` (may be null) is consulted before each item and at op
+/// boundaries inside each item: a stop request fails the not-yet-started
+/// items with kCancelled / kDeadlineExceeded, their C untouched, and the
+/// aggregate error carries the stop code.
 template <typename T>
 void batched_smm(T alpha, const std::vector<GemmBatchItem<T>>& items,
-                 T beta, PlanCache& cache, int nworkers = 1);
+                 T beta, PlanCache& cache, int nworkers = 1,
+                 const CancelToken* cancel = nullptr);
 
 /// Convenience: one shared PlanCache over the default reference SMM.
 PlanCache& default_plan_cache();

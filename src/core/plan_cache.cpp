@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/error.h"
+#include "src/common/fork_guard.h"
 #include "src/robust/fault_injection.h"
 #include "src/robust/health.h"
 
@@ -117,6 +118,20 @@ std::shared_ptr<const plan::GemmPlan> PlanCache::get_or_build(
     promise.set_value(plan);
     return plan;
   }
+}
+
+void PlanCache::protect_across_fork() {
+  common::register_fork_handlers(common::ForkHandlers{
+      /*prepare=*/[this] { mu_.lock(); },
+      /*parent=*/[this] { mu_.unlock(); },
+      /*child=*/
+      [this] {
+        // Completed entries stay valid (plans are immutable data); only
+        // builds whose builder thread existed in the parent are gone.
+        // The next miss on those keys rebuilds cleanly.
+        inflight_.clear();
+        mu_.unlock();
+      }});
 }
 
 std::size_t PlanCache::size() const {

@@ -78,6 +78,14 @@ class PlanCache {
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   void clear();
 
+  /// Fork safety (DESIGN.md §11): hold mu_ across fork() so the child's
+  /// snapshot is consistent, and drop in-flight builds in the child —
+  /// their builder threads died with the parent, so a child waiter on
+  /// one of those futures would block forever. Registration is
+  /// permanent: only immortal process-wide caches (smm_plan_cache,
+  /// default_plan_cache) may call this, never per-instance caches.
+  void protect_across_fork();
+
  private:
   struct Key {
     index_t m, n, k;

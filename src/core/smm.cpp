@@ -1,14 +1,18 @@
 #include "src/core/smm.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/common/error.h"
+#include "src/common/str.h"
 #include "src/core/kernel_select.h"
 #include "src/core/parallel_cost.h"
 #include "src/core/parallel_select.h"
 #include "src/core/plan_builder.h"
 #include "src/core/plan_cache.h"
 #include "src/plan/native_executor.h"
+#include "src/robust/fault_injection.h"
+#include "src/robust/health.h"
 
 namespace smm::core {
 
@@ -159,11 +163,14 @@ std::uint64_t options_fingerprint(const SmmOptions& options) {
   mix(static_cast<std::uint64_t>(
       static_cast<std::int64_t>(options.thread_cap)));
   mix(static_cast<std::uint64_t>(options.thread_scaling));
+  mix(options.check_finite ? 1u : 0u);
   return h;
 }
 
 PlanCache& smm_plan_cache() {
   static PlanCache cache{reference_smm()};
+  static const bool fork_guarded = (cache.protect_across_fork(), true);
+  (void)fork_guarded;
   return cache;
 }
 
@@ -188,6 +195,63 @@ SmmOptions resolve_runtime_scaling(const SmmOptions& options) {
   return resolved;
 }
 
+/// check_finite screen: one pass over each operand before any plan work.
+/// C only participates when beta != 0 (a beta of zero overwrites C, so a
+/// stale NaN there is harmless). The injection site models a poisoned
+/// request without having to corrupt a real buffer.
+template <typename T>
+void screen_finite(ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
+                   ConstMatrixView<T> c) {
+  const auto reject = [](const char* operand, index_t i, index_t j) {
+    robust::health().nonfinite_rejections.fetch_add(
+        1, std::memory_order_relaxed);
+    throw Error(ErrorCode::kNonFinite,
+                strprintf("smm_gemm: non-finite value in %s at (%ld, %ld)",
+                          operand, static_cast<long>(i),
+                          static_cast<long>(j)));
+  };
+  if (robust::should_fire(robust::FaultSite::kNonFiniteInput))
+    reject("A (injected)", 0, 0);
+  const auto scan = [&](ConstMatrixView<T> v, const char* operand) {
+    for (index_t j = 0; j < v.cols(); ++j)
+      for (index_t i = 0; i < v.rows(); ++i)
+        if (!std::isfinite(v(i, j))) reject(operand, i, j);
+  };
+  scan(a, "A");
+  scan(b, "B");
+  if (beta != T(0)) scan(c, "C");
+}
+
+template <typename T>
+void smm_gemm_impl(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b,
+                   T beta, MatrixView<T> c, int nthreads,
+                   const SmmOptions& options, const CancelToken* cancel) {
+  SMM_EXPECT_CODE(a.rows() == c.rows() && b.cols() == c.cols() &&
+                      a.cols() == b.rows(),
+                  ErrorCode::kBadShape, "smm_gemm dimension mismatch");
+  SMM_EXPECT_CODE((a.empty() || a.data() != nullptr) &&
+                      (b.empty() || b.data() != nullptr) &&
+                      (c.empty() || c.data() != nullptr),
+                  ErrorCode::kBadShape, "smm_gemm operand has null data");
+  SMM_EXPECT(nthreads >= 1, "smm_gemm needs at least one thread");
+  if (options.check_finite)
+    screen_finite(a, b, beta, ConstMatrixView<T>(c));
+  // A token already stopped at entry rejects the call before the plan is
+  // even looked up — C untouched.
+  if (cancel != nullptr) cancel->throw_if_stopped();
+  const GemmShape shape{c.rows(), c.cols(), a.cols()};
+  const auto scalar = sizeof(T) == 4 ? plan::ScalarType::kF32
+                                     : plan::ScalarType::kF64;
+  // Warm path: the plan is a cache lookup, not a rebuild — on SMM-sized
+  // shapes the build costs more than the multiply it describes.
+  const auto p = cached_smm_plan(shape, scalar, nthreads,
+                                 resolve_runtime_scaling(options));
+  if (cancel != nullptr && cancel->valid())
+    plan::execute_plan(*p, alpha, a, b, beta, c, *cancel);
+  else
+    plan::execute_plan(*p, alpha, a, b, beta, c);
+}
+
 }  // namespace
 
 std::unique_ptr<libs::GemmStrategy> make_reference_smm(SmmOptions options) {
@@ -197,22 +261,7 @@ std::unique_ptr<libs::GemmStrategy> make_reference_smm(SmmOptions options) {
 template <typename T>
 void smm_gemm(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
               MatrixView<T> c, int nthreads, const SmmOptions& options) {
-  SMM_EXPECT_CODE(a.rows() == c.rows() && b.cols() == c.cols() &&
-                      a.cols() == b.rows(),
-                  ErrorCode::kBadShape, "smm_gemm dimension mismatch");
-  SMM_EXPECT_CODE((a.empty() || a.data() != nullptr) &&
-                      (b.empty() || b.data() != nullptr) &&
-                      (c.empty() || c.data() != nullptr),
-                  ErrorCode::kBadShape, "smm_gemm operand has null data");
-  SMM_EXPECT(nthreads >= 1, "smm_gemm needs at least one thread");
-  const GemmShape shape{c.rows(), c.cols(), a.cols()};
-  const auto scalar = sizeof(T) == 4 ? plan::ScalarType::kF32
-                                     : plan::ScalarType::kF64;
-  // Warm path: the plan is a cache lookup, not a rebuild — on SMM-sized
-  // shapes the build costs more than the multiply it describes.
-  const auto p = cached_smm_plan(shape, scalar, nthreads,
-                                 resolve_runtime_scaling(options));
-  plan::execute_plan(*p, alpha, a, b, beta, c);
+  smm_gemm_impl(alpha, a, b, beta, c, nthreads, options, nullptr);
 }
 
 template void smm_gemm(float, ConstMatrixView<float>, ConstMatrixView<float>,
@@ -220,6 +269,20 @@ template void smm_gemm(float, ConstMatrixView<float>, ConstMatrixView<float>,
 template void smm_gemm(double, ConstMatrixView<double>,
                        ConstMatrixView<double>, double, MatrixView<double>,
                        int, const SmmOptions&);
+
+template <typename T>
+void smm_gemm(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
+              MatrixView<T> c, int nthreads, const SmmOptions& options,
+              const CancelToken& cancel) {
+  smm_gemm_impl(alpha, a, b, beta, c, nthreads, options, &cancel);
+}
+
+template void smm_gemm(float, ConstMatrixView<float>, ConstMatrixView<float>,
+                       float, MatrixView<float>, int, const SmmOptions&,
+                       const CancelToken&);
+template void smm_gemm(double, ConstMatrixView<double>,
+                       ConstMatrixView<double>, double, MatrixView<double>,
+                       int, const SmmOptions&, const CancelToken&);
 
 template <typename T>
 void smm_gemm(Trans trans_a, Trans trans_b, T alpha, ConstMatrixView<T> a,

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "src/common/cancel.h"
 #include "src/libs/gemm_interface.h"
 #include "src/matrix/view.h"
 #include "src/plan/native_executor.h"
@@ -50,6 +51,12 @@ struct SmmOptions {
   ///    never depend on the build host.
   enum class ThreadScaling { kAuto, kStatic, kMeasured };
   ThreadScaling thread_scaling = ThreadScaling::kAuto;
+  /// Input hygiene (DESIGN.md §11): scan A, B (and C when beta != 0) for
+  /// NaN/Inf before executing and reject with kNonFinite. Off by default —
+  /// the scan is O(input) per call; serving front-ends turn it on so a
+  /// poisoned request is rejected at admission instead of tripping ABFT
+  /// checksums (or silently corrupting C) downstream.
+  bool check_finite = false;
 };
 
 /// Process-wide instance with default options.
@@ -72,6 +79,16 @@ template <typename T>
 void smm_gemm(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
               MatrixView<T> c, int nthreads = 1,
               const SmmOptions& options = {});
+
+/// Cancellable smm_gemm (DESIGN.md §11): `cancel` is consulted at op
+/// boundaries inside the plan — a stop observed before the first op
+/// leaves C untouched; a mid-plan stop unwinds with kCancelled /
+/// kDeadlineExceeded and may leave C partial. The serving layer threads
+/// each request's token through here.
+template <typename T>
+void smm_gemm(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
+              MatrixView<T> c, int nthreads, const SmmOptions& options,
+              const CancelToken& cancel);
 
 /// BLAS-style: C = alpha * op(A) * op(B) + beta * C. Transposition is a
 /// view; a transposed A makes the packing-optional heuristic prefer

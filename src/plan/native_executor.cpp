@@ -318,21 +318,33 @@ template <typename T>
 void execute_plan_impl(const GemmPlan& plan, T alpha, ConstMatrixView<T> a,
                        ConstMatrixView<T> b, T beta, MatrixView<T> c,
                        const PrepackedB<T>* prepacked,
-                       std::vector<ThreadTiming>* timings = nullptr) {
+                       std::vector<ThreadTiming>* timings = nullptr,
+                       const CancelToken* cancel = nullptr) {
   validate_operands(plan, a, b, c);
   ExecContext<T> ctx(plan, alpha, a, b, beta, c, prepacked);
   par::run_parallel(
       plan.nthreads,
       [&](int tid) {
         const auto& ops = plan.thread_ops[static_cast<std::size_t>(tid)];
+        // Cooperative cancellation at op boundaries: a stop observed
+        // before the first op leaves C untouched; each thread checks its
+        // own checker, so a mid-plan cancel unwinds every body (peers
+        // parked in a BarrierOp are freed by the poison hook below).
+        CancelChecker canceller(cancel);
         if (timings == nullptr) {
           OpRunner<T> runner{ctx};
-          for (const auto& op : ops) std::visit(runner, op);
+          for (const auto& op : ops) {
+            canceller.check();
+            std::visit(runner, op);
+          }
         } else {
           ThreadTiming& tt = (*timings)[static_cast<std::size_t>(tid)];
           TimedOpRunner<T> runner{OpRunner<T>{ctx}, tt};
           const double t0 = steady_now_ns();
-          for (const auto& op : ops) std::visit(runner, op);
+          for (const auto& op : ops) {
+            canceller.check();
+            std::visit(runner, op);
+          }
           tt.total_ns = steady_now_ns() - t0;
         }
       },
@@ -358,6 +370,21 @@ template void execute_plan(const GemmPlan&, float, ConstMatrixView<float>,
 template void execute_plan(const GemmPlan&, double, ConstMatrixView<double>,
                            ConstMatrixView<double>, double,
                            MatrixView<double>);
+
+template <typename T>
+void execute_plan(const GemmPlan& plan, T alpha, ConstMatrixView<T> a,
+                  ConstMatrixView<T> b, T beta, MatrixView<T> c,
+                  const CancelToken& cancel) {
+  execute_plan_impl<T>(plan, alpha, a, b, beta, c, /*prepacked=*/nullptr,
+                       /*timings=*/nullptr, &cancel);
+}
+
+template void execute_plan(const GemmPlan&, float, ConstMatrixView<float>,
+                           ConstMatrixView<float>, float, MatrixView<float>,
+                           const CancelToken&);
+template void execute_plan(const GemmPlan&, double, ConstMatrixView<double>,
+                           ConstMatrixView<double>, double,
+                           MatrixView<double>, const CancelToken&);
 
 template <typename T>
 void execute_plan_timed(const GemmPlan& plan, T alpha, ConstMatrixView<T> a,

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/common/aligned_buffer.h"
+#include "src/common/cancel.h"
 #include "src/matrix/view.h"
 #include "src/plan/plan.h"
 #include "src/plan/plan_stats.h"
@@ -25,6 +26,20 @@ namespace smm::plan {
 template <typename T>
 void execute_plan(const GemmPlan& plan, T alpha, ConstMatrixView<T> a,
                   ConstMatrixView<T> b, T beta, MatrixView<T> c);
+
+/// Cancellable execution (DESIGN.md §11): every thread consults `cancel`
+/// at op boundaries — the cancelled flag each op, the deadline clock on a
+/// stride — and unwinds with kCancelled / kDeadlineExceeded. A token
+/// observed before the first op leaves C untouched; a mid-plan stop may
+/// leave C partially updated (serving callers that need pristine-C
+/// semantics wrap the call in robust::GuardedExecutor, whose snapshot
+/// restore already provides them). On parallel plans the failure hook
+/// poisons the plan barriers, so peers blocked in a barrier unwind
+/// instead of waiting for the cancelled body.
+template <typename T>
+void execute_plan(const GemmPlan& plan, T alpha, ConstMatrixView<T> a,
+                  ConstMatrixView<T> b, T beta, MatrixView<T> c,
+                  const CancelToken& cancel);
 
 /// execute_plan with a measured per-thread wall-clock breakdown in the
 /// Table II categories (pack / kernel / barrier / other). `timings` is

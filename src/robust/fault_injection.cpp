@@ -42,6 +42,8 @@ const char* to_string(FaultSite site) {
       return "prepack-alloc";
     case FaultSite::kBarrierTrip:
       return "barrier-trip";
+    case FaultSite::kNonFiniteInput:
+      return "non-finite-input";
   }
   return "?";
 }

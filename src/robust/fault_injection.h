@@ -32,8 +32,9 @@ enum class FaultSite : int {
   kCacheInsertFail,    ///< PlanCache: inserting a freshly built plan fails
   kPrepackAlloc,       ///< PrepackedB: materialization allocation fails
   kBarrierTrip,        ///< Barrier::arrive_and_wait: the arrival faults
+  kNonFiniteInput,     ///< input-hygiene screen: reports a NaN/Inf input
 };
-inline constexpr int kFaultSiteCount = 10;
+inline constexpr int kFaultSiteCount = 11;
 
 const char* to_string(FaultSite site);
 

@@ -163,11 +163,18 @@ RunReport GuardedExecutor::run(T alpha, ConstMatrixView<T> a,
     return true;
   };
 
-  const auto finish = [&](Outcome base, const char* fallback) {
+  // Lands the run's outcome: the retry count and the outcome counter are
+  // one correlated group, so a health scraper never sees the retries of a
+  // run whose outcome has not landed yet (or vice versa).
+  const auto finish = [&](Outcome base, const char* fallback,
+                          std::atomic<std::size_t>* outcome_counter) {
     report.retries = report.attempts > 0 ? report.attempts - 1 : 0;
+    Health::Transaction tx;
     if (report.retries > 0)
       h.retries.fetch_add(static_cast<std::size_t>(report.retries),
                           std::memory_order_relaxed);
+    if (outcome_counter != nullptr)
+      outcome_counter->fetch_add(1, std::memory_order_relaxed);
     report.fallback = fallback;
     report.outcome = base;
   };
@@ -185,9 +192,8 @@ RunReport GuardedExecutor::run(T alpha, ConstMatrixView<T> a,
     for (int t = 0; t < 1 + std::max(0, options_.retries); ++t) {
       if (attempt(*cached)) {
         finish(report.attempts == 1 ? Outcome::kOk : Outcome::kRecovered,
-               "none");
-        if (report.outcome == Outcome::kOk)
-          h.clean_runs.fetch_add(1, std::memory_order_relaxed);
+               "none",
+               report.attempts == 1 ? &h.clean_runs : nullptr);
         return report;
       }
     }
@@ -206,8 +212,7 @@ RunReport GuardedExecutor::run(T alpha, ConstMatrixView<T> a,
       const plan::GemmPlan fresh =
           strategy_.make_plan(shape, scalar, pool_fault ? 1 : threads);
       if (attempt(fresh)) {
-        finish(Outcome::kDegraded, "rebuilt-plan");
-        h.rebuild_fallbacks.fetch_add(1, std::memory_order_relaxed);
+        finish(Outcome::kDegraded, "rebuilt-plan", &h.rebuild_fallbacks);
         return report;
       }
     } catch (const Error& e) {
@@ -223,15 +228,13 @@ RunReport GuardedExecutor::run(T alpha, ConstMatrixView<T> a,
     ++report.attempts;
     libs::naive_gemm(alpha, a, b, beta, c);
     if (verify_result()) {
-      finish(Outcome::kDegraded, "naive");
-      h.naive_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      finish(Outcome::kDegraded, "naive", &h.naive_fallbacks);
       return report;
     }
     restore_c();
   }
 
-  finish(Outcome::kFailed, "none");
-  h.failures.fetch_add(1, std::memory_order_relaxed);
+  finish(Outcome::kFailed, "none", &h.failures);
   return report;
 }
 

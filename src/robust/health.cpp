@@ -9,7 +9,21 @@ Health& Health::instance() {
   return h;
 }
 
-HealthSnapshot Health::snapshot() const {
+Health::Transaction::Transaction() {
+  Health& h = health();
+  h.tx_mu_.lock();
+  // Odd sequence = transaction in progress. Release pairs with the
+  // acquire in snapshot()'s first read.
+  h.tx_seq_.fetch_add(1, std::memory_order_release);
+}
+
+Health::Transaction::~Transaction() {
+  Health& h = health();
+  h.tx_seq_.fetch_add(1, std::memory_order_release);
+  h.tx_mu_.unlock();
+}
+
+HealthSnapshot Health::read_counters() const {
   HealthSnapshot s;
   s.guarded_runs = guarded_runs.load(std::memory_order_relaxed);
   s.clean_runs = clean_runs.load(std::memory_order_relaxed);
@@ -39,7 +53,38 @@ HealthSnapshot Health::snapshot() const {
   s.plan_cache_insert_failures =
       plan_cache_insert_failures.load(std::memory_order_relaxed);
   s.prepack_fallbacks = prepack_fallbacks.load(std::memory_order_relaxed);
+  s.service_submitted = service_submitted.load(std::memory_order_relaxed);
+  s.service_admitted = service_admitted.load(std::memory_order_relaxed);
+  s.service_completed = service_completed.load(std::memory_order_relaxed);
+  s.service_rejected = service_rejected.load(std::memory_order_relaxed);
+  s.service_shed = service_shed.load(std::memory_order_relaxed);
+  s.service_deadline_misses =
+      service_deadline_misses.load(std::memory_order_relaxed);
+  s.service_cancellations =
+      service_cancellations.load(std::memory_order_relaxed);
+  s.service_breaker_trips =
+      service_breaker_trips.load(std::memory_order_relaxed);
+  s.service_breaker_rejections =
+      service_breaker_rejections.load(std::memory_order_relaxed);
+  s.nonfinite_rejections =
+      nonfinite_rejections.load(std::memory_order_relaxed);
+  s.fork_resets = fork_resets.load(std::memory_order_relaxed);
   return s;
+}
+
+HealthSnapshot Health::snapshot() const {
+  // Seqlock read: retry while a transaction is in flight or completed
+  // mid-read. A bounded number of optimistic attempts, then fall back to
+  // excluding writers via the transaction mutex — snapshot() must
+  // terminate even under a transaction storm.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const std::uint64_t s0 = tx_seq_.load(std::memory_order_acquire);
+    if (s0 & 1) continue;  // transaction in progress
+    HealthSnapshot s = read_counters();
+    if (tx_seq_.load(std::memory_order_acquire) == s0) return s;
+  }
+  std::lock_guard<std::mutex> lock(tx_mu_);
+  return read_counters();
 }
 
 void Health::reset() {
@@ -65,6 +110,17 @@ void Health::reset() {
   arena_fallbacks = 0;
   plan_cache_insert_failures = 0;
   prepack_fallbacks = 0;
+  service_submitted = 0;
+  service_admitted = 0;
+  service_completed = 0;
+  service_rejected = 0;
+  service_shed = 0;
+  service_deadline_misses = 0;
+  service_cancellations = 0;
+  service_breaker_trips = 0;
+  service_breaker_rejections = 0;
+  nonfinite_rejections = 0;
+  fork_resets = 0;
 }
 
 std::string HealthSnapshot::to_string() const {
@@ -75,14 +131,22 @@ std::string HealthSnapshot::to_string() const {
       "pool_spawn_fallbacks=%zu plan_cache_hits=%zu plan_cache_misses=%zu "
       "pool_watchdog_timeouts=%zu pool_quarantines=%zu pool_rebuilds=%zu "
       "pool_spawn_failures=%zu arena_fallbacks=%zu "
-      "plan_cache_insert_failures=%zu prepack_fallbacks=%zu",
+      "plan_cache_insert_failures=%zu prepack_fallbacks=%zu "
+      "service_submitted=%zu service_admitted=%zu service_completed=%zu "
+      "service_rejected=%zu service_shed=%zu service_deadline_misses=%zu "
+      "service_cancellations=%zu service_breaker_trips=%zu "
+      "service_breaker_rejections=%zu nonfinite_rejections=%zu "
+      "fork_resets=%zu",
       guarded_runs, clean_runs, retries, rebuild_fallbacks, naive_fallbacks,
       failures, checksum_rejections, worker_panics, alloc_failures,
       batched_items, batched_item_failures, pool_regions,
       pool_spawn_fallbacks, plan_cache_hits, plan_cache_misses,
       pool_watchdog_timeouts, pool_quarantines, pool_rebuilds,
       pool_spawn_failures, arena_fallbacks, plan_cache_insert_failures,
-      prepack_fallbacks);
+      prepack_fallbacks, service_submitted, service_admitted,
+      service_completed, service_rejected, service_shed,
+      service_deadline_misses, service_cancellations, service_breaker_trips,
+      service_breaker_rejections, nonfinite_rejections, fork_resets);
 }
 
 }  // namespace smm::robust

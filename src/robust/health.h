@@ -3,10 +3,20 @@
 // batched driver hit per-item trouble. Lock-free (relaxed atomics — these
 // are monotonic event counts, not synchronization); a serving system polls
 // snapshot() for observability.
+//
+// Coherent snapshots (DESIGN.md §11): lone increments stay relaxed, but
+// sites that update *several correlated* counters (a guarded run landing
+// its outcome, the batched driver accounting a failure set, the service
+// resolving a request) bracket the group in a Health::Transaction — a
+// writer-exclusive seqlock bump. snapshot() retries until it reads a
+// quiescent sequence, so a scraper can no longer observe a torn
+// cross-counter state such as clean_runs > guarded_runs.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <mutex>
 #include <string>
 
 namespace smm::robust {
@@ -42,6 +52,19 @@ struct HealthSnapshot {
   std::size_t arena_fallbacks = 0;
   std::size_t plan_cache_insert_failures = 0;
   std::size_t prepack_fallbacks = 0;
+  // Serving layer (DESIGN.md §11): admission, shedding, deadlines, the
+  // circuit breaker, input hygiene, and fork-lifecycle resets.
+  std::size_t service_submitted = 0;
+  std::size_t service_admitted = 0;
+  std::size_t service_completed = 0;
+  std::size_t service_rejected = 0;       ///< all admission-time rejections
+  std::size_t service_shed = 0;           ///< priority shed (refused/evicted)
+  std::size_t service_deadline_misses = 0;
+  std::size_t service_cancellations = 0;
+  std::size_t service_breaker_trips = 0;
+  std::size_t service_breaker_rejections = 0;
+  std::size_t nonfinite_rejections = 0;
+  std::size_t fork_resets = 0;            ///< atfork child-side pool resets
 
   [[nodiscard]] std::string to_string() const;
 };
@@ -73,12 +96,45 @@ class Health {
   std::atomic<std::size_t> arena_fallbacks{0};
   std::atomic<std::size_t> plan_cache_insert_failures{0};
   std::atomic<std::size_t> prepack_fallbacks{0};
+  std::atomic<std::size_t> service_submitted{0};
+  std::atomic<std::size_t> service_admitted{0};
+  std::atomic<std::size_t> service_completed{0};
+  std::atomic<std::size_t> service_rejected{0};
+  std::atomic<std::size_t> service_shed{0};
+  std::atomic<std::size_t> service_deadline_misses{0};
+  std::atomic<std::size_t> service_cancellations{0};
+  std::atomic<std::size_t> service_breaker_trips{0};
+  std::atomic<std::size_t> service_breaker_rejections{0};
+  std::atomic<std::size_t> nonfinite_rejections{0};
+  std::atomic<std::size_t> fork_resets{0};
 
+  /// Brackets a correlated multi-counter update: writer-exclusive (a
+  /// mutex serializes transactions) with an odd/even sequence bump so
+  /// snapshot() can detect and retry a torn read. Increments inside a
+  /// transaction stay relaxed — the sequence provides the grouping, not
+  /// the ordering. Single-counter events do not need one.
+  class Transaction {
+   public:
+    Transaction();
+    ~Transaction();
+    Transaction(const Transaction&) = delete;
+    Transaction& operator=(const Transaction&) = delete;
+  };
+
+  /// One coherent copy of every counter: no transaction is half-visible
+  /// in the result. Lone relaxed increments may land on either side of
+  /// the snapshot (they carry no cross-counter invariant). Lock-free on
+  /// the happy path; under a writer storm it falls back to taking the
+  /// transaction mutex, so it always terminates.
   [[nodiscard]] HealthSnapshot snapshot() const;
   void reset();
 
  private:
   Health() = default;
+  HealthSnapshot read_counters() const;
+
+  mutable std::mutex tx_mu_;
+  std::atomic<std::uint64_t> tx_seq_{0};
 };
 
 /// Shorthand accessor.

@@ -1,0 +1,87 @@
+#include "src/service/circuit_breaker.h"
+
+#include "src/robust/health.h"
+
+namespace smm::service {
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker() : CircuitBreaker(Options{}) {}
+
+CircuitBreaker::CircuitBreaker(Options options) : options_(options) {}
+
+bool CircuitBreaker::allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (std::chrono::steady_clock::now() < reopen_at_) return false;
+      state_ = BreakerState::kHalfOpen;
+      probe_in_flight_ = true;  // this caller is the probe
+      return true;
+    case BreakerState::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::on_success() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = BreakerState::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::on_failure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kHalfOpen) {
+    trip_locked();  // the probe failed: straight back to open
+    return;
+  }
+  if (++consecutive_failures_ >= options_.failure_threshold) trip_locked();
+}
+
+void CircuitBreaker::on_neutral() {
+  std::lock_guard<std::mutex> lock(mu_);
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::trip() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != BreakerState::kOpen) trip_locked();
+}
+
+void CircuitBreaker::trip_locked() {
+  state_ = BreakerState::kOpen;
+  reopen_at_ = std::chrono::steady_clock::now() + options_.open_for;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  ++trips_;
+  robust::health().service_breaker_trips.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+std::size_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trips_;
+}
+
+}  // namespace smm::service

@@ -1,0 +1,460 @@
+#include "src/service/smm_service.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "src/common/str.h"
+#include "src/core/batched.h"
+#include "src/core/parallel_cost.h"
+#include "src/model/parallel_runtime.h"
+#include "src/robust/health.h"
+#include "src/threading/worker_pool.h"
+
+namespace smm::service {
+
+const char* to_string(Priority priority) {
+  switch (priority) {
+    case Priority::kLow:
+      return "low";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kHigh:
+      return "high";
+  }
+  return "?";
+}
+
+namespace {
+
+long env_long(const char* name, long fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  return (end != env && *end == '\0' && v >= 0) ? v : fallback;
+}
+
+double env_fraction(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  return (end != env && *end == '\0' && v >= 0.0 && v <= 1.0) ? v
+                                                              : fallback;
+}
+
+}  // namespace
+
+ServiceOptions service_options_from_env(ServiceOptions base) {
+  const long depth =
+      env_long("SMMKIT_QUEUE_DEPTH",
+               static_cast<long>(base.queue_depth));
+  if (depth > 0) base.queue_depth = static_cast<std::size_t>(depth);
+  base.default_deadline_ms =
+      env_long("SMMKIT_DEFAULT_DEADLINE_MS", base.default_deadline_ms);
+  base.shed_low_watermark =
+      env_fraction("SMMKIT_SHED_LOW_WATERMARK", base.shed_low_watermark);
+  base.shed_high_watermark =
+      env_fraction("SMMKIT_SHED_HIGH_WATERMARK", base.shed_high_watermark);
+  return base;
+}
+
+void Ticket::cancel() {
+  if (state_ != nullptr) state_->cancel.request_cancel();
+}
+
+const Result& Ticket::wait() const& {
+  static const Result invalid{false, ErrorCode::kPrecondition,
+                              "wait() on an invalid ticket"};
+  if (state_ == nullptr) return invalid;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  return state_->result;
+}
+
+Result Ticket::wait() && { return static_cast<const Ticket&>(*this).wait(); }
+
+bool Ticket::done() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+SmmService::SmmService(ServiceOptions options)
+    : options_(options), breaker_(options.breaker) {
+  SMM_EXPECT(options_.queue_depth > 0, "service needs a queue");
+  SMM_EXPECT(options_.lanes >= 1, "service needs at least one lane");
+  SMM_EXPECT(options_.threads_per_request >= 1,
+             "service needs at least one thread per request");
+  SMM_EXPECT(options_.shed_low_watermark <= options_.shed_high_watermark,
+             "shed watermarks must be ordered low <= high");
+  const model::ParallelCostModel model =
+      options_.calibrated_cost ? core::calibrated_cost_model()
+                               : model::reference_cost_model();
+  flop_ns_ = model.flop_ns;
+  dispatch_ns_ = model.dispatch_ns;
+  seen_pool_quarantines_ =
+      robust::health().pool_quarantines.load(std::memory_order_relaxed);
+  lanes_.reserve(static_cast<std::size_t>(options_.lanes));
+  for (int i = 0; i < options_.lanes; ++i)
+    lanes_.emplace_back([this] { lane_main(); });
+}
+
+SmmService::~SmmService() { shutdown(); }
+
+double SmmService::estimate_cost_ns(index_t m, index_t n, index_t k) const {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+             static_cast<double>(k) * flop_ns_ +
+         dispatch_ns_;
+}
+
+void SmmService::complete(
+    const std::shared_ptr<detail::RequestState>& state, Result result) {
+  std::lock_guard<std::mutex> lock(state->mu);
+  if (state->done) return;
+  state->result = std::move(result);
+  state->done = true;
+  state->cv.notify_all();
+}
+
+Ticket SmmService::admit(Request request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  robust::health().service_submitted.fetch_add(1,
+                                               std::memory_order_relaxed);
+  Ticket ticket(request.state);
+
+  // Refusals complete the ticket immediately — the entire decision is one
+  // mutex-guarded inspection of the queue counters, O(µs), no plan work.
+  const auto refuse = [&](ErrorCode code, std::string msg, bool is_shed,
+                          bool is_breaker) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    robust::health().service_rejected.fetch_add(1,
+                                                std::memory_order_relaxed);
+    if (is_shed) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      robust::health().service_shed.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (is_breaker) {
+      breaker_rejections_.fetch_add(1, std::memory_order_relaxed);
+      robust::health().service_breaker_rejections.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    complete(request.state, Result{false, code, std::move(msg)});
+    return ticket;
+  };
+
+  std::shared_ptr<detail::RequestState> victim;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (state_ != State::kRunning) {
+      lock.unlock();
+      return refuse(ErrorCode::kShuttingDown,
+                    "smm service: draining, no new work admitted", false,
+                    false);
+    }
+
+    // Load shedding: above the watermarks, lower classes are refused
+    // outright so the remaining depth is reserved for the traffic that
+    // matters (Table II's lesson — queueing into sync-bound collapse
+    // serves nobody).
+    const double fill = static_cast<double>(queued_) /
+                        static_cast<double>(options_.queue_depth);
+    if ((request.priority == Priority::kLow &&
+         fill >= options_.shed_low_watermark) ||
+        (request.priority <= Priority::kNormal &&
+         fill >= options_.shed_high_watermark)) {
+      lock.unlock();
+      return refuse(
+          ErrorCode::kOverloaded,
+          strprintf("smm service: shed %s-priority request at %.0f%% fill",
+                    to_string(request.priority), fill * 100.0),
+          true, false);
+    }
+
+    // Cost budget: bounds queue *accumulation*, not request size — an
+    // oversized request still runs when it has the queue to itself.
+    if (options_.cost_budget_ns > 0.0 && queued_ > 0 &&
+        queued_cost_ns_ + request.est_cost_ns > options_.cost_budget_ns) {
+      lock.unlock();
+      return refuse(ErrorCode::kOverloaded,
+                    "smm service: queued-cost budget exhausted", false,
+                    false);
+    }
+
+    if (queued_ >= options_.queue_depth) {
+      // A higher class may displace the newest entry of a strictly lower
+      // one; otherwise the arrival is refused.
+      for (int p = 0; p < static_cast<int>(request.priority); ++p) {
+        auto& q = queues_[p];
+        if (q.empty()) continue;
+        victim = std::move(q.back().state);
+        queued_cost_ns_ -= q.back().est_cost_ns;
+        q.pop_back();
+        --queued_;
+        break;
+      }
+      if (victim == nullptr) {
+        lock.unlock();
+        return refuse(ErrorCode::kOverloaded,
+                      "smm service: queue full", false, false);
+      }
+    }
+
+    // The breaker is consulted last so a refused request never consumes
+    // the half-open probe slot.
+    if (!breaker_.allow()) {
+      lock.unlock();
+      return refuse(ErrorCode::kOverloaded,
+                    "smm service: circuit breaker open", false, true);
+    }
+
+    queued_cost_ns_ += request.est_cost_ns;
+    queues_[static_cast<int>(request.priority)].push_back(
+        std::move(request));
+    ++queued_;
+  }
+  work_cv_.notify_one();
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  robust::health().service_admitted.fetch_add(1, std::memory_order_relaxed);
+
+  if (victim != nullptr) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    robust::health().service_shed.fetch_add(1, std::memory_order_relaxed);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    robust::health().service_rejected.fetch_add(1,
+                                                std::memory_order_relaxed);
+    complete(victim,
+             Result{false, ErrorCode::kOverloaded,
+                    "smm service: evicted by a higher-priority arrival"});
+  }
+  return ticket;
+}
+
+void SmmService::observe_pool_health() {
+  const std::size_t quarantines =
+      robust::health().pool_quarantines.load(std::memory_order_relaxed);
+  bool trip = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (quarantines > seen_pool_quarantines_) {
+      seen_pool_quarantines_ = quarantines;
+      trip = true;
+    }
+  }
+  if (trip) breaker_.trip();
+}
+
+void SmmService::execute(Request& request) {
+  const CancelToken token = request.state->cancel.token();
+  Result result;
+  // Queued-but-unstarted stop: complete without touching C (or any plan
+  // state) — exactly the "work nobody is waiting for" shedding exists
+  // to avoid.
+  if (token.cancel_requested()) {
+    result = {false, ErrorCode::kCancelled,
+              "smm service: cancelled while queued"};
+  } else if (token.expired()) {
+    result = {false, ErrorCode::kDeadlineExceeded,
+              "smm service: deadline passed while queued"};
+  } else {
+    try {
+      request.run(token);
+      result.ok = true;
+    } catch (const Error& e) {
+      ErrorCode code = e.code();
+      // A stop inside a parallel plan poisons the peers' barriers, so
+      // the aggregate can surface as kWorkerPanic/kPoolTimeout; the
+      // token knows the real reason.
+      if ((code == ErrorCode::kWorkerPanic ||
+           code == ErrorCode::kPoolTimeout) &&
+          token.stop_requested()) {
+        code = token.cancel_requested() ? ErrorCode::kCancelled
+                                        : ErrorCode::kDeadlineExceeded;
+      }
+      result = {false, code, e.what()};
+    } catch (const std::bad_alloc&) {
+      result = {false, ErrorCode::kAlloc,
+                "smm service: allocation failed"};
+    } catch (const std::exception& e) {
+      result = {false, ErrorCode::kUnknown, e.what()};
+    }
+  }
+
+  if (result.ok) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    robust::health().service_completed.fetch_add(1,
+                                                 std::memory_order_relaxed);
+    breaker_.on_success();
+  } else {
+    switch (result.code) {
+      case ErrorCode::kCancelled:
+        cancellations_.fetch_add(1, std::memory_order_relaxed);
+        robust::health().service_cancellations.fetch_add(
+            1, std::memory_order_relaxed);
+        breaker_.on_neutral();
+        break;
+      case ErrorCode::kDeadlineExceeded:
+        deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+        robust::health().service_deadline_misses.fetch_add(
+            1, std::memory_order_relaxed);
+        breaker_.on_neutral();
+        break;
+      case ErrorCode::kNonFinite:
+      case ErrorCode::kBadShape:
+      case ErrorCode::kAlias:
+      case ErrorCode::kPrecondition:
+        // The request's own fault: says nothing about the substrate.
+        breaker_.on_neutral();
+        break;
+      default:
+        // Infrastructure-class failure (dead worker, pool timeout,
+        // allocation collapse): counts toward tripping the breaker.
+        breaker_.on_failure();
+        break;
+    }
+  }
+  observe_pool_health();
+  complete(request.state, std::move(result));
+}
+
+void SmmService::lane_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock,
+                  [&] { return state_ == State::kStopped || queued_ > 0; });
+    if (queued_ == 0) {
+      if (state_ == State::kStopped) return;
+      continue;
+    }
+    Request request;
+    for (int p = 2; p >= 0; --p) {
+      auto& q = queues_[p];
+      if (q.empty()) continue;
+      request = std::move(q.front());
+      q.pop_front();
+      break;
+    }
+    --queued_;
+    queued_cost_ns_ -= request.est_cost_ns;
+    ++in_flight_;
+    lock.unlock();
+    execute(request);
+    lock.lock();
+    --in_flight_;
+    if (queued_ == 0 && in_flight_ == 0) drained_cv_.notify_all();
+  }
+}
+
+void SmmService::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (state_ == State::kRunning) state_ = State::kDraining;
+  drained_cv_.wait(lock, [&] { return queued_ == 0 && in_flight_ == 0; });
+}
+
+void SmmService::shutdown() {
+  drain();
+  std::vector<std::thread> lanes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state_ = State::kStopped;
+    lanes.swap(lanes_);
+  }
+  work_cv_.notify_all();
+  for (auto& lane : lanes) lane.join();
+  // The service promised its caller a clean exit: after this, neither the
+  // service nor the pool underneath it owns a live thread.
+  par::WorkerPool::instance().release_threads();
+}
+
+SmmService::Stats SmmService::stats() const {
+  Stats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.breaker_rejections =
+      breaker_rejections_.load(std::memory_order_relaxed);
+  s.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
+  s.cancellations = cancellations_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.queued = queued_;
+  s.in_flight = in_flight_;
+  return s;
+}
+
+template <typename T>
+Ticket SmmService::submit(T alpha, ConstMatrixView<T> a,
+                          ConstMatrixView<T> b, T beta, MatrixView<T> c,
+                          Priority priority, long deadline_ms) {
+  SMM_EXPECT_CODE(a.rows() == c.rows() && b.cols() == c.cols() &&
+                      a.cols() == b.rows(),
+                  ErrorCode::kBadShape,
+                  "service submit: dimension mismatch");
+  SMM_EXPECT_CODE((a.empty() || a.data() != nullptr) &&
+                      (b.empty() || b.data() != nullptr) &&
+                      (c.empty() || c.data() != nullptr),
+                  ErrorCode::kBadShape,
+                  "service submit: operand has null data");
+  Request request;
+  request.priority = priority;
+  request.est_cost_ns = estimate_cost_ns(c.rows(), c.cols(), a.cols());
+  request.state = std::make_shared<detail::RequestState>();
+  const long ms =
+      deadline_ms > 0 ? deadline_ms : options_.default_deadline_ms;
+  if (ms > 0)
+    request.state->cancel = CancelSource(std::chrono::steady_clock::now() +
+                                         std::chrono::milliseconds(ms));
+  const int threads = options_.threads_per_request;
+  const core::SmmOptions gemm = options_.gemm;
+  request.run = [alpha, a, b, beta, c, threads,
+                 gemm](const CancelToken& token) {
+    core::smm_gemm(alpha, a, b, beta, c, threads, gemm, token);
+  };
+  return admit(std::move(request));
+}
+
+template Ticket SmmService::submit(float, ConstMatrixView<float>,
+                                   ConstMatrixView<float>, float,
+                                   MatrixView<float>, Priority, long);
+template Ticket SmmService::submit(double, ConstMatrixView<double>,
+                                   ConstMatrixView<double>, double,
+                                   MatrixView<double>, Priority, long);
+
+template <typename T>
+Ticket SmmService::submit_batch(T alpha, std::vector<BatchItem<T>> items,
+                                T beta, Priority priority,
+                                long deadline_ms) {
+  auto batch =
+      std::make_shared<std::vector<core::GemmBatchItem<T>>>();
+  batch->reserve(items.size());
+  double est = 0.0;
+  for (const auto& item : items) {
+    batch->push_back({item.a, item.b, item.c});
+    est += estimate_cost_ns(item.c.rows(), item.c.cols(), item.a.cols());
+  }
+  Request request;
+  request.priority = priority;
+  request.est_cost_ns = est;
+  request.state = std::make_shared<detail::RequestState>();
+  const long ms =
+      deadline_ms > 0 ? deadline_ms : options_.default_deadline_ms;
+  if (ms > 0)
+    request.state->cancel = CancelSource(std::chrono::steady_clock::now() +
+                                         std::chrono::milliseconds(ms));
+  const int threads = options_.threads_per_request;
+  request.run = [alpha, beta, batch, threads](const CancelToken& token) {
+    core::batched_smm(alpha, *batch, beta, core::default_plan_cache(),
+                      threads, &token);
+  };
+  return admit(std::move(request));
+}
+
+template Ticket SmmService::submit_batch(float,
+                                         std::vector<BatchItem<float>>,
+                                         float, Priority, long);
+template Ticket SmmService::submit_batch(double,
+                                         std::vector<BatchItem<double>>,
+                                         double, Priority, long);
+
+}  // namespace smm::service

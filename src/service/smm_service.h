@@ -1,0 +1,259 @@
+// smm::service — the traffic-safe front door of the runtime
+// (DESIGN.md §11).
+//
+// The paper's motivating workload is serving-style: floods of small
+// GEMMs from DNN inference, where the fixed per-call costs (Table II's
+// Sync column) dominate. Under overload such a runtime must shed work
+// early — a request queued past its deadline burns queue space and sync
+// cost to produce a result nobody reads. SmmService therefore puts a
+// bounded, deadline-aware admission layer above smm_gemm/batched_smm:
+//
+//   submit() ── admission ──► queue ──► lanes ──► smm_gemm(+CancelToken)
+//                 │                                  │
+//                 ├─ depth/cost budget → kOverloaded │
+//                 ├─ shed watermarks   → kOverloaded │ (low class first)
+//                 └─ circuit breaker   → kOverloaded │
+//                                                    └─ outcome drives
+//                                                       the breaker
+//
+// Rejections are O(µs): submit() does shape validation plus a
+// mutex-guarded admission decision — plan resolution, packing, and
+// execution all happen on the lanes.
+//
+// Lifecycle: drain() stops admitting and completes every admitted
+// request; shutdown() drains, retires the lanes, and releases the
+// process-wide WorkerPool's threads (release_threads), so a stopped
+// service leaves zero live pool threads behind.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/cancel.h"
+#include "src/common/error.h"
+#include "src/core/smm.h"
+#include "src/matrix/view.h"
+#include "src/service/circuit_breaker.h"
+
+namespace smm::service {
+
+/// Shedding order under pressure: kLow is refused first (above the low
+/// watermark), then kNormal (above the high watermark); kHigh is only
+/// refused when the queue is hard-full of equal-or-higher work.
+enum class Priority { kLow = 0, kNormal = 1, kHigh = 2 };
+
+const char* to_string(Priority priority);
+
+struct ServiceOptions {
+  /// Bounded queue depth; admissions beyond it are rejected (or evict a
+  /// lower-priority entry). Env: SMMKIT_QUEUE_DEPTH.
+  std::size_t queue_depth = 64;
+  /// Deadline applied to requests submitted without one; 0 = none.
+  /// Env: SMMKIT_DEFAULT_DEADLINE_MS.
+  long default_deadline_ms = 0;
+  /// Estimated-cost budget (ns of predicted single-lane work) the queue
+  /// may hold; 0 disables the cost gate. An oversized single request is
+  /// still admitted when the queue is empty — the budget bounds queue
+  /// *accumulation*, not request size.
+  double cost_budget_ns = 0.0;
+  /// Queue fill fraction above which kLow arrivals are shed.
+  /// Env: SMMKIT_SHED_LOW_WATERMARK.
+  double shed_low_watermark = 0.5;
+  /// Queue fill fraction above which kNormal arrivals are shed too.
+  /// Env: SMMKIT_SHED_HIGH_WATERMARK.
+  double shed_high_watermark = 0.8;
+  /// Service lanes (worker threads draining the queue).
+  int lanes = 1;
+  /// nthreads handed to smm_gemm per request.
+  int threads_per_request = 1;
+  /// Price admissions with the host-calibrated cost model instead of the
+  /// deterministic reference constants (tests keep the default).
+  bool calibrated_cost = false;
+  /// Options for the underlying smm_gemm calls (check_finite lives
+  /// here: a serving front-end typically turns it on).
+  core::SmmOptions gemm;
+  CircuitBreaker::Options breaker;
+};
+
+/// ServiceOptions with the SMMKIT_* environment overrides applied on top
+/// of `base` (unparsable or negative values are ignored).
+ServiceOptions service_options_from_env(ServiceOptions base = {});
+
+/// Terminal state of one request.
+struct Result {
+  bool ok = false;
+  /// Meaningful when !ok. kOverloaded/kShuttingDown were refused at
+  /// admission; kCancelled/kDeadlineExceeded stopped cooperatively
+  /// (queued-but-unstarted requests leave C untouched); anything else is
+  /// an execution failure surfaced as-is.
+  ErrorCode code = ErrorCode::kUnknown;
+  std::string message;
+};
+
+namespace detail {
+struct RequestState {
+  CancelSource cancel;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Result result;
+};
+}  // namespace detail
+
+/// Handle to one submitted request. Cheap to copy; outliving the service
+/// is safe (the service completes every admitted request before its
+/// lanes retire).
+class Ticket {
+ public:
+  Ticket() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  /// Ask the request to stop. Queued: it completes kCancelled, C
+  /// untouched. Executing: the token unwinds it at the next op boundary.
+  /// Finished: no effect.
+  void cancel();
+
+  /// Block until the request reaches a terminal state. On an rvalue
+  /// ticket (`svc.submit(...).wait()`) the Result is returned by value —
+  /// the temporary ticket may hold the last reference to it.
+  const Result& wait() const&;
+  Result wait() &&;
+
+  [[nodiscard]] bool done() const;
+
+ private:
+  friend class SmmService;
+  explicit Ticket(std::shared_ptr<detail::RequestState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<detail::RequestState> state_;
+};
+
+/// One item of a batch submission (mirrors core::GemmBatchItem).
+template <typename T>
+struct BatchItem {
+  ConstMatrixView<T> a;
+  ConstMatrixView<T> b;
+  MatrixView<T> c;
+};
+
+class SmmService {
+ public:
+  explicit SmmService(ServiceOptions options = {});
+  /// Implies shutdown(): drains admitted work, retires the lanes,
+  /// releases the pool threads.
+  ~SmmService();
+  SmmService(const SmmService&) = delete;
+  SmmService& operator=(const SmmService&) = delete;
+
+  /// Submit C = alpha*A*B + beta*C. The views are borrowed: their
+  /// storage must stay alive and unmodified (C unread) until the
+  /// ticket's terminal state. Never blocks on execution; a refused
+  /// request returns an already-completed ticket (kOverloaded /
+  /// kShuttingDown). Shape errors throw (caller bugs, not load).
+  /// `deadline_ms` 0 means the service default.
+  template <typename T>
+  Ticket submit(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
+                MatrixView<T> c, Priority priority = Priority::kNormal,
+                long deadline_ms = 0);
+
+  /// Submit a whole batch as one request (runs through batched_smm with
+  /// the request's token; one ticket covers all items).
+  template <typename T>
+  Ticket submit_batch(T alpha, std::vector<BatchItem<T>> items, T beta,
+                      Priority priority = Priority::kNormal,
+                      long deadline_ms = 0);
+
+  /// Stop admitting (submits now refuse with kShuttingDown) and block
+  /// until every admitted request reached a terminal state. Idempotent;
+  /// the lanes stay up (a test can cancel tickets mid-drain).
+  void drain();
+
+  /// drain(), then retire the lanes and release the process-wide
+  /// WorkerPool threads. After shutdown() the service owns no threads
+  /// and the pool has none parked. Idempotent; the destructor calls it.
+  void shutdown();
+
+  /// Point-in-time counters (each also mirrored into robust::health()'s
+  /// service_* counters).
+  struct Stats {
+    std::size_t submitted = 0;
+    std::size_t admitted = 0;
+    std::size_t completed = 0;   ///< finished successfully
+    std::size_t rejected = 0;    ///< kOverloaded/kShuttingDown at submit
+    std::size_t shed = 0;        ///< subset of rejected: watermark/evict
+    std::size_t breaker_rejections = 0;  ///< subset of rejected
+    std::size_t deadline_misses = 0;
+    std::size_t cancellations = 0;
+    std::size_t queued = 0;      ///< currently waiting
+    std::size_t in_flight = 0;   ///< currently executing
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] BreakerState breaker_state() const {
+    return breaker_.state();
+  }
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+
+  /// Predicted single-lane cost (ns) of one m×n×k request under the
+  /// service's cost model — the unit of cost_budget_ns (exposed so
+  /// benches can size an overload factor).
+  [[nodiscard]] double estimate_cost_ns(index_t m, index_t n,
+                                        index_t k) const;
+
+ private:
+  enum class State { kRunning, kDraining, kStopped };
+
+  struct Request {
+    std::shared_ptr<detail::RequestState> state;
+    std::function<void(const CancelToken&)> run;
+    Priority priority = Priority::kNormal;
+    double est_cost_ns = 0.0;
+  };
+
+  /// The admission decision plus enqueue. Returns an empty shared_ptr on
+  /// admit; otherwise the refusal is already recorded in the ticket.
+  Ticket admit(Request request);
+  void lane_main();
+  void execute(Request& request);
+  static void complete(const std::shared_ptr<detail::RequestState>& state,
+                       Result result);
+  void observe_pool_health();
+
+  ServiceOptions options_;
+  double flop_ns_ = 0.0;      ///< cost-model constants, resolved once
+  double dispatch_ns_ = 0.0;
+  CircuitBreaker breaker_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;     ///< lanes wait for work / stop
+  std::condition_variable drained_cv_;  ///< drain() waits for empty
+  State state_ = State::kRunning;
+  /// One deque per priority class; lanes pop the highest non-empty.
+  std::deque<Request> queues_[3];
+  std::size_t queued_ = 0;
+  std::size_t in_flight_ = 0;
+  double queued_cost_ns_ = 0.0;
+  std::vector<std::thread> lanes_;
+  std::size_t seen_pool_quarantines_ = 0;
+
+  std::atomic<std::size_t> submitted_{0};
+  std::atomic<std::size_t> admitted_{0};
+  std::atomic<std::size_t> completed_{0};
+  std::atomic<std::size_t> rejected_{0};
+  std::atomic<std::size_t> shed_{0};
+  std::atomic<std::size_t> breaker_rejections_{0};
+  std::atomic<std::size_t> deadline_misses_{0};
+  std::atomic<std::size_t> cancellations_{0};
+};
+
+}  // namespace smm::service

@@ -5,6 +5,7 @@
 #include <system_error>
 
 #include "src/common/error.h"
+#include "src/common/fork_guard.h"
 #include "src/common/str.h"
 #include "src/robust/fault_injection.h"
 #include "src/robust/health.h"
@@ -36,6 +37,47 @@ WorkerPool::WorkerPool() {
     if (end != env && *end == '\0' && v >= 0) ms = v;
   }
   timeout_ms_.store(ms, std::memory_order_relaxed);
+
+  // Fork safety (DESIGN.md §11): the child inherits the roster's state
+  // but none of its threads — fork() copies only the calling thread. The
+  // prepare handler holds both locks across the fork so the snapshot is
+  // consistent (no region in flight, no half-grown roster); the child
+  // handler then discards every thread handle and resets the pool to
+  // empty, so the first post-fork region lazily spawns a fresh roster.
+  common::register_fork_handlers(common::ForkHandlers{
+      /*prepare=*/[this] {
+        region_mu_.lock();
+        mu_.lock();
+      },
+      /*parent=*/
+      [this] {
+        mu_.unlock();
+        region_mu_.unlock();
+      },
+      /*child=*/
+      [this] {
+        // The std::thread handles refer to threads that do not exist in
+        // this process; joining would hang, detaching passes a stale
+        // descriptor to pthread_detach, and destruction would terminate().
+        // Leak the handles — they are a few bytes, and fork-heavy callers
+        // fork from a warmed parent rarely.
+        new std::vector<std::thread>(std::move(workers_));
+        workers_.clear();
+        if (watchdog_.joinable()) new std::thread(std::move(watchdog_));
+        ++generation_;
+        region_.reset();
+        spare_region_.reset();
+        task_nthreads_ = 0;
+        deadline_armed_ = false;
+        quarantined_ = false;
+        watchdog_exit_ = false;
+        // One increment per fork for the whole runtime (the plan caches
+        // reset under the same atfork pass).
+        robust::health().fork_resets.fetch_add(1,
+                                               std::memory_order_relaxed);
+        mu_.unlock();
+        region_mu_.unlock();
+      }});
 }
 
 WorkerPool::~WorkerPool() {
@@ -142,12 +184,12 @@ void WorkerPool::worker_main(int wid, std::uint64_t seen,
 void WorkerPool::watchdog_main() {
   std::unique_lock<std::mutex> lock(mu_);
   std::uint64_t last_epoch = 0;
-  while (!stop_) {
+  while (!stop_ && !watchdog_exit_) {
     watchdog_cv_.wait(lock, [&] {
-      return stop_ ||
+      return stop_ || watchdog_exit_ ||
              (region_ != nullptr && deadline_armed_ && epoch_ != last_epoch);
     });
-    if (stop_) return;
+    if (stop_ || watchdog_exit_) return;
     const std::shared_ptr<Region> region = region_;
     const auto deadline = region_deadline_;
     const long timeout = timeout_ms_.load(std::memory_order_relaxed);
@@ -344,6 +386,47 @@ bool WorkerPool::try_run(int nthreads,
     }
   }
   return true;
+}
+
+void WorkerPool::release_threads() {
+  // Exclusive with regions: holding region_mu_ guarantees nothing is in
+  // flight while the roster is retired, so every healthy worker is
+  // parked on cv_work_ and exits promptly on the generation bump.
+  std::lock_guard<std::mutex> region_lock(region_mu_);
+  std::vector<std::thread> retired;
+  std::thread dog;
+  bool join_workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++generation_;
+    // A quarantined roster may hold a thread that is genuinely hung:
+    // joining it would inherit the hang. Detach those (rebuild() does
+    // the same); a healthy roster is joined so the no-live-threads
+    // promise is real.
+    join_workers = !quarantined_;
+    quarantined_ = false;
+    retired.swap(workers_);
+    dog = std::move(watchdog_);
+    watchdog_exit_ = dog.joinable();
+  }
+  cv_work_.notify_all();
+  watchdog_cv_.notify_all();
+  for (auto& w : retired) {
+    if (join_workers)
+      w.join();
+    else
+      w.detach();
+  }
+  if (dog.joinable()) dog.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    watchdog_exit_ = false;  // the next timed region respawns a watchdog
+  }
+}
+
+int WorkerPool::live_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(workers_.size()) + (watchdog_.joinable() ? 1 : 0);
 }
 
 WorkerPool::Stats WorkerPool::stats() const {

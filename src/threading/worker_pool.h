@@ -103,6 +103,18 @@ class WorkerPool {
   /// True while the pool is out of service awaiting its rebuild.
   [[nodiscard]] bool quarantined() const;
 
+  /// Retire the roster and the watchdog, joining every thread: when this
+  /// returns, the pool owns zero live threads (service shutdown promises
+  /// exactly that). The pool stays usable — the next try_run lazily
+  /// respawns workers and watchdog. A quarantined roster may contain a
+  /// genuinely hung thread; those are detached (as rebuild() does)
+  /// instead of inheriting the hang into this call.
+  void release_threads();
+
+  /// Threads currently owned by the pool (workers + watchdog) — the
+  /// quantity release_threads drives to zero. Tests assert on it.
+  [[nodiscard]] int live_threads() const;
+
  private:
   WorkerPool();
 
@@ -159,6 +171,9 @@ class WorkerPool {
   std::uint64_t generation_ = 0;
   int task_nthreads_ = 0;
   bool stop_ = false;
+  /// release_threads() asks the current watchdog thread (only it) to
+  /// exit; unlike stop_, the pool keeps serving and respawns one later.
+  bool watchdog_exit_ = false;
   bool quarantined_ = false;
   std::size_t regions_ = 0;
   std::size_t dispatches_ = 0;
