@@ -293,9 +293,9 @@ int main(int argc, char** argv) {
               reject_us_mean, totals.reject_us_max.load(),
               totals.reject_samples.load());
   std::printf(
-      "counters: shed %zu rejected %zu deadline_misses %zu "
+      "counters: shed %zu evicted %zu rejected %zu deadline_misses %zu "
       "cancellations %zu breaker_trips %zu breaker_rejections %zu\n",
-      stats.shed, stats.rejected, stats.deadline_misses,
+      stats.shed, stats.evicted, stats.rejected, stats.deadline_misses,
       stats.cancellations, health.service_breaker_trips,
       stats.breaker_rejections);
 

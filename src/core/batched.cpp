@@ -162,10 +162,13 @@ template void batched_smm(double, const std::vector<GemmBatchItem<double>>&,
                           double, PlanCache&, int, const CancelToken*);
 
 PlanCache& default_plan_cache() {
-  static PlanCache cache(reference_smm());
-  static const bool fork_guarded = (cache.protect_across_fork(), true);
+  // Immortal (leaked): protect_across_fork registers atfork handlers
+  // capturing the cache that can never be unregistered, so the cache
+  // must survive static destruction (fork_guard.h).
+  static PlanCache* cache = new PlanCache(reference_smm());
+  static const bool fork_guarded = (cache->protect_across_fork(), true);
   (void)fork_guarded;
-  return cache;
+  return *cache;
 }
 
 }  // namespace smm::core

@@ -168,10 +168,13 @@ std::uint64_t options_fingerprint(const SmmOptions& options) {
 }
 
 PlanCache& smm_plan_cache() {
-  static PlanCache cache{reference_smm()};
-  static const bool fork_guarded = (cache.protect_across_fork(), true);
+  // Immortal (leaked): protect_across_fork registers atfork handlers
+  // capturing the cache that can never be unregistered, so the cache
+  // must survive static destruction (fork_guard.h).
+  static PlanCache* cache = new PlanCache{reference_smm()};
+  static const bool fork_guarded = (cache->protect_across_fork(), true);
   (void)fork_guarded;
-  return cache;
+  return *cache;
 }
 
 namespace {

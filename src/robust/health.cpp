@@ -1,5 +1,7 @@
 #include "src/robust/health.h"
 
+#include <atomic>
+
 #include "src/common/str.h"
 
 namespace smm::robust {
@@ -12,13 +14,20 @@ Health& Health::instance() {
 Health::Transaction::Transaction() {
   Health& h = health();
   h.tx_mu_.lock();
-  // Odd sequence = transaction in progress. Release pairs with the
-  // acquire in snapshot()'s first read.
-  h.tx_seq_.fetch_add(1, std::memory_order_release);
+  // Odd sequence = transaction in progress. A release *fence* after the
+  // bump, not a release bump: release on the RMW would only order the
+  // ops *before* it, letting the transaction's relaxed counter writes
+  // move above the odd store. The fence pairs with the acquire fence in
+  // snapshot(): a reader that sees any in-transaction write then also
+  // sees the odd sequence on its validating load, and retries.
+  h.tx_seq_.fetch_add(1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
 }
 
 Health::Transaction::~Transaction() {
   Health& h = health();
+  // Release RMW: the transaction's counter writes cannot sink below the
+  // even store. Pairs with the acquire load that starts snapshot().
   h.tx_seq_.fetch_add(1, std::memory_order_release);
   h.tx_mu_.unlock();
 }
@@ -58,6 +67,8 @@ HealthSnapshot Health::read_counters() const {
   s.service_completed = service_completed.load(std::memory_order_relaxed);
   s.service_rejected = service_rejected.load(std::memory_order_relaxed);
   s.service_shed = service_shed.load(std::memory_order_relaxed);
+  s.service_evictions =
+      service_evictions.load(std::memory_order_relaxed);
   s.service_deadline_misses =
       service_deadline_misses.load(std::memory_order_relaxed);
   s.service_cancellations =
@@ -81,7 +92,12 @@ HealthSnapshot Health::snapshot() const {
     const std::uint64_t s0 = tx_seq_.load(std::memory_order_acquire);
     if (s0 & 1) continue;  // transaction in progress
     HealthSnapshot s = read_counters();
-    if (tx_seq_.load(std::memory_order_acquire) == s0) return s;
+    // Acquire *fence* before the validating load: an acquire load would
+    // only order the ops *after* it, letting the relaxed counter reads
+    // sink below the validation. The fence pairs with the release fence
+    // in Transaction's ctor (see there).
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (tx_seq_.load(std::memory_order_relaxed) == s0) return s;
   }
   std::lock_guard<std::mutex> lock(tx_mu_);
   return read_counters();
@@ -115,6 +131,7 @@ void Health::reset() {
   service_completed = 0;
   service_rejected = 0;
   service_shed = 0;
+  service_evictions = 0;
   service_deadline_misses = 0;
   service_cancellations = 0;
   service_breaker_trips = 0;
@@ -133,7 +150,8 @@ std::string HealthSnapshot::to_string() const {
       "pool_spawn_failures=%zu arena_fallbacks=%zu "
       "plan_cache_insert_failures=%zu prepack_fallbacks=%zu "
       "service_submitted=%zu service_admitted=%zu service_completed=%zu "
-      "service_rejected=%zu service_shed=%zu service_deadline_misses=%zu "
+      "service_rejected=%zu service_shed=%zu service_evictions=%zu "
+      "service_deadline_misses=%zu "
       "service_cancellations=%zu service_breaker_trips=%zu "
       "service_breaker_rejections=%zu nonfinite_rejections=%zu "
       "fork_resets=%zu",
@@ -144,7 +162,7 @@ std::string HealthSnapshot::to_string() const {
       pool_watchdog_timeouts, pool_quarantines, pool_rebuilds,
       pool_spawn_failures, arena_fallbacks, plan_cache_insert_failures,
       prepack_fallbacks, service_submitted, service_admitted,
-      service_completed, service_rejected, service_shed,
+      service_completed, service_rejected, service_shed, service_evictions,
       service_deadline_misses, service_cancellations, service_breaker_trips,
       service_breaker_rejections, nonfinite_rejections, fork_resets);
 }

@@ -58,7 +58,8 @@ struct HealthSnapshot {
   std::size_t service_admitted = 0;
   std::size_t service_completed = 0;
   std::size_t service_rejected = 0;       ///< all admission-time rejections
-  std::size_t service_shed = 0;           ///< priority shed (refused/evicted)
+  std::size_t service_shed = 0;           ///< watermark refusals (subset of rejected)
+  std::size_t service_evictions = 0;      ///< admitted, displaced by a higher class
   std::size_t service_deadline_misses = 0;
   std::size_t service_cancellations = 0;
   std::size_t service_breaker_trips = 0;
@@ -101,6 +102,7 @@ class Health {
   std::atomic<std::size_t> service_completed{0};
   std::atomic<std::size_t> service_rejected{0};
   std::atomic<std::size_t> service_shed{0};
+  std::atomic<std::size_t> service_evictions{0};
   std::atomic<std::size_t> service_deadline_misses{0};
   std::atomic<std::size_t> service_cancellations{0};
   std::atomic<std::size_t> service_breaker_trips{0};

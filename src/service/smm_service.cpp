@@ -52,10 +52,17 @@ ServiceOptions service_options_from_env(ServiceOptions base) {
   if (depth > 0) base.queue_depth = static_cast<std::size_t>(depth);
   base.default_deadline_ms =
       env_long("SMMKIT_DEFAULT_DEADLINE_MS", base.default_deadline_ms);
-  base.shed_low_watermark =
+  const double low =
       env_fraction("SMMKIT_SHED_LOW_WATERMARK", base.shed_low_watermark);
-  base.shed_high_watermark =
+  const double high =
       env_fraction("SMMKIT_SHED_HIGH_WATERMARK", base.shed_high_watermark);
+  // The ctor requires low <= high; an env pair that violates it is
+  // ignored as a whole, like any other unparsable value — a
+  // misconfigured scrape knob must not turn into a startup throw.
+  if (low <= high) {
+    base.shed_low_watermark = low;
+    base.shed_high_watermark = high;
+  }
   return base;
 }
 
@@ -181,31 +188,39 @@ Ticket SmmService::admit(Request request) {
                     false);
     }
 
+    // At a hard-full queue a higher class may displace the newest entry
+    // of a strictly lower one; identify the victim's class now but pop
+    // it only once the arrival is certain to be admitted.
+    int victim_class = -1;
     if (queued_ >= options_.queue_depth) {
-      // A higher class may displace the newest entry of a strictly lower
-      // one; otherwise the arrival is refused.
       for (int p = 0; p < static_cast<int>(request.priority); ++p) {
-        auto& q = queues_[p];
-        if (q.empty()) continue;
-        victim = std::move(q.back().state);
-        queued_cost_ns_ -= q.back().est_cost_ns;
-        q.pop_back();
-        --queued_;
+        if (queues_[p].empty()) continue;
+        victim_class = p;
         break;
       }
-      if (victim == nullptr) {
+      if (victim_class < 0) {
         lock.unlock();
         return refuse(ErrorCode::kOverloaded,
                       "smm service: queue full", false, false);
       }
     }
 
-    // The breaker is consulted last so a refused request never consumes
-    // the half-open probe slot.
+    // The breaker is consulted after every load-shaped refusal (so a
+    // refused request never consumes the half-open probe slot) but
+    // before the eviction is performed (so a breaker refusal strands no
+    // already-popped victim — it simply stays queued).
     if (!breaker_.allow()) {
       lock.unlock();
       return refuse(ErrorCode::kOverloaded,
                     "smm service: circuit breaker open", false, true);
+    }
+
+    if (victim_class >= 0) {
+      auto& q = queues_[victim_class];
+      victim = std::move(q.back().state);
+      queued_cost_ns_ -= q.back().est_cost_ns;
+      q.pop_back();
+      --queued_;
     }
 
     queued_cost_ns_ += request.est_cost_ns;
@@ -218,11 +233,14 @@ Ticket SmmService::admit(Request request) {
   robust::health().service_admitted.fetch_add(1, std::memory_order_relaxed);
 
   if (victim != nullptr) {
-    shed_.fetch_add(1, std::memory_order_relaxed);
-    robust::health().service_shed.fetch_add(1, std::memory_order_relaxed);
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    robust::health().service_rejected.fetch_add(1,
-                                                std::memory_order_relaxed);
+    // The victim was *admitted* (it is counted in admitted_) and is now
+    // terminated post-admission, so it lands in its own counter — not in
+    // rejected_/shed_, which partition *submissions*: submitted ==
+    // admitted + rejected, and admitted work ends completed, evicted,
+    // cancelled, deadline-missed, or failed.
+    evicted_.fetch_add(1, std::memory_order_relaxed);
+    robust::health().service_evictions.fetch_add(1,
+                                                 std::memory_order_relaxed);
     complete(victim,
              Result{false, ErrorCode::kOverloaded,
                     "smm service: evicted by a higher-priority arrival"});
@@ -317,12 +335,54 @@ void SmmService::execute(Request& request) {
   complete(request.state, std::move(result));
 }
 
+void SmmService::reap_stopped_locked() {
+  for (auto& q : queues_) {
+    for (auto it = q.begin(); it != q.end();) {
+      const CancelToken token = it->state->cancel.token();
+      if (!token.stop_requested()) {
+        ++it;
+        continue;
+      }
+      Result result =
+          token.cancel_requested()
+              ? Result{false, ErrorCode::kCancelled,
+                       "smm service: cancelled while queued"}
+              : Result{false, ErrorCode::kDeadlineExceeded,
+                       "smm service: deadline passed while queued"};
+      if (result.code == ErrorCode::kCancelled) {
+        cancellations_.fetch_add(1, std::memory_order_relaxed);
+        robust::health().service_cancellations.fetch_add(
+            1, std::memory_order_relaxed);
+      } else {
+        deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+        robust::health().service_deadline_misses.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+      // Mirrors execute()'s queued pre-check: a stop is neutral for the
+      // breaker, but must still release a half-open probe slot the
+      // request may hold from admission.
+      breaker_.on_neutral();
+      complete(it->state, std::move(result));
+      queued_cost_ns_ -= it->est_cost_ns;
+      --queued_;
+      it = q.erase(it);
+    }
+  }
+}
+
 void SmmService::lane_main() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     work_cv_.wait(lock,
                   [&] { return state_ == State::kStopped || queued_ > 0; });
+    // Deadline-aware sweep before picking work: under sustained
+    // higher-priority pressure a queued lower-class item may never be
+    // popped, yet its caller's deadline keeps running. Reaping stopped
+    // items here bounds time-to-terminal by the lane's pop cadence
+    // instead of the item's (possibly starved) queue position.
+    if (queued_ > 0) reap_stopped_locked();
     if (queued_ == 0) {
+      if (in_flight_ == 0) drained_cv_.notify_all();
       if (state_ == State::kStopped) return;
       continue;
     }
@@ -373,6 +433,7 @@ SmmService::Stats SmmService::stats() const {
   s.completed = completed_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.shed = shed_.load(std::memory_order_relaxed);
+  s.evicted = evicted_.load(std::memory_order_relaxed);
   s.breaker_rejections =
       breaker_rejections_.load(std::memory_order_relaxed);
   s.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);

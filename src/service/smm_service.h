@@ -190,8 +190,13 @@ class SmmService {
     std::size_t admitted = 0;
     std::size_t completed = 0;   ///< finished successfully
     std::size_t rejected = 0;    ///< kOverloaded/kShuttingDown at submit
-    std::size_t shed = 0;        ///< subset of rejected: watermark/evict
+    std::size_t shed = 0;        ///< subset of rejected: watermark refusals
     std::size_t breaker_rejections = 0;  ///< subset of rejected
+    /// Admitted, then displaced by a higher-priority arrival (completes
+    /// kOverloaded). Counted here only — submitted == admitted +
+    /// rejected, and admitted work ends completed, evicted, cancelled,
+    /// deadline-missed, or failed.
+    std::size_t evicted = 0;
     std::size_t deadline_misses = 0;
     std::size_t cancellations = 0;
     std::size_t queued = 0;      ///< currently waiting
@@ -223,6 +228,11 @@ class SmmService {
   /// The admission decision plus enqueue. Returns an empty shared_ptr on
   /// admit; otherwise the refusal is already recorded in the ticket.
   Ticket admit(Request request);
+  /// Complete-and-remove every queued request whose token is already
+  /// stopped (cancelled or past deadline) without executing it. Called
+  /// by lanes under mu_ before picking work, so a starved class still
+  /// reaches a terminal state at the lanes' pop cadence.
+  void reap_stopped_locked();
   void lane_main();
   void execute(Request& request);
   static void complete(const std::shared_ptr<detail::RequestState>& state,
@@ -251,6 +261,7 @@ class SmmService {
   std::atomic<std::size_t> completed_{0};
   std::atomic<std::size_t> rejected_{0};
   std::atomic<std::size_t> shed_{0};
+  std::atomic<std::size_t> evicted_{0};
   std::atomic<std::size_t> breaker_rejections_{0};
   std::atomic<std::size_t> deadline_misses_{0};
   std::atomic<std::size_t> cancellations_{0};

@@ -4,8 +4,10 @@
 //
 // pulls in the reference SMM (smm::core), the four library strategy
 // models (smm::libs), the plan machinery (smm::plan), the analytical
-// models (smm::model) and the Phytium 2000+ machine model (smm::sim).
-// Fine-grained headers remain available for faster builds.
+// models (smm::model), the Phytium 2000+ machine model (smm::sim), the
+// robustness layer (smm::robust) and the serving front-end
+// (smm::service). Fine-grained headers remain available for faster
+// builds.
 #pragma once
 
 #include "src/core/autotune.h"
@@ -32,6 +34,7 @@
 #include "src/robust/fault_injection.h"
 #include "src/robust/guarded_executor.h"
 #include "src/robust/health.h"
+#include "src/service/smm_service.h"
 #include "src/sim/exec/pricer.h"
 #include "src/sim/exec/trace_export.h"
 #include "src/sim/machine.h"

@@ -22,8 +22,14 @@ thread_local bool tls_in_pool_region = false;
 }  // namespace
 
 WorkerPool& WorkerPool::instance() {
-  static WorkerPool pool;
-  return pool;
+  // Immortal (leaked) singleton: the ctor registers pthread_atfork
+  // handlers that capture `this` and can never be unregistered, so the
+  // pool must outlive any possible fork() — including one during or
+  // after static destruction (fork_guard.h: only immortal process-wide
+  // singletons may register). Threads are retired explicitly through
+  // release_threads(); whatever is still parked dies with the process.
+  static WorkerPool* pool = new WorkerPool;
+  return *pool;
 }
 
 WorkerPool::WorkerPool() {

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <thread>
 #include <vector>
@@ -278,10 +279,38 @@ TEST_F(ServiceTest, WatermarkShedsLowPriorityFirst) {
   for (auto& t : queued)
     if (!t.wait().ok && t.wait().code == ErrorCode::kOverloaded) ++evicted;
   EXPECT_EQ(evicted, 1u);
-  EXPECT_GE(svc.stats().shed, 2u);  // the shed kLow + the evicted kNormal
+  EXPECT_GE(svc.stats().shed, 1u);     // the watermark-shed kLow
+  EXPECT_EQ(svc.stats().evicted, 1u);  // the displaced kNormal
+  // Eviction is post-admission: the submission partition stays exact.
+  EXPECT_EQ(svc.stats().submitted,
+            svc.stats().admitted + svc.stats().rejected);
   busy.wait();
   high.wait();
   svc.shutdown();
+}
+
+TEST_F(ServiceTest, EnvWatermarksUnorderedPairIsIgnored) {
+  // low > high would make the SmmService ctor throw; an env
+  // misconfiguration must be dropped as a whole instead (matching the
+  // "unparsable values are ignored" contract), and an ordered pair must
+  // still apply.
+  ASSERT_EQ(setenv("SMMKIT_SHED_LOW_WATERMARK", "0.9", 1), 0);
+  ASSERT_EQ(setenv("SMMKIT_SHED_HIGH_WATERMARK", "0.4", 1), 0);
+  ServiceOptions base;
+  const ServiceOptions unordered = service::service_options_from_env(base);
+  EXPECT_EQ(unordered.shed_low_watermark, base.shed_low_watermark);
+  EXPECT_EQ(unordered.shed_high_watermark, base.shed_high_watermark);
+  SmmService svc(unordered);  // must not throw
+  svc.shutdown();
+
+  ASSERT_EQ(setenv("SMMKIT_SHED_LOW_WATERMARK", "0.25", 1), 0);
+  ASSERT_EQ(setenv("SMMKIT_SHED_HIGH_WATERMARK", "0.75", 1), 0);
+  const ServiceOptions ordered = service::service_options_from_env(base);
+  EXPECT_EQ(ordered.shed_low_watermark, 0.25);
+  EXPECT_EQ(ordered.shed_high_watermark, 0.75);
+
+  unsetenv("SMMKIT_SHED_LOW_WATERMARK");
+  unsetenv("SMMKIT_SHED_HIGH_WATERMARK");
 }
 
 TEST_F(ServiceTest, CostBudgetBoundsQueueAccumulation) {
@@ -438,11 +467,15 @@ TEST_F(ServiceTest, ShutdownCompletesAdmittedWorkAndReleasesPoolThreads) {
   options.threads_per_request = 2;  // make the pool spawn workers
   std::vector<Ticket> tickets;
   test::GemmProblem<double> p(48, 48, 48, 52);
+  // Two lanes execute two requests concurrently, so each request needs
+  // its own C — sharing p.c across submissions would be a data race.
+  std::vector<Matrix<double>> cs;
+  for (int i = 0; i < 6; ++i) cs.emplace_back(48, 48);
   {
     SmmService svc(options);
     for (int i = 0; i < 6; ++i)
-      tickets.push_back(
-          svc.submit(1.0, p.a.cview(), p.b.cview(), 0.0, p.c.view()));
+      tickets.push_back(svc.submit(1.0, p.a.cview(), p.b.cview(), 0.0,
+                                   cs[static_cast<std::size_t>(i)].view()));
     svc.shutdown();
     for (auto& t : tickets) EXPECT_TRUE(t.done());
     // The pool below the service holds zero live threads.
