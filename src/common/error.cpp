@@ -32,6 +32,10 @@ const char* to_string(ErrorCode code) {
       return "cache-insert-fail";
     case ErrorCode::kPrepackFallback:
       return "prepack-fallback";
+    case ErrorCode::kDataCorrupted:
+      return "data-corrupted";
+    case ErrorCode::kCacheCorrupted:
+      return "cache-corrupted";
     case ErrorCode::kCancelled:
       return "cancelled";
     case ErrorCode::kDeadlineExceeded:

@@ -26,6 +26,10 @@ enum class ErrorCode {
   kArenaExhausted,     ///< ExecScratch slab growth failed under pressure
   kCacheInsertFail,    ///< PlanCache could not insert a freshly built plan
   kPrepackFallback,    ///< PrepackedB could not materialize its buffers
+  // Silent-data-corruption defense (DESIGN.md §12).
+  kDataCorrupted,      ///< ABFT found corruption the repair path could not fix
+  kCacheCorrupted,     ///< sealed cached state (plan / prepacked B) failed its
+                       ///< content checksum and could not be restored
   // Serving layer (DESIGN.md §11): admission, deadlines, lifecycle.
   kCancelled,          ///< the caller cancelled the request
   kDeadlineExceeded,   ///< the request's deadline passed before completion

@@ -6,6 +6,7 @@
 #include "src/common/fork_guard.h"
 #include "src/robust/fault_injection.h"
 #include "src/robust/health.h"
+#include "src/robust/integrity.h"
 
 namespace smm::core {
 
@@ -33,13 +34,32 @@ std::shared_ptr<const plan::GemmPlan> PlanCache::get_or_build(
     std::shared_future<PlanPtr> inflight;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      const auto it = index_.find(key);
+      auto it = index_.find(key);
       if (it != index_.end()) {
-        ++hits_;
-        lru_.splice(lru_.begin(), lru_, it->second);  // bump to front
-        robust::health().plan_cache_hits.fetch_add(
-            1, std::memory_order_relaxed);
-        return it->second->second;
+        Entry& entry = *it->second;
+        // Rot injection hits the stored seal, not the plan: the plan is
+        // shared immutable state that concurrent executors may be
+        // reading right now. Corrupting the seal exercises exactly the
+        // same defense (mismatch -> quarantine -> rebuild).
+        if (robust::should_fire(robust::FaultSite::kPlanCacheFlip))
+          entry.seal ^= std::uint64_t{1} << 17;
+        if (integrity::mode() != integrity::AbftMode::kOff &&
+            integrity::plan_seal(*entry.plan) != entry.seal) {
+          // The entry rotted after it was blessed. Quarantine it and fall
+          // through to the miss path — a poisoned plan is never served.
+          lru_.erase(it->second);
+          index_.erase(it);
+          seal_rejections_.fetch_add(1, std::memory_order_relaxed);
+          robust::Health& h = robust::health();
+          h.integrity_quarantines.fetch_add(1, std::memory_order_relaxed);
+          h.plan_seal_rebuilds.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          ++hits_;
+          lru_.splice(lru_.begin(), lru_, it->second);  // bump to front
+          robust::health().plan_cache_hits.fetch_add(
+              1, std::memory_order_relaxed);
+          return it->second->plan;
+        }
       }
       const auto flight = inflight_.find(key);
       if (flight != inflight_.end()) {
@@ -73,9 +93,14 @@ std::shared_ptr<const plan::GemmPlan> PlanCache::get_or_build(
     // This caller builds. Outside the lock: plan construction is the
     // expensive part and must not serialize hits on other keys behind it.
     PlanPtr plan;
+    std::uint64_t seal = 0;
     try {
       plan = std::make_shared<const plan::GemmPlan>(build());
       builds_.fetch_add(1, std::memory_order_relaxed);
+      // Seal at build time, unconditionally (outside the lock — it walks
+      // the whole op list): entries inserted while integrity was off must
+      // still validate correctly if the mode is turned on later.
+      seal = integrity::plan_seal(*plan);
     } catch (...) {
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -98,7 +123,7 @@ std::shared_ptr<const plan::GemmPlan> PlanCache::get_or_build(
         if (robust::should_fire(robust::FaultSite::kCacheInsertFail))
           throw Error(ErrorCode::kCacheInsertFail,
                       "smmkit: injected plan-cache insert failure");
-        lru_.emplace_front(key, plan);
+        lru_.emplace_front(Entry{key, plan, seal});
         try {
           index_[key] = lru_.begin();
         } catch (...) {
@@ -106,7 +131,7 @@ std::shared_ptr<const plan::GemmPlan> PlanCache::get_or_build(
           throw;
         }
         if (lru_.size() > capacity_) {
-          index_.erase(lru_.back().first);
+          index_.erase(lru_.back().key);
           lru_.pop_back();
         }
       } catch (...) {

@@ -75,6 +75,12 @@ class PlanCache {
   [[nodiscard]] std::size_t insert_failures() const {
     return insert_failures_.load(std::memory_order_relaxed);
   }
+  /// Sealed entries rejected on a hit (structural checksum mismatch —
+  /// the cached plan rotted after insert). Each rejection quarantines
+  /// the entry and falls through to a fresh build.
+  [[nodiscard]] std::size_t seal_rejections() const {
+    return seal_rejections_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   void clear();
 
@@ -96,11 +102,24 @@ class PlanCache {
   };
   using PlanPtr = std::shared_ptr<const plan::GemmPlan>;
 
+  /// A cached plan plus the structural seal computed when it was built
+  /// (integrity::plan_seal). Validated on every hit while the process
+  /// integrity mode is on; a mismatch means the entry rotted in cache —
+  /// it is quarantined (dropped) and the lookup falls through to a
+  /// fresh build instead of serving the poisoned plan. The kPlanCacheFlip
+  /// injection site corrupts the *stored seal* (under mu_), never the
+  /// shared immutable plan — concurrent executors may be reading it.
+  struct Entry {
+    Key key;
+    PlanPtr plan;
+    std::uint64_t seal = 0;
+  };
+
   const libs::GemmStrategy& strategy_;
   const std::size_t capacity_;
   mutable std::mutex mu_;
   // LRU: most recent at front; map points into the list.
-  std::list<std::pair<Key, PlanPtr>> lru_;
+  std::list<Entry> lru_;
   std::map<Key, decltype(lru_)::iterator> index_;
   // Builds in flight: racers on the same key wait on the shared future
   // instead of building redundantly. Entries are removed (under mu_)
@@ -110,6 +129,7 @@ class PlanCache {
   std::atomic<std::size_t> misses_{0};
   std::atomic<std::size_t> builds_{0};
   std::atomic<std::size_t> insert_failures_{0};
+  std::atomic<std::size_t> seal_rejections_{0};
 };
 
 }  // namespace smm::core

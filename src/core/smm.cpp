@@ -164,6 +164,7 @@ std::uint64_t options_fingerprint(const SmmOptions& options) {
       static_cast<std::int64_t>(options.thread_cap)));
   mix(static_cast<std::uint64_t>(options.thread_scaling));
   mix(options.check_finite ? 1u : 0u);
+  mix(static_cast<std::uint64_t>(options.abft));
   return h;
 }
 

@@ -23,6 +23,7 @@
 #include "src/libs/gemm_interface.h"
 #include "src/matrix/view.h"
 #include "src/plan/native_executor.h"
+#include "src/robust/integrity.h"
 
 namespace smm::core {
 
@@ -57,6 +58,12 @@ struct SmmOptions {
   /// poisoned request is rejected at admission instead of tripping ABFT
   /// checksums (or silently corrupting C) downstream.
   bool check_finite = false;
+  /// Integrity policy (DESIGN.md §12) carried by this option set — kAuto
+  /// defers to the process-wide SMMKIT_ABFT knob. smm_gemm itself never
+  /// verifies (robust::GuardedExecutor is the verification wrapper), but
+  /// the field participates in options_fingerprint, so option sets that
+  /// differ only in integrity policy never alias a cache entry.
+  integrity::AbftMode abft = integrity::AbftMode::kAuto;
 };
 
 /// Process-wide instance with default options.

@@ -12,6 +12,7 @@
 #include "src/plan/exec_scratch.h"
 #include "src/robust/fault_injection.h"
 #include "src/robust/health.h"
+#include "src/robust/integrity.h"
 #include "src/threading/barrier.h"
 #include "src/threading/thread_pool.h"
 
@@ -120,6 +121,10 @@ struct OpRunner {
     } else {
       pack::pack_a_chunked(block, op.chunks, dst);
     }
+    // A bit flip in the scratch slab between pack and kernel: the packed
+    // block is about to be trusted by every kernel that reads it.
+    robust::maybe_corrupt(robust::FaultSite::kScratchSlabFlip, dst,
+                          op.mc * op.kc);
   }
 
   void operator()(const PackBOp& op) const {
@@ -411,7 +416,9 @@ template void execute_plan_timed(const GemmPlan&, double,
 template <typename T>
 PrepackedB<T>::PrepackedB(std::shared_ptr<const GemmPlan> plan,
                           ConstMatrixView<T> b)
-    : plan_(std::move(plan)), b_(b) {
+    : plan_(std::move(plan)),
+      b_(b),
+      integrity_mu_(std::make_unique<std::mutex>()) {
   SMM_EXPECT(plan_ != nullptr, "PrepackedB needs a plan");
   SMM_EXPECT_CODE(b.rows() == plan_->shape.k && b.cols() == plan_->shape.n,
                   ErrorCode::kBadShape,
@@ -486,18 +493,71 @@ PrepackedB<T>::PrepackedB(std::shared_ptr<const GemmPlan> plan,
 
   // Pack once: run exactly the ops whose buffers we now own. Order
   // within a buffer does not matter (regions are disjoint).
+  for (std::size_t i = 0; i < nbuf; ++i)
+    if (is_prepacked_[i]) repack_buffer(i);
+
+  // Seal every materialized buffer, unconditionally: seals are cheap
+  // (one checksum per pack), and a handle packed while integrity was off
+  // must still validate correctly if the mode is turned on later.
+  seals_.assign(nbuf, 0);
+  for (std::size_t i = 0; i < nbuf; ++i)
+    if (is_prepacked_[i])
+      seals_[i] = integrity::content_checksum(
+          storage_[i].data(),
+          static_cast<std::size_t>(plan_->buffers[i].elems) * sizeof(T));
+}
+
+template <typename T>
+void PrepackedB<T>::repack_buffer(std::size_t i) const {
   for (const auto& ops : plan_->thread_ops) {
     for (const auto& op : ops) {
       if (const auto* pb = std::get_if<PackBOp>(&op)) {
-        const auto i = static_cast<std::size_t>(pb->buffer);
-        if (is_prepacked_[i]) run_pack_b_op(*pb, b_, storage_[i].data());
+        if (static_cast<std::size_t>(pb->buffer) == i)
+          run_pack_b_op(*pb, b_, storage_[i].data());
       } else if (const auto* cv = std::get_if<ConvertOp>(&op)) {
-        const auto i = static_cast<std::size_t>(cv->buffer);
-        if (cv->which == ConvertOp::Which::kB && is_prepacked_[i])
+        if (static_cast<std::size_t>(cv->buffer) == i &&
+            cv->which == ConvertOp::Which::kB)
           run_convert_op(*cv, b_, storage_[i].data());
       }
     }
   }
+}
+
+template <typename T>
+void PrepackedB<T>::validate_storage_locked() const {
+  robust::Health& h = robust::health();
+  for (std::size_t i = 0; i < storage_.size(); ++i) {
+    if (!is_prepacked_[i]) continue;
+    const auto bytes =
+        static_cast<std::size_t>(plan_->buffers[i].elems) * sizeof(T);
+    if (integrity::content_checksum(storage_[i].data(), bytes) == seals_[i])
+      continue;
+    // The packed bytes rotted after they were blessed. Never feed them to
+    // the kernels: repack from the borrowed B (whose bits the caller
+    // contracted to keep), or refuse.
+    h.integrity_quarantines.fetch_add(1, std::memory_order_relaxed);
+    if (!repair_)
+      throw Error(ErrorCode::kCacheCorrupted,
+                  "prepacked B storage failed its content seal");
+    repack_buffer(i);
+    if (integrity::content_checksum(storage_[i].data(), bytes) != seals_[i])
+      // Still wrong after a fresh repack: the rot is not confined to the
+      // cached copy (source B changed, or the corruption is persistent).
+      throw Error(ErrorCode::kCacheCorrupted,
+                  "prepacked B storage failed its seal after repack");
+    h.prepack_repacks.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+template <typename T>
+bool PrepackedB<T>::corrupt_storage_for_test() {
+  for (std::size_t i = 0; i < storage_.size(); ++i) {
+    if (!is_prepacked_[i] || plan_->buffers[i].elems == 0) continue;
+    T* data = storage_[i].data();
+    data[0] = data[0] == T(0) ? T(1) : -data[0];
+    return true;
+  }
+  return false;
 }
 
 template <typename T>
@@ -507,6 +567,7 @@ void PrepackedB<T>::degrade_to_unmaterialized() {
   storage_.clear();
   storage_.resize(plan_->buffers.size());
   is_prepacked_.assign(plan_->buffers.size(), false);
+  seals_.clear();
   materialized_ = false;
   robust::health().prepack_fallbacks.fetch_add(1,
                                                std::memory_order_relaxed);
@@ -515,6 +576,20 @@ void PrepackedB<T>::degrade_to_unmaterialized() {
 template <typename T>
 void PrepackedB<T>::run(T alpha, ConstMatrixView<T> a, T beta,
                         MatrixView<T> c) const {
+  if (materialized_ &&
+      integrity::mode() != integrity::AbftMode::kOff) {
+    // Serialize validate + (possible) repack + execute on this handle: a
+    // repack must never swap packed bytes under a concurrently running
+    // executor. One handle per stream keeps this uncontended.
+    std::lock_guard<std::mutex> lock(*integrity_mu_);
+    for (std::size_t i = 0; i < storage_.size(); ++i)
+      if (is_prepacked_[i])
+        robust::maybe_corrupt(robust::FaultSite::kPrepackedStoreFlip,
+                              storage_[i].data(), plan_->buffers[i].elems);
+    validate_storage_locked();
+    execute_plan_impl<T>(*plan_, alpha, a, b_, beta, c, this);
+    return;
+  }
   execute_plan_impl<T>(*plan_, alpha, a, b_, beta, c, this);
 }
 

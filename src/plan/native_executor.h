@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/common/aligned_buffer.h"
@@ -68,6 +70,17 @@ void execute_plan_timed(const GemmPlan& plan, T alpha, ConstMatrixView<T> a,
 /// The handle borrows `b` (direct-B tiles and non-materialized packs
 /// still read it): the caller keeps B's storage alive and unmodified for
 /// the life of the handle.
+///
+/// Sealed storage (DESIGN.md §12): each materialized buffer carries a
+/// content checksum computed at pack time. While the process integrity
+/// mode is on, run() re-derives the checksums before executing; a
+/// mismatch means the packed bytes rotted after they were blessed, and
+/// the buffer is repacked from the borrowed B (and re-verified) instead
+/// of being fed to the kernels. set_repair(false) turns auto-repack into
+/// a kCacheCorrupted throw. Validation+repair+execution are serialized
+/// per handle (a repack must not swap bytes under a concurrent
+/// executor) — callers wanting uncontended concurrency use one handle
+/// per stream, or SMMKIT_ABFT=off.
 template <typename T>
 class PrepackedB {
  public:
@@ -82,6 +95,15 @@ class PrepackedB {
   /// fast case). False falls back to full per-call execution.
   [[nodiscard]] bool materialized() const { return materialized_; }
   [[nodiscard]] const GemmPlan& plan() const { return *plan_; }
+
+  /// Seal-mismatch policy: true (default) repacks the rotted buffer from
+  /// the borrowed B; false makes run() throw kCacheCorrupted instead.
+  void set_repair(bool repair) { repair_ = repair; }
+
+  /// Test hook: flip one storage element of the first materialized
+  /// buffer (what a real bit flip in cached packed state looks like).
+  /// Returns false when nothing is materialized.
+  bool corrupt_storage_for_test();
 
   /// Executor plumbing: whether plan buffer `i` is served by this handle,
   /// and (if so) its packed contents.
@@ -98,12 +120,26 @@ class PrepackedB {
   /// per-call packing cost comes back.
   void degrade_to_unmaterialized();
 
+  /// Re-run the pack/convert ops that own buffer i into its storage.
+  void repack_buffer(std::size_t i) const;
+  /// Checksum every materialized buffer against its seal; repack (or
+  /// throw) on mismatch. Caller holds integrity_mu_.
+  void validate_storage_locked() const;
+
   std::shared_ptr<const GemmPlan> plan_;
   ConstMatrixView<T> b_;
   /// is_prepacked_[i] <=> storage_[i] holds buffer i's packed contents.
   std::vector<bool> is_prepacked_;
-  std::vector<AlignedBuffer<T>> storage_;
+  /// mutable: validated (and possibly repacked in place) from const
+  /// run(), under integrity_mu_.
+  mutable std::vector<AlignedBuffer<T>> storage_;
+  /// Content checksum of each materialized buffer, sealed at pack time.
+  std::vector<std::uint64_t> seals_;
+  /// unique_ptr keeps the handle movable (smm_prepack_b returns by
+  /// value); run() is const, hence the pointer-to-mutex is enough.
+  std::unique_ptr<std::mutex> integrity_mu_;
   bool materialized_ = false;
+  bool repair_ = true;
 };
 
 }  // namespace smm::plan

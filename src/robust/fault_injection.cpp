@@ -44,6 +44,12 @@ const char* to_string(FaultSite site) {
       return "barrier-trip";
     case FaultSite::kNonFiniteInput:
       return "non-finite-input";
+    case FaultSite::kPrepackedStoreFlip:
+      return "prepacked-store-flip";
+    case FaultSite::kPlanCacheFlip:
+      return "plan-cache-flip";
+    case FaultSite::kScratchSlabFlip:
+      return "scratch-slab-flip";
   }
   return "?";
 }

@@ -33,8 +33,14 @@ enum class FaultSite : int {
   kPrepackAlloc,       ///< PrepackedB: materialization allocation fails
   kBarrierTrip,        ///< Barrier::arrive_and_wait: the arrival faults
   kNonFiniteInput,     ///< input-hygiene screen: reports a NaN/Inf input
+  // Silent-data-corruption sites (DESIGN.md §12): bit rot in long-lived
+  // or in-flight state, caught by the integrity layer rather than by a
+  // thrown exception.
+  kPrepackedStoreFlip, ///< PrepackedB: flip a bit in the sealed packed storage
+  kPlanCacheFlip,      ///< PlanCache: rot a cached entry (seal diverges from plan)
+  kScratchSlabFlip,    ///< executor: flip a bit in a freshly packed scratch panel
 };
-inline constexpr int kFaultSiteCount = 11;
+inline constexpr int kFaultSiteCount = 14;
 
 const char* to_string(FaultSite site);
 

@@ -1,6 +1,7 @@
 #include "src/robust/guarded_executor.h"
 
 #include <algorithm>
+#include <cstring>
 #include <new>
 #include <vector>
 
@@ -17,6 +18,8 @@ const char* to_string(Outcome outcome) {
   switch (outcome) {
     case Outcome::kOk:
       return "ok";
+    case Outcome::kCorrected:
+      return "corrected";
     case Outcome::kRecovered:
       return "recovered";
     case Outcome::kDegraded:
@@ -29,9 +32,9 @@ const char* to_string(Outcome outcome) {
 
 std::string RunReport::summary() const {
   return strprintf(
-      "outcome=%s attempts=%d retries=%d fallback=%s first_error=%s "
-      "residual=%.3e",
-      to_string(outcome), attempts, retries, fallback,
+      "outcome=%s attempts=%d retries=%d fallback=%s repair=%s "
+      "first_error=%s residual=%.3e",
+      to_string(outcome), attempts, retries, fallback, repair,
       smm::to_string(first_error), checksum_residual);
 }
 
@@ -101,6 +104,7 @@ RunReport GuardedExecutor::run(T alpha, ConstMatrixView<T> a,
     }
     switch (code) {
       case ErrorCode::kChecksumMismatch:
+      case ErrorCode::kDataCorrupted:  // correct-mode unrepairable damage
         h.checksum_rejections.fetch_add(1, std::memory_order_relaxed);
         break;
       case ErrorCode::kWorkerPanic:
@@ -122,20 +126,42 @@ RunReport GuardedExecutor::run(T alpha, ConstMatrixView<T> a,
     }
   };
 
-  // Run the checksum over the *result*; a failed check is just another
-  // retryable fault.
+  // ABFT policy: the option resolves kAuto against the process-wide
+  // SMMKIT_ABFT mode; verify=false turns everything off.
+  const auto mode = options_.verify ? integrity::resolve(options_.abft)
+                                    : integrity::AbftMode::kOff;
+
+  // Pre-update checksum, computed ONCE from the snapshot: every attempt's
+  // verification (and any number of retries) reuses it, so beta != 0 runs
+  // get the same row+column verification as beta == 0 ones.
+  CChecksums c0sums;
+  if (mode != integrity::AbftMode::kOff && beta != T(0))
+    c0sums = checksum_c<T>(c0.data(), m, m, n);
+
+  // Verify (and in kCorrect mode repair) the *result*; an unrepairable
+  // check failure is just another retryable fault. A detection the repair
+  // could not clear is resolved by the chain's re-execution — count that
+  // as the recompute so detected == corrected + recomputed holds.
   const auto verify_result = [&]() -> bool {
-    if (!options_.verify) return true;
-    const ChecksumReport cr = verify_gemm_checksum<T>(
-        alpha, a, b, beta, beta != T(0) ? c0.data() : nullptr, m,
-        ConstMatrixView<T>(c), options_.tolerance_scale);
-    report.checksum_residual = cr.residual;
-    if (!cr.ok) {
+    if (mode == integrity::AbftMode::kOff) return true;
+    const IntegrityReport ir = verify_and_repair<T>(
+        alpha, a, b, beta, beta != T(0) ? &c0sums : nullptr,
+        beta != T(0) ? c0.data() : nullptr, m, c, mode,
+        options_.tolerance_scale);
+    report.checksum_residual = ir.residual;
+    if (ir.ok) {
+      if (ir.repair != Repair::kNone) report.repair = to_string(ir.repair);
+      return true;
+    }
+    h.integrity_recomputed.fetch_add(1, std::memory_order_relaxed);
+    if (mode == integrity::AbftMode::kCorrect)
+      record_error(ErrorCode::kDataCorrupted,
+                   "checksums rejected the result and the localized "
+                   "repair could not fix it");
+    else
       record_error(ErrorCode::kChecksumMismatch,
                    "row checksum rejected the result");
-      return false;
-    }
-    return true;
+    return false;
   };
 
   // One attempt of a planned execution: true iff it ran and verified.
@@ -191,9 +217,12 @@ RunReport GuardedExecutor::run(T alpha, ConstMatrixView<T> a,
   if (cached) {
     for (int t = 0; t < 1 + std::max(0, options_.retries); ++t) {
       if (attempt(*cached)) {
-        finish(report.attempts == 1 ? Outcome::kOk : Outcome::kRecovered,
-               "none",
-               report.attempts == 1 ? &h.clean_runs : nullptr);
+        const bool repaired = std::strcmp(report.repair, "none") != 0;
+        if (report.attempts == 1)
+          finish(repaired ? Outcome::kCorrected : Outcome::kOk, "none",
+                 repaired ? &h.corrected_runs : &h.clean_runs);
+        else
+          finish(Outcome::kRecovered, "none", nullptr);
         return report;
       }
     }

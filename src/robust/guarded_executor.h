@@ -17,12 +17,14 @@
 #include "src/core/plan_cache.h"
 #include "src/libs/gemm_interface.h"
 #include "src/matrix/view.h"
+#include "src/robust/integrity.h"
 
 namespace smm::robust {
 
 /// How a guarded request was ultimately served.
 enum class Outcome {
   kOk,         ///< first attempt, verified clean
+  kCorrected,  ///< first attempt, corruption repaired in place (ABFT)
   kRecovered,  ///< a retry of the planned path succeeded
   kDegraded,   ///< served by the rebuilt-plan or naive fallback
   kFailed,     ///< every stage failed; C restored to its input state
@@ -44,6 +46,10 @@ struct GuardOptions {
   bool allow_naive = true;
   /// Multiplier on the k-dependent rounding bound for the checksum.
   double tolerance_scale = 64.0;
+  /// ABFT policy for `verify` (kAuto: the process-wide SMMKIT_ABFT mode).
+  /// kDetect rejects and retries; kCorrect first localizes and repairs in
+  /// place (element, then panel) and only retries unlocalizable damage.
+  integrity::AbftMode abft = integrity::AbftMode::kAuto;
 };
 
 /// Structured account of one guarded run.
@@ -61,6 +67,9 @@ struct RunReport {
   double checksum_residual = 0.0;
   /// "none", "rebuilt-plan", or "naive".
   const char* fallback = "none";
+  /// In-place repair that salvaged the served attempt: "none", "element",
+  /// or "panel" (kCorrect mode only).
+  const char* repair = "none";
 
   [[nodiscard]] bool ok() const { return outcome != Outcome::kFailed; }
   [[nodiscard]] std::string summary() const;

@@ -80,6 +80,18 @@ HealthSnapshot Health::read_counters() const {
   s.nonfinite_rejections =
       nonfinite_rejections.load(std::memory_order_relaxed);
   s.fork_resets = fork_resets.load(std::memory_order_relaxed);
+  s.integrity_detected =
+      integrity_detected.load(std::memory_order_relaxed);
+  s.integrity_corrected =
+      integrity_corrected.load(std::memory_order_relaxed);
+  s.integrity_recomputed =
+      integrity_recomputed.load(std::memory_order_relaxed);
+  s.integrity_quarantines =
+      integrity_quarantines.load(std::memory_order_relaxed);
+  s.prepack_repacks = prepack_repacks.load(std::memory_order_relaxed);
+  s.plan_seal_rebuilds =
+      plan_seal_rebuilds.load(std::memory_order_relaxed);
+  s.corrected_runs = corrected_runs.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -138,6 +150,13 @@ void Health::reset() {
   service_breaker_rejections = 0;
   nonfinite_rejections = 0;
   fork_resets = 0;
+  integrity_detected = 0;
+  integrity_corrected = 0;
+  integrity_recomputed = 0;
+  integrity_quarantines = 0;
+  prepack_repacks = 0;
+  plan_seal_rebuilds = 0;
+  corrected_runs = 0;
 }
 
 std::string HealthSnapshot::to_string() const {
@@ -154,7 +173,9 @@ std::string HealthSnapshot::to_string() const {
       "service_deadline_misses=%zu "
       "service_cancellations=%zu service_breaker_trips=%zu "
       "service_breaker_rejections=%zu nonfinite_rejections=%zu "
-      "fork_resets=%zu",
+      "fork_resets=%zu integrity_detected=%zu integrity_corrected=%zu "
+      "integrity_recomputed=%zu integrity_quarantines=%zu "
+      "prepack_repacks=%zu plan_seal_rebuilds=%zu corrected_runs=%zu",
       guarded_runs, clean_runs, retries, rebuild_fallbacks, naive_fallbacks,
       failures, checksum_rejections, worker_panics, alloc_failures,
       batched_items, batched_item_failures, pool_regions,
@@ -164,7 +185,10 @@ std::string HealthSnapshot::to_string() const {
       prepack_fallbacks, service_submitted, service_admitted,
       service_completed, service_rejected, service_shed, service_evictions,
       service_deadline_misses, service_cancellations, service_breaker_trips,
-      service_breaker_rejections, nonfinite_rejections, fork_resets);
+      service_breaker_rejections, nonfinite_rejections, fork_resets,
+      integrity_detected, integrity_corrected, integrity_recomputed,
+      integrity_quarantines, prepack_repacks, plan_seal_rebuilds,
+      corrected_runs);
 }
 
 }  // namespace smm::robust

@@ -66,6 +66,19 @@ struct HealthSnapshot {
   std::size_t service_breaker_rejections = 0;
   std::size_t nonfinite_rejections = 0;
   std::size_t fork_resets = 0;            ///< atfork child-side pool resets
+  // Integrity layer (DESIGN.md §12): ABFT detections and how each one was
+  // resolved, plus sealed-state (plan cache / prepacked B) lifecycle.
+  // Accounting invariant for guarded traffic: every detection is resolved
+  // by an in-place element correction, a localized panel recompute, or a
+  // full re-execution — detected == corrected + recomputed (the only skew
+  // is a run whose every recovery stage was disabled or failed).
+  std::size_t integrity_detected = 0;   ///< verifications that found corruption
+  std::size_t integrity_corrected = 0;  ///< resolved by single-element repair
+  std::size_t integrity_recomputed = 0; ///< resolved by panel or full recompute
+  std::size_t integrity_quarantines = 0;///< sealed entries failing their checksum
+  std::size_t prepack_repacks = 0;      ///< PrepackedB seal mismatch -> repacked
+  std::size_t plan_seal_rebuilds = 0;   ///< PlanCache seal mismatch -> rebuilt
+  std::size_t corrected_runs = 0;       ///< guarded runs served via in-place repair
 
   [[nodiscard]] std::string to_string() const;
 };
@@ -109,6 +122,13 @@ class Health {
   std::atomic<std::size_t> service_breaker_rejections{0};
   std::atomic<std::size_t> nonfinite_rejections{0};
   std::atomic<std::size_t> fork_resets{0};
+  std::atomic<std::size_t> integrity_detected{0};
+  std::atomic<std::size_t> integrity_corrected{0};
+  std::atomic<std::size_t> integrity_recomputed{0};
+  std::atomic<std::size_t> integrity_quarantines{0};
+  std::atomic<std::size_t> prepack_repacks{0};
+  std::atomic<std::size_t> plan_seal_rebuilds{0};
+  std::atomic<std::size_t> corrected_runs{0};
 
   /// Brackets a correlated multi-counter update: writer-exclusive (a
   /// mutex serializes transactions) with an odd/even sequence bump so

@@ -1,0 +1,220 @@
+#include "src/robust/integrity.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/plan/plan.h"
+
+namespace smm::integrity {
+
+const char* to_string(AbftMode mode) {
+  switch (mode) {
+    case AbftMode::kAuto:
+      return "auto";
+    case AbftMode::kOff:
+      return "off";
+    case AbftMode::kDetect:
+      return "detect";
+    case AbftMode::kCorrect:
+      return "correct";
+  }
+  return "?";
+}
+
+AbftMode mode_from_env() {
+  const char* raw = std::getenv("SMMKIT_ABFT");
+  if (raw == nullptr) return AbftMode::kDetect;
+  const std::string v(raw);
+  if (v == "off") return AbftMode::kOff;
+  if (v == "detect") return AbftMode::kDetect;
+  if (v == "correct") return AbftMode::kCorrect;
+  return AbftMode::kDetect;  // unparsable: keep the safe default
+}
+
+namespace {
+// kAuto (0) doubles as "no override".
+std::atomic<std::uint8_t> g_override{
+    static_cast<std::uint8_t>(AbftMode::kAuto)};
+}  // namespace
+
+AbftMode mode() {
+  const auto ov =
+      static_cast<AbftMode>(g_override.load(std::memory_order_relaxed));
+  if (ov != AbftMode::kAuto) return ov;
+  // The env knob is read once: getenv on every plan-cache hit would put a
+  // linear environ scan on the warm path.
+  static const AbftMode env = mode_from_env();
+  return env;
+}
+
+void set_mode_override(AbftMode mode) {
+  g_override.store(static_cast<std::uint8_t>(mode),
+                   std::memory_order_relaxed);
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+struct Hasher {
+  std::uint64_t h = kFnvOffset;
+  void mix(std::uint64_t v) {
+    h ^= v;
+    h *= kFnvPrime;
+  }
+  void mix_i(index_t v) { mix(static_cast<std::uint64_t>(v)); }
+};
+
+}  // namespace
+
+std::uint64_t content_checksum(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  Hasher hash;
+  std::size_t i = 0;
+  for (; i + sizeof(std::uint64_t) <= bytes; i += sizeof(std::uint64_t)) {
+    std::uint64_t word;
+    std::memcpy(&word, p + i, sizeof(word));
+    hash.mix(word);
+  }
+  std::uint64_t tail = 0;
+  if (i < bytes) {
+    std::memcpy(&tail, p + i, bytes - i);
+    hash.mix(tail);
+  }
+  hash.mix(static_cast<std::uint64_t>(bytes));  // length-extension guard
+  return hash.h;
+}
+
+std::uint64_t plan_seal(const plan::GemmPlan& plan) {
+  using namespace smm::plan;
+  Hasher hash;
+  hash.mix(content_checksum(plan.strategy.data(), plan.strategy.size()));
+  hash.mix_i(plan.shape.m);
+  hash.mix_i(plan.shape.n);
+  hash.mix_i(plan.shape.k);
+  hash.mix(static_cast<std::uint64_t>(plan.scalar));
+  hash.mix(static_cast<std::uint64_t>(plan.nthreads));
+  hash.mix(plan.conversion_outside_timing ? 1u : 0u);
+  hash.mix_i(plan.blocking.mc);
+  hash.mix_i(plan.blocking.kc);
+  hash.mix_i(plan.blocking.nc);
+  hash.mix_i(plan.blocking.mr);
+  hash.mix_i(plan.blocking.nr);
+  for (const auto& buf : plan.buffers) hash.mix_i(buf.elems);
+  for (const auto& bar : plan.barriers)
+    hash.mix(static_cast<std::uint64_t>(bar.participants));
+
+  const auto mix_ref = [&hash](const OperandRef& ref) {
+    hash.mix(static_cast<std::uint64_t>(ref.kind));
+    hash.mix(static_cast<std::uint64_t>(ref.buffer));
+    hash.mix_i(ref.offset);
+    hash.mix_i(ref.ps);
+    hash.mix_i(ref.pstride);
+    hash.mix_i(ref.kstride);
+    hash.mix_i(ref.row0);
+    hash.mix_i(ref.col0);
+  };
+  const auto mix_chunks = [&hash](const std::vector<index_t>& chunks) {
+    hash.mix(chunks.size());
+    for (const index_t c : chunks) hash.mix_i(c);
+  };
+
+  struct OpSealer {
+    Hasher& hash;
+    decltype(mix_ref)& ref;
+    decltype(mix_chunks)& chunks;
+    void operator()(const PackAOp& op) const {
+      hash.mix(1);
+      hash.mix(static_cast<std::uint64_t>(op.buffer));
+      hash.mix_i(op.dst_offset);
+      hash.mix_i(op.i0);
+      hash.mix_i(op.k0);
+      hash.mix_i(op.mc);
+      hash.mix_i(op.kc);
+      hash.mix_i(op.mr);
+      hash.mix(op.pad ? 1u : 0u);
+      chunks(op.chunks);
+    }
+    void operator()(const PackBOp& op) const {
+      hash.mix(2);
+      hash.mix(static_cast<std::uint64_t>(op.buffer));
+      hash.mix_i(op.dst_offset);
+      hash.mix_i(op.k0);
+      hash.mix_i(op.j0);
+      hash.mix_i(op.kc);
+      hash.mix_i(op.nc);
+      hash.mix_i(op.nr);
+      hash.mix(op.pad ? 1u : 0u);
+      chunks(op.chunks);
+    }
+    void operator()(const ConvertOp& op) const {
+      hash.mix(3);
+      hash.mix(static_cast<std::uint64_t>(op.which));
+      hash.mix(static_cast<std::uint64_t>(op.buffer));
+      hash.mix_i(op.ps);
+      hash.mix(op.transpose ? 1u : 0u);
+    }
+    void operator()(const KernelOp& op) const {
+      hash.mix(4);
+      hash.mix(static_cast<std::uint64_t>(op.kernel));
+      hash.mix_i(op.kc);
+      hash.mix_i(op.i0);
+      hash.mix_i(op.j0);
+      hash.mix_i(op.useful_m);
+      hash.mix_i(op.useful_n);
+      ref(op.a);
+      ref(op.b);
+      hash.mix(op.first_k_block ? 1u : 0u);
+      hash.mix(static_cast<std::uint64_t>(op.c_buffer));
+      hash.mix_i(op.c_offset);
+      hash.mix_i(op.c_ld);
+    }
+    void operator()(const BarrierOp& op) const {
+      hash.mix(5);
+      hash.mix(static_cast<std::uint64_t>(op.barrier));
+    }
+    void operator()(const ScaleCOp& op) const {
+      hash.mix(6);
+      hash.mix_i(op.i0);
+      hash.mix_i(op.j0);
+      hash.mix_i(op.rows);
+      hash.mix_i(op.cols);
+    }
+    void operator()(const ReduceCOp& op) const {
+      hash.mix(7);
+      hash.mix(static_cast<std::uint64_t>(op.buffer));
+      hash.mix_i(op.i0);
+      hash.mix_i(op.j0);
+      hash.mix_i(op.rows);
+      hash.mix_i(op.cols);
+      hash.mix_i(op.ld);
+      hash.mix_i(op.offset);
+      hash.mix_i(op.part_stride);
+      hash.mix(static_cast<std::uint64_t>(op.parts));
+    }
+  };
+
+  const OpSealer sealer{hash, mix_ref, mix_chunks};
+  for (const auto& ops : plan.thread_ops) {
+    hash.mix(ops.size());
+    for (const auto& op : ops) std::visit(sealer, op);
+  }
+  return hash.h;
+}
+
+bool corrupt_plan_for_test(plan::GemmPlan& plan) {
+  for (auto& ops : plan.thread_ops) {
+    for (auto& op : ops) {
+      if (auto* k = std::get_if<plan::KernelOp>(&op)) {
+        k->first_k_block = !k->first_k_block;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace smm::integrity

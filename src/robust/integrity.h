@@ -1,0 +1,80 @@
+// smm::integrity — silent-data-corruption defense (DESIGN.md §12).
+//
+// Two building blocks:
+//
+//  1. The ABFT *mode*: one process-wide knob (SMMKIT_ABFT: off / detect /
+//     correct, default detect) that every integrity consumer resolves its
+//     kAuto against — checksum verification in robust::GuardedExecutor,
+//     seal validation in core::PlanCache, and storage sealing in
+//     plan::PrepackedB.
+//
+//  2. Content *seals*: a 64-bit checksum of long-lived cached state,
+//     computed once at build/pack time and re-derived on reuse. A seal
+//     mismatch means the bytes rotted after they were blessed — the
+//     entry is quarantined and rebuilt/repacked instead of served.
+//     content_checksum() seals raw buffers (PrepackedB storage);
+//     plan_seal() seals the structural fields of an immutable GemmPlan
+//     (op lists, buffer sizes, blocking), so a flipped offset or beta
+//     flag in a cached plan is caught before the executor obeys it.
+//
+// The verification/correction math itself lives in robust/abft.h; this
+// header owns the configuration and the sealing primitives so core/ and
+// plan/ can depend on it without pulling in the checksum kernels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace smm::plan {
+struct GemmPlan;
+}  // namespace smm::plan
+
+namespace smm::integrity {
+
+/// The ABFT/sealing policy. kAuto defers to the process-wide mode
+/// (SMMKIT_ABFT env knob); the other three are explicit overrides.
+///  - kOff:     no verification, no seal validation.
+///  - kDetect:  verify and reject (the guarded chain recomputes).
+///  - kCorrect: verify, localize, and repair in place — single-element
+///    damage costs O(k), a damaged panel costs O(panel), and only
+///    unlocalizable damage falls back to a full recompute.
+enum class AbftMode : std::uint8_t { kAuto = 0, kOff, kDetect, kCorrect };
+
+const char* to_string(AbftMode mode);
+
+/// Parse SMMKIT_ABFT ("off" / "detect" / "correct") afresh; unset or
+/// unparsable values yield the default, kDetect.
+AbftMode mode_from_env();
+
+/// The resolved process-wide mode: the test override if one is set,
+/// otherwise the env knob read once per process. Never returns kAuto.
+AbftMode mode();
+
+/// Test hook: pin the process-wide mode (kAuto clears the override and
+/// returns to the env-derived value). Takes effect immediately.
+void set_mode_override(AbftMode mode);
+
+/// resolve(kAuto) == mode(); any explicit value passes through.
+inline AbftMode resolve(AbftMode m) {
+  return m == AbftMode::kAuto ? mode() : m;
+}
+
+/// 64-bit FNV-1a over raw bytes, word-at-a-time. Not cryptographic —
+/// the adversary is bit rot, not an attacker — but any single flipped
+/// bit changes the value.
+std::uint64_t content_checksum(const void* data, std::size_t bytes);
+
+/// Structural checksum of an immutable plan: every field the executor
+/// obeys (op kinds, offsets, extents, beta flags, buffer/barrier decls,
+/// blocking). Two plans with identical structure seal identically;
+/// flipping any executed field changes the seal.
+std::uint64_t plan_seal(const plan::GemmPlan& plan);
+
+/// Test hook: make `plan` numerically wrong but memory-safe by toggling
+/// the beta flag of one kernel op (the executor then mis-applies beta —
+/// a visible, bounded corruption with no out-of-bounds risk). Returns
+/// false when the plan has no kernel op to damage. Mutates shared state:
+/// only call on plans no other thread is executing.
+bool corrupt_plan_for_test(plan::GemmPlan& plan);
+
+}  // namespace smm::integrity

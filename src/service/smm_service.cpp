@@ -324,6 +324,13 @@ void SmmService::execute(Request& request) {
         // The request's own fault: says nothing about the substrate.
         breaker_.on_neutral();
         break;
+      case ErrorCode::kDataCorrupted:
+      case ErrorCode::kCacheCorrupted:
+        // Silent-data-corruption defenses fired and could not repair:
+        // the substrate is actively producing wrong bytes — the
+        // strongest possible signal to trip the breaker.
+        breaker_.on_failure();
+        break;
       default:
         // Infrastructure-class failure (dead worker, pool timeout,
         // allocation collapse): counts toward tripping the breaker.

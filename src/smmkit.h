@@ -34,6 +34,7 @@
 #include "src/robust/fault_injection.h"
 #include "src/robust/guarded_executor.h"
 #include "src/robust/health.h"
+#include "src/robust/integrity.h"
 #include "src/service/smm_service.h"
 #include "src/sim/exec/pricer.h"
 #include "src/sim/exec/trace_export.h"

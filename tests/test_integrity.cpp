@@ -1,0 +1,447 @@
+// smm::integrity under fire (DESIGN.md §12): row+column ABFT with
+// localization and in-place repair, sealed cached state (PlanCache plan
+// seals, PrepackedB content checksums), the SMMKIT_ABFT mode knob, and
+// the exact accounting invariant detected == corrected + recomputed.
+// Every corruption is deterministic (seeded injection or a direct flip),
+// so a failing case reproduces exactly.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/core/plan_cache.h"
+#include "src/core/smm.h"
+#include "src/libs/naive.h"
+#include "src/matrix/compare.h"
+#include "src/robust/abft.h"
+#include "src/robust/fault_injection.h"
+#include "src/robust/guarded_executor.h"
+#include "src/robust/health.h"
+#include "src/robust/integrity.h"
+#include "tests/test_helpers.h"
+
+namespace smm {
+namespace {
+
+using integrity::AbftMode;
+using robust::CChecksums;
+using robust::FaultInjector;
+using robust::FaultSite;
+using robust::FaultSpec;
+using robust::GuardedExecutor;
+using robust::GuardOptions;
+using robust::IntegrityReport;
+using robust::Outcome;
+using robust::Repair;
+using robust::RunReport;
+using robust::ScopedFault;
+
+// Same evenly-tiled shape as test_robust: no flip can hide in padding.
+constexpr index_t kM = 64, kN = 48, kK = 64;
+
+core::SmmOptions always_pack() {
+  core::SmmOptions o;
+  o.pack_a = core::SmmOptions::Packing::kAlways;
+  o.pack_b = core::SmmOptions::Packing::kAlways;
+  return o;
+}
+
+/// Flip bit `bit` of c(i, j) in place.
+void flip_bit(MatrixView<float> c, index_t i, index_t j, int bit) {
+  std::uint32_t u;
+  float v = c(i, j);
+  std::memcpy(&u, &v, sizeof(u));
+  u ^= std::uint32_t{1} << bit;
+  std::memcpy(&v, &u, sizeof(v));
+  c(i, j) = v;
+}
+
+class IntegrityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::instance().disarm_all();
+    integrity::set_mode_override(AbftMode::kCorrect);
+    strategy_ = core::make_reference_smm(always_pack());
+  }
+  void TearDown() override {
+    FaultInjector::instance().disarm_all();
+    integrity::set_mode_override(AbftMode::kAuto);
+  }
+
+  /// A problem with C already holding the true product (the state an
+  /// executor leaves behind), plus the naive oracle.
+  struct Truth {
+    test::GemmProblem<float> prob;
+    explicit Truth(std::uint64_t seed, float alpha = 1.0f,
+                   float beta = 0.0f)
+        : prob(kM, kN, kK, seed) {
+      prob.reference(alpha, beta);
+      prob.c = prob.c_expected.clone();
+    }
+  };
+
+  IntegrityReport verify(Truth& t, AbftMode mode, float alpha = 1.0f) {
+    return robust::verify_and_repair<float>(
+        alpha, t.prob.a.cview(), t.prob.b.cview(), 0.0f,
+        /*c0_sums=*/nullptr, /*c_before=*/nullptr, 0, t.prob.c.view(),
+        mode);
+  }
+
+  std::unique_ptr<libs::GemmStrategy> strategy_;
+};
+
+// ---- Mode knob -------------------------------------------------------------
+
+TEST_F(IntegrityTest, EnvKnobParsesEveryValue) {
+  ASSERT_EQ(setenv("SMMKIT_ABFT", "off", 1), 0);
+  EXPECT_EQ(integrity::mode_from_env(), AbftMode::kOff);
+  ASSERT_EQ(setenv("SMMKIT_ABFT", "detect", 1), 0);
+  EXPECT_EQ(integrity::mode_from_env(), AbftMode::kDetect);
+  ASSERT_EQ(setenv("SMMKIT_ABFT", "correct", 1), 0);
+  EXPECT_EQ(integrity::mode_from_env(), AbftMode::kCorrect);
+  ASSERT_EQ(setenv("SMMKIT_ABFT", "bogus", 1), 0);
+  EXPECT_EQ(integrity::mode_from_env(), AbftMode::kDetect);
+  ASSERT_EQ(unsetenv("SMMKIT_ABFT"), 0);
+  EXPECT_EQ(integrity::mode_from_env(), AbftMode::kDetect);
+}
+
+TEST_F(IntegrityTest, OverrideWinsAndResolveNeverReturnsAuto) {
+  integrity::set_mode_override(AbftMode::kOff);
+  EXPECT_EQ(integrity::mode(), AbftMode::kOff);
+  EXPECT_EQ(integrity::resolve(AbftMode::kAuto), AbftMode::kOff);
+  EXPECT_EQ(integrity::resolve(AbftMode::kCorrect), AbftMode::kCorrect);
+  integrity::set_mode_override(AbftMode::kCorrect);
+  EXPECT_EQ(integrity::mode(), AbftMode::kCorrect);
+}
+
+TEST_F(IntegrityTest, AbftOptionChangesPlanCacheFingerprint) {
+  core::SmmOptions a, b;
+  b.abft = AbftMode::kCorrect;
+  EXPECT_NE(core::options_fingerprint(a), core::options_fingerprint(b));
+}
+
+// ---- Seal primitives -------------------------------------------------------
+
+TEST_F(IntegrityTest, ContentChecksumSeesEveryBit) {
+  std::uint8_t buf[37] = {};
+  const std::uint64_t clean = integrity::content_checksum(buf, sizeof(buf));
+  for (std::size_t byte : {std::size_t{0}, std::size_t{8},
+                           std::size_t{36}}) {
+    buf[byte] ^= 1;
+    EXPECT_NE(integrity::content_checksum(buf, sizeof(buf)), clean)
+        << "flip at byte " << byte << " was invisible";
+    buf[byte] ^= 1;
+  }
+  EXPECT_EQ(integrity::content_checksum(buf, sizeof(buf)), clean);
+  // Length participates: a zero tail must not extend silently.
+  EXPECT_NE(integrity::content_checksum(buf, 36),
+            integrity::content_checksum(buf, 37));
+}
+
+TEST_F(IntegrityTest, PlanSealCatchesStructuralRot) {
+  const GemmShape shape{kM, kN, kK};
+  plan::GemmPlan plan =
+      strategy_->make_plan(shape, plan::ScalarType::kF32, 1);
+  const std::uint64_t clean = integrity::plan_seal(plan);
+  EXPECT_EQ(integrity::plan_seal(plan), clean) << "seal not deterministic";
+  ASSERT_TRUE(integrity::corrupt_plan_for_test(plan));
+  EXPECT_NE(integrity::plan_seal(plan), clean);
+}
+
+// ---- verify_and_repair -----------------------------------------------------
+
+TEST_F(IntegrityTest, CleanResultPassesWithoutDetection) {
+  Truth t(0x11);
+  const IntegrityReport r = verify(t, AbftMode::kCorrect);
+  EXPECT_TRUE(r.ok);
+  EXPECT_FALSE(r.detected);
+  EXPECT_EQ(r.repair, Repair::kNone);
+}
+
+TEST_F(IntegrityTest, DetectModeLocalizesButNeverWrites) {
+  Truth t(0x22);
+  flip_bit(t.prob.c.view(), 17, 11, 30);
+  const Matrix<float> before = t.prob.c.clone();
+  const IntegrityReport r = verify(t, AbftMode::kDetect);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.detected);
+  EXPECT_EQ(r.repair, Repair::kNone);
+  EXPECT_EQ(r.bad_row, 17);
+  EXPECT_EQ(r.bad_col, 11);
+  // Detect mode reports; it must not touch C.
+  EXPECT_EQ(max_abs_diff(t.prob.c.cview(), before.cview()), 0.0);
+}
+
+TEST_F(IntegrityTest, SingleFlipRepairedByElementRecompute) {
+  Truth t(0x33);
+  flip_bit(t.prob.c.view(), 40, 7, 30);
+  const IntegrityReport r = verify(t, AbftMode::kCorrect);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.detected);
+  EXPECT_EQ(r.repair, Repair::kElement);
+  EXPECT_EQ(r.bad_row, 40);
+  EXPECT_EQ(r.bad_col, 7);
+  EXPECT_LE(max_abs_diff(t.prob.c.cview(), t.prob.c_expected.cview()),
+            gemm_tolerance<float>(kK) * 8.0);
+}
+
+TEST_F(IntegrityTest, NaNDamageRepairedInPlace) {
+  Truth t(0x44);
+  t.prob.c.view()(5, 5) = std::numeric_limits<float>::quiet_NaN();
+  const IntegrityReport r = verify(t, AbftMode::kCorrect);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.detected);
+  EXPECT_EQ(r.repair, Repair::kElement);
+  EXPECT_LE(max_abs_diff(t.prob.c.cview(), t.prob.c_expected.cview()),
+            gemm_tolerance<float>(kK) * 8.0);
+}
+
+TEST_F(IntegrityTest, ColumnDamageRepairedByPanelRecompute) {
+  Truth t(0x55);
+  for (index_t i : {index_t{3}, index_t{20}, index_t{50}})
+    flip_bit(t.prob.c.view(), i, 9, 30);
+  const IntegrityReport r = verify(t, AbftMode::kCorrect);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.detected);
+  EXPECT_EQ(r.repair, Repair::kPanel);
+  EXPECT_LE(max_abs_diff(t.prob.c.cview(), t.prob.c_expected.cview()),
+            gemm_tolerance<float>(kK) * 8.0);
+}
+
+TEST_F(IntegrityTest, WholesaleDamageIsReportedNotPatched) {
+  Truth t(0x66);
+  for (index_t j = 0; j < kN; ++j)
+    for (index_t i = 0; i < kM; ++i) t.prob.c.view()(i, j) += 100.0f;
+  const IntegrityReport r = verify(t, AbftMode::kCorrect);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.detected);
+  // A localized patch of near-total damage would cost more than the full
+  // recompute the caller already owns — refuse and report.
+  EXPECT_EQ(r.repair, Repair::kNone);
+  EXPECT_GT(r.damaged_cols, static_cast<int>(kN) / 2);
+}
+
+TEST_F(IntegrityTest, BetaNonZeroVerifiesAgainstPrecomputedChecksums) {
+  const float alpha = 1.0f, beta = 0.5f;
+  test::GemmProblem<float> prob(kM, kN, kK, 0x77);
+  const Matrix<float> c0 = prob.c.clone();
+  const CChecksums c0sums = robust::checksum_c<float>(c0.cview());
+  prob.reference(alpha, beta);
+  prob.c = prob.c_expected.clone();
+  flip_bit(prob.c.view(), 30, 30, 30);
+  const IntegrityReport r = robust::verify_and_repair<float>(
+      alpha, prob.a.cview(), prob.b.cview(), beta, &c0sums, c0.data(), kM,
+      prob.c.view(), AbftMode::kCorrect);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.detected);
+  EXPECT_EQ(r.repair, Repair::kElement);
+  EXPECT_LE(max_abs_diff(prob.c.cview(), prob.c_expected.cview()),
+            gemm_tolerance<float>(kK) * 8.0);
+}
+
+TEST_F(IntegrityTest, FuzzSingleAndDoubleBitFlips) {
+  Rng rng(0xF122);
+  for (int iter = 0; iter < 60; ++iter) {
+    Truth t(0x1000 + static_cast<std::uint64_t>(iter));
+    const int flips = 1 + static_cast<int>(rng.next_index(2));
+    for (int f = 0; f < flips; ++f)
+      flip_bit(t.prob.c.view(), rng.next_index(kM), rng.next_index(kN),
+               static_cast<int>(rng.next_index(32)));
+    const IntegrityReport r = verify(t, AbftMode::kCorrect);
+    // Correct mode either saw nothing (the flip drowned below the
+    // rounding tolerance) or repaired it; localizable damage this small
+    // must never be left to a full recompute.
+    EXPECT_TRUE(r.ok) << "iter " << iter << " residual " << r.residual;
+    if (r.detected) EXPECT_NE(r.repair, Repair::kNone) << "iter " << iter;
+    const double diff =
+        max_abs_diff(t.prob.c.cview(), t.prob.c_expected.cview());
+    EXPECT_LE(diff, gemm_tolerance<float>(kK) * 8.0 + 2.0 * r.tolerance)
+        << "iter " << iter;
+  }
+}
+
+// ---- GuardedExecutor integration -------------------------------------------
+
+TEST_F(IntegrityTest, KernelFlipServedAsCorrectedOnFirstAttempt) {
+  GuardOptions opts;
+  opts.abft = AbftMode::kCorrect;
+  GuardedExecutor guard(*strategy_, opts);
+  test::GemmProblem<float> prob(kM, kN, kK, 0x88);
+  prob.reference(1.0f, 0.0f);
+  ScopedFault fault(FaultSite::kKernelMiscompute, FaultSpec{0, 1});
+  const RunReport report = guard.run(1.0f, prob.a.cview(), prob.b.cview(),
+                                     0.0f, prob.c.view());
+  EXPECT_EQ(report.outcome, Outcome::kCorrected);
+  EXPECT_EQ(report.attempts, 1);
+  EXPECT_STREQ(report.repair, "element");
+  EXPECT_TRUE(prob.check(kK));
+}
+
+TEST_F(IntegrityTest, DetectModeStillRecoversByRetry) {
+  GuardOptions opts;
+  opts.abft = AbftMode::kDetect;
+  GuardedExecutor guard(*strategy_, opts);
+  test::GemmProblem<float> prob(kM, kN, kK, 0x99);
+  prob.reference(1.0f, 0.0f);
+  ScopedFault fault(FaultSite::kKernelMiscompute, FaultSpec{0, 1});
+  const RunReport report = guard.run(1.0f, prob.a.cview(), prob.b.cview(),
+                                     0.0f, prob.c.view());
+  EXPECT_EQ(report.outcome, Outcome::kRecovered);
+  EXPECT_EQ(report.first_error, ErrorCode::kChecksumMismatch);
+  EXPECT_STREQ(report.repair, "none");
+  EXPECT_TRUE(prob.check(kK));
+}
+
+TEST_F(IntegrityTest, ScratchSlabFlipRepairedOrRecovered) {
+  GuardOptions opts;
+  opts.abft = AbftMode::kCorrect;
+  GuardedExecutor guard(*strategy_, opts);
+  test::GemmProblem<float> prob(kM, kN, kK, 0xAA);
+  prob.reference(0.5f, 1.0f);
+  ScopedFault fault(FaultSite::kScratchSlabFlip, FaultSpec{0, 1});
+  const RunReport report = guard.run(0.5f, prob.a.cview(), prob.b.cview(),
+                                     1.0f, prob.c.view());
+  EXPECT_TRUE(report.ok());
+  EXPECT_GE(FaultInjector::instance().fired_count(
+                FaultSite::kScratchSlabFlip),
+            1u);
+  EXPECT_TRUE(prob.check(kK));
+}
+
+TEST_F(IntegrityTest, AccountingDetectedEqualsCorrectedPlusRecomputed) {
+  robust::health().reset();
+  GuardOptions correct_opts;
+  correct_opts.abft = AbftMode::kCorrect;
+  GuardedExecutor correct_guard(*strategy_, correct_opts);
+  GuardOptions detect_opts;
+  detect_opts.abft = AbftMode::kDetect;
+  GuardedExecutor detect_guard(*strategy_, detect_opts);
+
+  test::GemmProblem<float> prob(kM, kN, kK, 0xBB);
+  prob.reference(1.0f, 0.0f);
+  // Clean run: no integrity traffic at all.
+  Matrix<float> c = prob.c.clone();
+  EXPECT_EQ(correct_guard
+                .run(1.0f, prob.a.cview(), prob.b.cview(), 0.0f, c.view())
+                .outcome,
+            Outcome::kOk);
+  {  // One flip repaired in place.
+    c = prob.c.clone();
+    ScopedFault fault(FaultSite::kKernelMiscompute, FaultSpec{0, 1});
+    EXPECT_EQ(correct_guard
+                  .run(1.0f, prob.a.cview(), prob.b.cview(), 0.0f, c.view())
+                  .outcome,
+              Outcome::kCorrected);
+  }
+  {  // One flip detected only — the retry is the recompute.
+    c = prob.c.clone();
+    ScopedFault fault(FaultSite::kKernelMiscompute, FaultSpec{0, 1});
+    EXPECT_EQ(detect_guard
+                  .run(1.0f, prob.a.cview(), prob.b.cview(), 0.0f, c.view())
+                  .outcome,
+              Outcome::kRecovered);
+  }
+  const robust::HealthSnapshot s = robust::health().snapshot();
+  EXPECT_EQ(s.integrity_detected, 2u);
+  EXPECT_EQ(s.integrity_corrected, 1u);
+  EXPECT_EQ(s.integrity_recomputed, 1u);
+  EXPECT_EQ(s.integrity_detected,
+            s.integrity_corrected + s.integrity_recomputed);
+  EXPECT_EQ(s.corrected_runs, 1u);
+}
+
+// ---- Sealed cached state ---------------------------------------------------
+
+TEST_F(IntegrityTest, PlanCacheQuarantinesRottedEntryAndRebuilds) {
+  robust::health().reset();
+  core::PlanCache cache(*strategy_, 8);
+  const GemmShape shape{kM, kN, kK};
+  const auto p1 = cache.get(shape, plan::ScalarType::kF32, 1);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(cache.builds(), 1u);
+  ASSERT_NE(cache.get(shape, plan::ScalarType::kF32, 1), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  {
+    ScopedFault fault(FaultSite::kPlanCacheFlip, FaultSpec{0, 1});
+    const auto p3 = cache.get(shape, plan::ScalarType::kF32, 1);
+    ASSERT_NE(p3, nullptr);
+  }
+  EXPECT_EQ(cache.seal_rejections(), 1u);
+  EXPECT_EQ(cache.builds(), 2u) << "quarantined entry must be rebuilt";
+  const robust::HealthSnapshot s = robust::health().snapshot();
+  EXPECT_EQ(s.integrity_quarantines, 1u);
+  EXPECT_EQ(s.plan_seal_rebuilds, 1u);
+  // The rebuilt entry serves hits again.
+  ASSERT_NE(cache.get(shape, plan::ScalarType::kF32, 1), nullptr);
+  EXPECT_EQ(cache.seal_rejections(), 1u);
+}
+
+TEST_F(IntegrityTest, PrepackedBRepacksRottedStorage) {
+  robust::health().reset();
+  test::GemmProblem<float> prob(kM, kN, kK, 0xCC);
+  prob.reference(1.0f, 0.0f);
+  auto handle =
+      core::smm_prepack_b<float>(prob.b.cview(), kM, 1, always_pack());
+  ASSERT_TRUE(handle.materialized());
+  handle.run(1.0f, prob.a.cview(), 0.0f, prob.c.view());
+  EXPECT_TRUE(prob.check(kK));
+
+  ASSERT_TRUE(handle.corrupt_storage_for_test());
+  prob.c.view()(0, 0) = 0.0f;  // make a stale pass impossible
+  handle.run(1.0f, prob.a.cview(), 0.0f, prob.c.view());
+  EXPECT_TRUE(prob.check(kK)) << "rotted pack served to the kernels";
+  const robust::HealthSnapshot s = robust::health().snapshot();
+  EXPECT_EQ(s.integrity_quarantines, 1u);
+  EXPECT_EQ(s.prepack_repacks, 1u);
+}
+
+TEST_F(IntegrityTest, PrepackedBThrowsWhenRepairDisabled) {
+  test::GemmProblem<float> prob(kM, kN, kK, 0xDD);
+  auto handle =
+      core::smm_prepack_b<float>(prob.b.cview(), kM, 1, always_pack());
+  ASSERT_TRUE(handle.materialized());
+  handle.set_repair(false);
+  ASSERT_TRUE(handle.corrupt_storage_for_test());
+  try {
+    handle.run(1.0f, prob.a.cview(), 0.0f, prob.c.view());
+    FAIL() << "rotted storage with repair disabled must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCacheCorrupted);
+  }
+}
+
+TEST_F(IntegrityTest, PrepackedStoreFlipSiteIsCaughtBeforeExecution) {
+  robust::health().reset();
+  test::GemmProblem<float> prob(kM, kN, kK, 0xEE);
+  prob.reference(2.0f, 0.0f);
+  auto handle =
+      core::smm_prepack_b<float>(prob.b.cview(), kM, 1, always_pack());
+  ASSERT_TRUE(handle.materialized());
+  ScopedFault fault(FaultSite::kPrepackedStoreFlip, FaultSpec{0, 1});
+  handle.run(2.0f, prob.a.cview(), 0.0f, prob.c.view());
+  EXPECT_GE(FaultInjector::instance().fired_count(
+                FaultSite::kPrepackedStoreFlip),
+            1u);
+  EXPECT_TRUE(prob.check(kK));
+  EXPECT_GE(robust::health().snapshot().prepack_repacks, 1u);
+}
+
+TEST_F(IntegrityTest, SealValidationIsFreeWhenModeOff) {
+  integrity::set_mode_override(AbftMode::kOff);
+  robust::health().reset();
+  test::GemmProblem<float> prob(kM, kN, kK, 0xFF);
+  auto handle =
+      core::smm_prepack_b<float>(prob.b.cview(), kM, 1, always_pack());
+  ASSERT_TRUE(handle.materialized());
+  // With the mode off nothing validates (and the injection site is never
+  // reached): rot is the caller's risk, as documented.
+  ScopedFault fault(FaultSite::kPrepackedStoreFlip, FaultSpec{0, 1});
+  handle.run(1.0f, prob.a.cview(), 0.0f, prob.c.view());
+  EXPECT_EQ(FaultInjector::instance().fired_count(
+                FaultSite::kPrepackedStoreFlip),
+            0u);
+  EXPECT_EQ(robust::health().snapshot().integrity_quarantines, 0u);
+}
+
+}  // namespace
+}  // namespace smm
