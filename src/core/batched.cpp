@@ -1,7 +1,10 @@
 #include "src/core/batched.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <utility>
 
 #include "src/common/error.h"
@@ -9,6 +12,7 @@
 #include "src/core/smm.h"
 #include "src/plan/native_executor.h"
 #include "src/robust/health.h"
+#include "src/robust/integrity.h"
 #include "src/threading/partition.h"
 #include "src/threading/thread_pool.h"
 
@@ -16,33 +20,50 @@ namespace smm::core {
 
 namespace {
 
+/// The per-item shape/data checks batched entry points agree on. Empty
+/// string = well-formed; otherwise the kBadShape message (with the item
+/// index, so a million-item batch is debuggable).
+template <typename T>
+std::string item_shape_error(const GemmBatchItem<T>& item, std::size_t i) {
+  if (!(item.a.rows() == item.c.rows() && item.b.cols() == item.c.cols() &&
+        item.a.cols() == item.b.rows()))
+    return strprintf("batched_smm: item %zu dimension mismatch "
+                     "(A %ldx%ld, B %ldx%ld, C %ldx%ld)",
+                     i, static_cast<long>(item.a.rows()),
+                     static_cast<long>(item.a.cols()),
+                     static_cast<long>(item.b.rows()),
+                     static_cast<long>(item.b.cols()),
+                     static_cast<long>(item.c.rows()),
+                     static_cast<long>(item.c.cols()));
+  if (!(item.c.rows() > 0 && item.c.cols() > 0 && item.a.cols() > 0))
+    return strprintf("batched_smm: item %zu has a zero dimension", i);
+  if (item.a.data() == nullptr || item.b.data() == nullptr ||
+      item.c.data() == nullptr)
+    return strprintf("batched_smm: item %zu has null data", i);
+  return {};
+}
+
+/// Literally the same view — one B object, not merely equal contents.
+template <typename T>
+bool identical_view(ConstMatrixView<T> x, ConstMatrixView<T> y) {
+  return x.data() == y.data() && x.rows() == y.rows() &&
+         x.cols() == y.cols() && x.ld() == y.ld();
+}
+
+/// Pack-once gate: the per-handle integrity lock serializes run() while
+/// ABFT is on, so replaying one handle from several workers would
+/// serialize the batch — worse than per-item packing, not better.
+bool prepack_reuse_allowed(int nworkers) {
+  return nworkers == 1 || integrity::mode() == integrity::AbftMode::kOff;
+}
+
 /// Up-front validation: bad items are caller bugs and rejected before any
-/// work starts, with the item index in the message so a million-item batch
-/// is debuggable.
+/// work starts.
 template <typename T>
 void validate_batch(const std::vector<GemmBatchItem<T>>& items) {
   for (std::size_t i = 0; i < items.size(); ++i) {
-    const auto& item = items[i];
-    SMM_EXPECT_CODE(item.a.rows() == item.c.rows() &&
-                        item.b.cols() == item.c.cols() &&
-                        item.a.cols() == item.b.rows(),
-                    ErrorCode::kBadShape,
-                    strprintf("batched_smm: item %zu dimension mismatch "
-                              "(A %ldx%ld, B %ldx%ld, C %ldx%ld)",
-                              i, static_cast<long>(item.a.rows()),
-                              static_cast<long>(item.a.cols()),
-                              static_cast<long>(item.b.rows()),
-                              static_cast<long>(item.b.cols()),
-                              static_cast<long>(item.c.rows()),
-                              static_cast<long>(item.c.cols())));
-    SMM_EXPECT_CODE(
-        item.c.rows() > 0 && item.c.cols() > 0 && item.a.cols() > 0,
-        ErrorCode::kBadShape,
-        strprintf("batched_smm: item %zu has a zero dimension", i));
-    SMM_EXPECT_CODE(item.a.data() != nullptr && item.b.data() != nullptr &&
-                        item.c.data() != nullptr,
-                    ErrorCode::kBadShape,
-                    strprintf("batched_smm: item %zu has null data", i));
+    const std::string err = item_shape_error(items[i], i);
+    SMM_EXPECT_CODE(err.empty(), ErrorCode::kBadShape, err);
   }
   // A single-item batch has nothing to alias against: skip the extent
   // vector + sort entirely (this path is hit per-call by adapters that
@@ -101,6 +122,33 @@ void batched_smm(T alpha, const std::vector<GemmBatchItem<T>>& items,
         /*nthreads=*/1));
   }
 
+  // Same-shape shared-B fast path (DESIGN.md §13): coalesced traffic is
+  // many As against one B. When every item replays one plan against
+  // literally the same B view, pack B once into a PrepackedB handle and
+  // skip the per-item pack. Mid-item cancellation needs execute_plan, so
+  // a live token keeps the per-item path.
+  std::shared_ptr<plan::PrepackedB<T>> packed;
+  if (items.size() >= 2 && (cancel == nullptr || !cancel->valid()) &&
+      prepack_reuse_allowed(nworkers)) {
+    bool uniform = true;
+    for (std::size_t i = 1; i < items.size() && uniform; ++i)
+      uniform =
+          plans[i] == plans[0] && identical_view(items[i].b, items[0].b);
+    if (uniform) {
+      try {
+        auto candidate =
+            std::make_shared<plan::PrepackedB<T>>(plans[0], items[0].b);
+        if (candidate->materialized()) {
+          packed = std::move(candidate);
+          robust::health().batched_prepack_reuse.fetch_add(
+              items.size(), std::memory_order_relaxed);
+        }
+      } catch (...) {
+        // Pack-once is an optimization; execute_plan is always correct.
+      }
+    }
+  }
+
   // Per-item failures are collected (with the item index) instead of
   // tearing down the whole batch at the first worker exception: every
   // healthy item still completes, then one aggregate error reports all
@@ -124,7 +172,9 @@ void batched_smm(T alpha, const std::vector<GemmBatchItem<T>>& items,
         // item in this worker's range fails with the stop code, its C
         // untouched.
         if (cancel != nullptr) cancel->throw_if_stopped();
-        if (cancel != nullptr && cancel->valid()) {
+        if (packed) {
+          packed->run(alpha, item.a, beta, item.c);
+        } else if (cancel != nullptr && cancel->valid()) {
           plan::execute_plan(*plans[static_cast<std::size_t>(i)], alpha,
                              item.a, item.b, beta, item.c, *cancel);
         } else {
@@ -160,6 +210,196 @@ template void batched_smm(float, const std::vector<GemmBatchItem<float>>&,
                           float, PlanCache&, int, const CancelToken*);
 template void batched_smm(double, const std::vector<GemmBatchItem<double>>&,
                           double, PlanCache&, int, const CancelToken*);
+
+template <typename T>
+std::vector<BatchItemStatus> batched_smm_each(
+    T alpha, const std::vector<GemmBatchItem<T>>& items, T beta,
+    PlanCache& cache, int nworkers, const SmmOptions* options,
+    const std::vector<const CancelToken*>* tokens) {
+  SMM_EXPECT(nworkers >= 1, "batched_smm_each needs at least one worker");
+  SMM_EXPECT(tokens == nullptr || tokens->size() == items.size(),
+             "batched_smm_each: tokens must be one per item");
+  std::vector<BatchItemStatus> statuses(items.size());
+  if (items.empty()) return statuses;
+  robust::health().batched_items.fetch_add(items.size(),
+                                           std::memory_order_relaxed);
+  const auto scalar =
+      sizeof(T) == 4 ? plan::ScalarType::kF32 : plan::ScalarType::kF64;
+
+  // Statuses are written at disjoint indices (including from workers),
+  // so no lock is needed anywhere below.
+  const auto fail = [&statuses](std::size_t i, ErrorCode code,
+                                std::string message) {
+    statuses[i].ok = false;
+    statuses[i].code = code;
+    statuses[i].message = std::move(message);
+  };
+
+  // Item-local validation: a malformed item fails alone; its siblings
+  // are unaffected (the whole point of the per-item API).
+  std::vector<unsigned char> runnable(items.size(), 1);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    std::string err = item_shape_error(items[i], i);
+    if (!err.empty()) {
+      runnable[i] = 0;
+      fail(i, ErrorCode::kBadShape, std::move(err));
+    }
+  }
+
+  // Output aliasing among the runnable set: the later item of an
+  // overlapping pair is excluded (workers write C concurrently).
+  // O(n^2) over a depth-bounded coalesce group, not a streamed batch.
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    if (!runnable[i]) continue;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (!runnable[j]) continue;
+      if (views_overlap(ConstMatrixView<T>(items[i].c),
+                        ConstMatrixView<T>(items[j].c))) {
+        runnable[i] = 0;
+        fail(i, ErrorCode::kAlias,
+             strprintf("batched_smm: C of item %zu aliases C of item %zu",
+                       i, j));
+        break;
+      }
+    }
+  }
+
+  // Input hygiene per item (DESIGN.md §11): a poisoned neighbor is
+  // rejected alone instead of poisoning the group.
+  if (options != nullptr && options->check_finite) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (!runnable[i]) continue;
+      try {
+        screen_finite(items[i].a, items[i].b, beta,
+                      ConstMatrixView<T>(items[i].c));
+      } catch (const Error& e) {
+        runnable[i] = 0;
+        fail(i, e.code(), e.what());
+      }
+    }
+  }
+
+  // One plan per distinct shape — a coalesced group is normally a single
+  // shape, so this is one cache lookup for the whole call.
+  std::vector<std::shared_ptr<const plan::GemmPlan>> plans(items.size());
+  struct Resolved {
+    GemmShape shape;
+    std::shared_ptr<const plan::GemmPlan> plan;
+  };
+  std::vector<Resolved> resolved;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (!runnable[i]) continue;
+    const GemmShape shape{items[i].c.rows(), items[i].c.cols(),
+                          items[i].a.cols()};
+    const auto it = std::find_if(
+        resolved.begin(), resolved.end(), [&](const Resolved& r) {
+          return r.shape.m == shape.m && r.shape.n == shape.n &&
+                 r.shape.k == shape.k;
+        });
+    if (it != resolved.end()) {
+      plans[i] = it->plan;
+      continue;
+    }
+    try {
+      // Null options = the cache's default-built plans (the legacy
+      // batched_smm keys); explicit options go through the same
+      // fingerprinted resolution smm_gemm uses.
+      auto plan = options != nullptr
+                      ? cached_smm_plan(cache, shape, scalar,
+                                        /*nthreads=*/1, *options)
+                      : cache.get(shape, scalar, /*nthreads=*/1);
+      plans[i] = plan;
+      resolved.push_back({shape, std::move(plan)});
+    } catch (const Error& e) {
+      runnable[i] = 0;
+      fail(i, e.code(), e.what());
+    } catch (const std::exception& e) {
+      runnable[i] = 0;
+      fail(i, ErrorCode::kUnknown, e.what());
+    }
+  }
+
+  // Pack-once fast path: every runnable item replaying one plan against
+  // literally the same B view shares one PrepackedB handle.
+  std::shared_ptr<plan::PrepackedB<T>> packed;
+  if (prepack_reuse_allowed(nworkers)) {
+    std::size_t first = items.size();
+    std::size_t nrun = 0;
+    bool uniform = true;
+    for (std::size_t i = 0; i < items.size() && uniform; ++i) {
+      if (!runnable[i]) continue;
+      ++nrun;
+      if (first == items.size()) {
+        first = i;
+        continue;
+      }
+      uniform = plans[i] == plans[first] &&
+                identical_view(items[i].b, items[first].b);
+    }
+    if (uniform && nrun >= 2) {
+      try {
+        auto candidate = std::make_shared<plan::PrepackedB<T>>(
+            plans[first], items[first].b);
+        if (candidate->materialized()) {
+          packed = std::move(candidate);
+          robust::health().batched_prepack_reuse.fetch_add(
+              nrun, std::memory_order_relaxed);
+        }
+      } catch (...) {
+        // Pack-once is an optimization; execute_plan is always correct.
+      }
+    }
+  }
+
+  const int workers =
+      std::min<int>(nworkers, std::max<std::size_t>(items.size(), 1));
+  par::run_parallel(workers, [&](int w) {
+    const par::Range range =
+        par::split_range(static_cast<index_t>(items.size()), workers, w);
+    for (index_t ii = range.begin; ii < range.end; ++ii) {
+      const auto i = static_cast<std::size_t>(ii);
+      if (!runnable[i]) continue;
+      const auto& item = items[i];
+      const CancelToken* token = tokens != nullptr ? (*tokens)[i] : nullptr;
+      try {
+        // A stopped token fails only its own item, C untouched. The
+        // prepack path checks only here (PrepackedB::run has no token);
+        // coalesced items are small enough that per-item granularity is
+        // the deadline resolution anyway.
+        if (token != nullptr) token->throw_if_stopped();
+        if (packed) {
+          packed->run(alpha, item.a, beta, item.c);
+        } else if (token != nullptr && token->valid()) {
+          plan::execute_plan(*plans[i], alpha, item.a, item.b, beta,
+                             item.c, *token);
+        } else {
+          plan::execute_plan(*plans[i], alpha, item.a, item.b, beta,
+                             item.c);
+        }
+        statuses[i].ok = true;
+      } catch (const Error& e) {
+        fail(i, e.code(), e.what());
+      } catch (const std::exception& e) {
+        fail(i, ErrorCode::kUnknown, e.what());
+      }
+    }
+  });
+
+  std::size_t failures = 0;
+  for (const auto& s : statuses)
+    if (!s.ok) ++failures;
+  if (failures > 0)
+    robust::health().batched_item_failures.fetch_add(
+        failures, std::memory_order_relaxed);
+  return statuses;
+}
+
+template std::vector<BatchItemStatus> batched_smm_each(
+    float, const std::vector<GemmBatchItem<float>>&, float, PlanCache&,
+    int, const SmmOptions*, const std::vector<const CancelToken*>*);
+template std::vector<BatchItemStatus> batched_smm_each(
+    double, const std::vector<GemmBatchItem<double>>&, double, PlanCache&,
+    int, const SmmOptions*, const std::vector<const CancelToken*>*);
 
 PlanCache& default_plan_cache() {
   // Immortal (leaked): protect_across_fork registers atfork handlers

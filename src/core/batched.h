@@ -6,19 +6,32 @@
 // bench/ablate_batch_parallel).
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "src/common/cancel.h"
+#include "src/common/error.h"
 #include "src/core/plan_cache.h"
 #include "src/matrix/view.h"
 
 namespace smm::core {
+
+struct SmmOptions;
 
 template <typename T>
 struct GemmBatchItem {
   ConstMatrixView<T> a;
   ConstMatrixView<T> b;
   MatrixView<T> c;
+};
+
+/// Per-item outcome of batched_smm_each. `ok` items ran to completion;
+/// failed items carry the code and message of their own failure — a
+/// neighbor's NaN, cancellation, or bad shape never shows up here.
+struct BatchItemStatus {
+  bool ok = false;
+  ErrorCode code = ErrorCode::kUnknown;
+  std::string message;
 };
 
 /// C_i = alpha * A_i * B_i + beta * C_i for every item. Shapes may differ
@@ -38,6 +51,30 @@ template <typename T>
 void batched_smm(T alpha, const std::vector<GemmBatchItem<T>>& items,
                  T beta, PlanCache& cache, int nworkers = 1,
                  const CancelToken* cancel = nullptr);
+
+/// Per-item variant for coalesced dispatch (DESIGN.md §13): never throws
+/// for item-level trouble — every item gets its own BatchItemStatus, so
+/// a coalesced neighbor's failure or cancellation cannot poison its
+/// siblings. Item i's validation failure (kBadShape), C aliasing an
+/// earlier runnable item's C (kAlias), non-finite input when
+/// `options->check_finite` (kNonFinite), per-item stop via `tokens`
+/// (kCancelled/kDeadlineExceeded), and runtime faults all land in
+/// statuses[i]; healthy items still run.
+///
+/// `options` selects the plan family (null = the cache's default-built
+/// plans, the legacy batched_smm keys); `tokens`, when non-null, must be
+/// items.size() long (null entries = not cancellable) and each token is
+/// consulted before its item starts.
+///
+/// Fast path: when every runnable item shares one shape AND literally
+/// the same B view, the plan is resolved once and B is packed once into
+/// a PrepackedB handle replayed across the group (health counter
+/// batched_prepack_reuse counts the items served this way).
+template <typename T>
+std::vector<BatchItemStatus> batched_smm_each(
+    T alpha, const std::vector<GemmBatchItem<T>>& items, T beta,
+    PlanCache& cache, int nworkers = 1, const SmmOptions* options = nullptr,
+    const std::vector<const CancelToken*>* tokens = nullptr);
 
 /// Convenience: one shared PlanCache over the default reference SMM.
 PlanCache& default_plan_cache();

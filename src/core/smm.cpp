@@ -180,14 +180,6 @@ PlanCache& smm_plan_cache() {
 
 namespace {
 
-std::shared_ptr<const plan::GemmPlan> cached_smm_plan(
-    GemmShape shape, plan::ScalarType scalar, int nthreads,
-    const SmmOptions& options) {
-  return smm_plan_cache().get_or_build(
-      shape, scalar, nthreads, options_fingerprint(options),
-      [&] { return ReferenceSmm{options}.make_plan(shape, scalar, nthreads); });
-}
-
 /// The runtime entry points resolve kAuto to the measured cost model:
 /// the decision (and the one-time calibration behind it) runs at most
 /// once per (shape, scalar, nthreads, options) because it happens inside
@@ -197,6 +189,18 @@ SmmOptions resolve_runtime_scaling(const SmmOptions& options) {
   if (resolved.thread_scaling == SmmOptions::ThreadScaling::kAuto)
     resolved.thread_scaling = SmmOptions::ThreadScaling::kMeasured;
   return resolved;
+}
+
+}  // namespace
+
+std::shared_ptr<const plan::GemmPlan> cached_smm_plan(
+    PlanCache& cache, GemmShape shape, plan::ScalarType scalar,
+    int nthreads, const SmmOptions& options) {
+  const SmmOptions resolved = resolve_runtime_scaling(options);
+  return cache.get_or_build(
+      shape, scalar, nthreads, options_fingerprint(resolved), [&] {
+        return ReferenceSmm{resolved}.make_plan(shape, scalar, nthreads);
+      });
 }
 
 /// check_finite screen: one pass over each operand before any plan work.
@@ -226,10 +230,19 @@ void screen_finite(ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
   if (beta != T(0)) scan(c, "C");
 }
 
+template void screen_finite(ConstMatrixView<float>, ConstMatrixView<float>,
+                            float, ConstMatrixView<float>);
+template void screen_finite(ConstMatrixView<double>,
+                            ConstMatrixView<double>, double,
+                            ConstMatrixView<double>);
+
+namespace {
+
 template <typename T>
 void smm_gemm_impl(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b,
                    T beta, MatrixView<T> c, int nthreads,
-                   const SmmOptions& options, const CancelToken* cancel) {
+                   const SmmOptions& options, const CancelToken* cancel,
+                   PlanCache* cache = nullptr) {
   SMM_EXPECT_CODE(a.rows() == c.rows() && b.cols() == c.cols() &&
                       a.cols() == b.rows(),
                   ErrorCode::kBadShape, "smm_gemm dimension mismatch");
@@ -248,8 +261,8 @@ void smm_gemm_impl(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b,
                                      : plan::ScalarType::kF64;
   // Warm path: the plan is a cache lookup, not a rebuild — on SMM-sized
   // shapes the build costs more than the multiply it describes.
-  const auto p = cached_smm_plan(shape, scalar, nthreads,
-                                 resolve_runtime_scaling(options));
+  PlanCache& plans = cache != nullptr ? *cache : smm_plan_cache();
+  const auto p = cached_smm_plan(plans, shape, scalar, nthreads, options);
   if (cancel != nullptr && cancel->valid())
     plan::execute_plan(*p, alpha, a, b, beta, c, *cancel);
   else
@@ -289,6 +302,21 @@ template void smm_gemm(double, ConstMatrixView<double>,
                        int, const SmmOptions&, const CancelToken&);
 
 template <typename T>
+void smm_gemm(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
+              MatrixView<T> c, int nthreads, const SmmOptions& options,
+              const CancelToken& cancel, PlanCache& cache) {
+  smm_gemm_impl(alpha, a, b, beta, c, nthreads, options, &cancel, &cache);
+}
+
+template void smm_gemm(float, ConstMatrixView<float>, ConstMatrixView<float>,
+                       float, MatrixView<float>, int, const SmmOptions&,
+                       const CancelToken&, PlanCache&);
+template void smm_gemm(double, ConstMatrixView<double>,
+                       ConstMatrixView<double>, double, MatrixView<double>,
+                       int, const SmmOptions&, const CancelToken&,
+                       PlanCache&);
+
+template <typename T>
 void smm_gemm(Trans trans_a, Trans trans_b, T alpha, ConstMatrixView<T> a,
               ConstMatrixView<T> b, T beta, MatrixView<T> c, int nthreads,
               const SmmOptions& options) {
@@ -320,8 +348,7 @@ plan::PrepackedB<T> smm_prepack_b(ConstMatrixView<T> b, index_t m,
   const auto scalar = sizeof(T) == 4 ? plan::ScalarType::kF32
                                      : plan::ScalarType::kF64;
   return plan::PrepackedB<T>(
-      cached_smm_plan(shape, scalar, nthreads,
-                      resolve_runtime_scaling(options)),
+      cached_smm_plan(smm_plan_cache(), shape, scalar, nthreads, options),
       b);
 }
 

@@ -97,6 +97,15 @@ void smm_gemm(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
               MatrixView<T> c, int nthreads, const SmmOptions& options,
               const CancelToken& cancel);
 
+/// Same, against an explicit plan cache instead of the process-wide
+/// smm_plan_cache() — each shard of the sharded service (DESIGN.md §13)
+/// owns a partitioned cache so hot shapes stay cache-local without
+/// cross-shard lock traffic.
+template <typename T>
+void smm_gemm(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
+              MatrixView<T> c, int nthreads, const SmmOptions& options,
+              const CancelToken& cancel, PlanCache& cache);
+
 /// BLAS-style: C = alpha * op(A) * op(B) + beta * C. Transposition is a
 /// view; a transposed A makes the packing-optional heuristic prefer
 /// packing (strided rows defeat the vector kernels otherwise).
@@ -124,6 +133,23 @@ template <typename T>
 plan::PrepackedB<T> smm_prepack_b(ConstMatrixView<T> b, index_t m,
                                   int nthreads = 1,
                                   const SmmOptions& options = {});
+
+/// The plan smm_gemm would execute, resolved against an explicit cache
+/// (get_or_build under the options fingerprint; kAuto thread scaling
+/// resolves to kMeasured — runtime-entry semantics). Building block for
+/// batched/coalesced dispatch over per-shard caches.
+std::shared_ptr<const plan::GemmPlan> cached_smm_plan(
+    PlanCache& cache, GemmShape shape, plan::ScalarType scalar,
+    int nthreads, const SmmOptions& options);
+
+/// The check_finite screen smm_gemm applies: one pass over A, B (and C
+/// when beta != 0), throwing kNonFinite and bumping the health counter on
+/// the first non-finite value. Exposed so batched dispatch can screen
+/// per item — a poisoned coalesced neighbor must fail alone, not via an
+/// aggregate throw.
+template <typename T>
+void screen_finite(ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
+                   ConstMatrixView<T> c);
 
 /// The packing decisions the auto heuristic would take (tests/benches).
 struct PackingDecision {

@@ -47,6 +47,8 @@ HealthSnapshot Health::read_counters() const {
   s.batched_items = batched_items.load(std::memory_order_relaxed);
   s.batched_item_failures =
       batched_item_failures.load(std::memory_order_relaxed);
+  s.batched_prepack_reuse =
+      batched_prepack_reuse.load(std::memory_order_relaxed);
   s.pool_regions = pool_regions.load(std::memory_order_relaxed);
   s.pool_spawn_fallbacks =
       pool_spawn_fallbacks.load(std::memory_order_relaxed);
@@ -77,6 +79,12 @@ HealthSnapshot Health::read_counters() const {
       service_breaker_trips.load(std::memory_order_relaxed);
   s.service_breaker_rejections =
       service_breaker_rejections.load(std::memory_order_relaxed);
+  s.service_routed = service_routed.load(std::memory_order_relaxed);
+  s.service_steals = service_steals.load(std::memory_order_relaxed);
+  s.service_coalesced_groups =
+      service_coalesced_groups.load(std::memory_order_relaxed);
+  s.service_coalesced_items =
+      service_coalesced_items.load(std::memory_order_relaxed);
   s.nonfinite_rejections =
       nonfinite_rejections.load(std::memory_order_relaxed);
   s.fork_resets = fork_resets.load(std::memory_order_relaxed);
@@ -127,6 +135,7 @@ void Health::reset() {
   alloc_failures = 0;
   batched_items = 0;
   batched_item_failures = 0;
+  batched_prepack_reuse = 0;
   pool_regions = 0;
   pool_spawn_fallbacks = 0;
   plan_cache_hits = 0;
@@ -148,6 +157,10 @@ void Health::reset() {
   service_cancellations = 0;
   service_breaker_trips = 0;
   service_breaker_rejections = 0;
+  service_routed = 0;
+  service_steals = 0;
+  service_coalesced_groups = 0;
+  service_coalesced_items = 0;
   nonfinite_rejections = 0;
   fork_resets = 0;
   integrity_detected = 0;
@@ -163,7 +176,8 @@ std::string HealthSnapshot::to_string() const {
   return strprintf(
       "guarded_runs=%zu clean=%zu retries=%zu rebuilds=%zu naive=%zu "
       "failures=%zu checksum_rej=%zu worker_panics=%zu alloc_fail=%zu "
-      "batched_items=%zu batched_item_failures=%zu pool_regions=%zu "
+      "batched_items=%zu batched_item_failures=%zu "
+      "batched_prepack_reuse=%zu pool_regions=%zu "
       "pool_spawn_fallbacks=%zu plan_cache_hits=%zu plan_cache_misses=%zu "
       "pool_watchdog_timeouts=%zu pool_quarantines=%zu pool_rebuilds=%zu "
       "pool_spawn_failures=%zu arena_fallbacks=%zu "
@@ -172,20 +186,25 @@ std::string HealthSnapshot::to_string() const {
       "service_rejected=%zu service_shed=%zu service_evictions=%zu "
       "service_deadline_misses=%zu "
       "service_cancellations=%zu service_breaker_trips=%zu "
-      "service_breaker_rejections=%zu nonfinite_rejections=%zu "
+      "service_breaker_rejections=%zu service_routed=%zu "
+      "service_steals=%zu service_coalesced_groups=%zu "
+      "service_coalesced_items=%zu nonfinite_rejections=%zu "
       "fork_resets=%zu integrity_detected=%zu integrity_corrected=%zu "
       "integrity_recomputed=%zu integrity_quarantines=%zu "
       "prepack_repacks=%zu plan_seal_rebuilds=%zu corrected_runs=%zu",
       guarded_runs, clean_runs, retries, rebuild_fallbacks, naive_fallbacks,
       failures, checksum_rejections, worker_panics, alloc_failures,
-      batched_items, batched_item_failures, pool_regions,
+      batched_items, batched_item_failures, batched_prepack_reuse,
+      pool_regions,
       pool_spawn_fallbacks, plan_cache_hits, plan_cache_misses,
       pool_watchdog_timeouts, pool_quarantines, pool_rebuilds,
       pool_spawn_failures, arena_fallbacks, plan_cache_insert_failures,
       prepack_fallbacks, service_submitted, service_admitted,
       service_completed, service_rejected, service_shed, service_evictions,
       service_deadline_misses, service_cancellations, service_breaker_trips,
-      service_breaker_rejections, nonfinite_rejections, fork_resets,
+      service_breaker_rejections, service_routed, service_steals,
+      service_coalesced_groups, service_coalesced_items,
+      nonfinite_rejections, fork_resets,
       integrity_detected, integrity_corrected, integrity_recomputed,
       integrity_quarantines, prepack_repacks, plan_seal_rebuilds,
       corrected_runs);

@@ -34,6 +34,9 @@ struct HealthSnapshot {
   std::size_t alloc_failures = 0;
   std::size_t batched_items = 0;
   std::size_t batched_item_failures = 0;
+  /// Batch items whose B pack was served from a shared prepacked handle
+  /// (the same-shape same-B fast path of batched dispatch).
+  std::size_t batched_prepack_reuse = 0;
   // Call-overhead fast path (DESIGN.md §8): how many fork-join regions
   // the persistent pool served vs fell back to spawn-per-call, and how
   // the process-wide plan caches are hitting.
@@ -64,6 +67,14 @@ struct HealthSnapshot {
   std::size_t service_cancellations = 0;
   std::size_t service_breaker_trips = 0;
   std::size_t service_breaker_rejections = 0;
+  // Sharded runtime (DESIGN.md §13): placement, skew repair, and
+  // dispatch amortization. Invariant (bracketed in a Transaction at the
+  // admission site): service_routed == service_submitted — every
+  // submission is routed exactly once, before the admission decision.
+  std::size_t service_routed = 0;          ///< submissions placed on a shard
+  std::size_t service_steals = 0;          ///< requests run by a non-home shard
+  std::size_t service_coalesced_groups = 0;///< >=2-member batched dispatches
+  std::size_t service_coalesced_items = 0; ///< requests served inside those groups
   std::size_t nonfinite_rejections = 0;
   std::size_t fork_resets = 0;            ///< atfork child-side pool resets
   // Integrity layer (DESIGN.md §12): ABFT detections and how each one was
@@ -99,6 +110,7 @@ class Health {
   std::atomic<std::size_t> alloc_failures{0};
   std::atomic<std::size_t> batched_items{0};
   std::atomic<std::size_t> batched_item_failures{0};
+  std::atomic<std::size_t> batched_prepack_reuse{0};
   std::atomic<std::size_t> pool_regions{0};
   std::atomic<std::size_t> pool_spawn_fallbacks{0};
   std::atomic<std::size_t> plan_cache_hits{0};
@@ -120,6 +132,10 @@ class Health {
   std::atomic<std::size_t> service_cancellations{0};
   std::atomic<std::size_t> service_breaker_trips{0};
   std::atomic<std::size_t> service_breaker_rejections{0};
+  std::atomic<std::size_t> service_routed{0};
+  std::atomic<std::size_t> service_steals{0};
+  std::atomic<std::size_t> service_coalesced_groups{0};
+  std::atomic<std::size_t> service_coalesced_items{0};
   std::atomic<std::size_t> nonfinite_rejections{0};
   std::atomic<std::size_t> fork_resets{0};
   std::atomic<std::size_t> integrity_detected{0};

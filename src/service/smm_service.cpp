@@ -1,6 +1,8 @@
 #include "src/service/smm_service.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <optional>
 #include <utility>
 
 #include "src/common/str.h"
@@ -8,6 +10,8 @@
 #include "src/core/parallel_cost.h"
 #include "src/model/parallel_runtime.h"
 #include "src/robust/health.h"
+#include "src/shard/shard.h"
+#include "src/threading/thread_pool.h"
 #include "src/threading/worker_pool.h"
 
 namespace smm::service {
@@ -43,6 +47,11 @@ double env_fraction(const char* name, double fallback) {
                                                               : fallback;
 }
 
+bool ranges_overlap(const std::pair<const void*, const void*>& x,
+                    const std::pair<const void*, const void*>& y) {
+  return x.first < y.second && y.first < x.second;
+}
+
 }  // namespace
 
 ServiceOptions service_options_from_env(ServiceOptions base) {
@@ -52,6 +61,16 @@ ServiceOptions service_options_from_env(ServiceOptions base) {
   if (depth > 0) base.queue_depth = static_cast<std::size_t>(depth);
   base.default_deadline_ms =
       env_long("SMMKIT_DEFAULT_DEADLINE_MS", base.default_deadline_ms);
+  // SMMKIT_SHARDS applies through the shards==0 auto path (the ctor
+  // resolves it via shard::default_shard_count), so an explicit
+  // ServiceOptions::shards always wins over the environment.
+  const long coalesce_depth =
+      env_long("SMMKIT_COALESCE_DEPTH",
+               static_cast<long>(base.coalesce_depth));
+  if (coalesce_depth > 0)
+    base.coalesce_depth = static_cast<std::size_t>(coalesce_depth);
+  base.coalesce_window_us =
+      env_long("SMMKIT_COALESCE_WINDOW_US", base.coalesce_window_us);
   const double low =
       env_fraction("SMMKIT_SHED_LOW_WATERMARK", base.shed_low_watermark);
   const double high =
@@ -89,8 +108,16 @@ bool Ticket::done() const {
 
 SmmService::SmmService(ServiceOptions options)
     : options_(options), breaker_(options.breaker) {
+  // Resolve the auto knobs into options_ so options() reports what the
+  // service actually runs with.
+  if (options_.shards <= 0) options_.shards = shard::default_shard_count();
+  options_.shards = std::clamp(options_.shards, 1, shard::kMaxShards);
+  if (options_.lanes <= 0)
+    options_.lanes =
+        std::max(1, par::native_threads_available() / options_.shards);
+  if (options_.coalesce_depth == 0) options_.coalesce_depth = 1;
+  if (options_.coalesce_window_us < 0) options_.coalesce_window_us = 0;
   SMM_EXPECT(options_.queue_depth > 0, "service needs a queue");
-  SMM_EXPECT(options_.lanes >= 1, "service needs at least one lane");
   SMM_EXPECT(options_.threads_per_request >= 1,
              "service needs at least one thread per request");
   SMM_EXPECT(options_.shed_low_watermark <= options_.shed_high_watermark,
@@ -102,9 +129,26 @@ SmmService::SmmService(ServiceOptions options)
   dispatch_ns_ = model.dispatch_ns;
   seen_pool_quarantines_ =
       robust::health().pool_quarantines.load(std::memory_order_relaxed);
-  lanes_.reserve(static_cast<std::size_t>(options_.lanes));
-  for (int i = 0; i < options_.lanes; ++i)
-    lanes_.emplace_back([this] { lane_main(); });
+
+  // A single-shard service keeps the legacy process-wide pool and plan
+  // cache; N > 1 gives every shard a private domain (DESIGN.md §13) so
+  // panels stop contending on one region lock and one cache mutex.
+  const bool isolated = options_.shards > 1;
+  shards_.reserve(static_cast<std::size_t>(options_.shards));
+  for (int s = 0; s < options_.shards; ++s) {
+    auto sh = std::make_unique<Shard>();
+    if (isolated) {
+      sh->pool = par::WorkerPool::create_private();
+      sh->cache = std::make_unique<core::PlanCache>(core::reference_smm());
+    }
+    shards_.push_back(std::move(sh));
+  }
+  for (int s = 0; s < options_.shards; ++s) {
+    auto& sh = *shards_[static_cast<std::size_t>(s)];
+    sh.lanes.reserve(static_cast<std::size_t>(options_.lanes));
+    for (int l = 0; l < options_.lanes; ++l)
+      sh.lanes.emplace_back([this, s] { lane_main(s); });
+  }
 }
 
 SmmService::~SmmService() { shutdown(); }
@@ -113,6 +157,17 @@ double SmmService::estimate_cost_ns(index_t m, index_t n, index_t k) const {
   return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
              static_cast<double>(k) * flop_ns_ +
          dispatch_ns_;
+}
+
+int SmmService::route_shard(index_t m, index_t n, index_t k,
+                            int scalar_id) const {
+  return shard::route(shard::shape_class_hash({m, n, k, scalar_id}),
+                      estimate_cost_ns(m, n, k),
+                      static_cast<int>(shards_.size()));
+}
+
+core::PlanCache& SmmService::shard_cache(Shard& shard) const {
+  return shard.cache != nullptr ? *shard.cache : core::smm_plan_cache();
 }
 
 void SmmService::complete(
@@ -124,14 +179,35 @@ void SmmService::complete(
   state->cv.notify_all();
 }
 
+void SmmService::maybe_notify_drained() {
+  if (total_queued_.load(std::memory_order_acquire) == 0 &&
+      total_in_flight_.load(std::memory_order_acquire) == 0) {
+    // Empty critical section: a drain() that read non-zero totals must
+    // reach its wait before this notify, or it would sleep through it.
+    { std::lock_guard<std::mutex> g(drain_mu_); }
+    drained_cv_.notify_all();
+  }
+}
+
 Ticket SmmService::admit(Request request) {
+  Shard& shard = *shards_[static_cast<std::size_t>(request.home)];
+  {
+    // Correlated pair (DESIGN.md §13): every submission is routed
+    // exactly once, before the admission decision — a health snapshot
+    // must never observe service_submitted != service_routed.
+    robust::Health::Transaction tx;
+    robust::health().service_submitted.fetch_add(1,
+                                                 std::memory_order_relaxed);
+    robust::health().service_routed.fetch_add(1, std::memory_order_relaxed);
+  }
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  robust::health().service_submitted.fetch_add(1,
-                                               std::memory_order_relaxed);
+  routed_.fetch_add(1, std::memory_order_relaxed);
+  shard.routed.fetch_add(1, std::memory_order_relaxed);
   Ticket ticket(request.state);
 
   // Refusals complete the ticket immediately — the entire decision is one
-  // mutex-guarded inspection of the queue counters, O(µs), no plan work.
+  // mutex-guarded inspection of the shard's queue counters, O(µs), no
+  // plan work.
   const auto refuse = [&](ErrorCode code, std::string msg, bool is_shed,
                           bool is_breaker) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -152,8 +228,8 @@ Ticket SmmService::admit(Request request) {
 
   std::shared_ptr<detail::RequestState> victim;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (state_ != State::kRunning) {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    if (state() != State::kRunning) {
       lock.unlock();
       return refuse(ErrorCode::kShuttingDown,
                     "smm service: draining, no new work admitted", false,
@@ -164,7 +240,7 @@ Ticket SmmService::admit(Request request) {
     // outright so the remaining depth is reserved for the traffic that
     // matters (Table II's lesson — queueing into sync-bound collapse
     // serves nobody).
-    const double fill = static_cast<double>(queued_) /
+    const double fill = static_cast<double>(shard.queued) /
                         static_cast<double>(options_.queue_depth);
     if ((request.priority == Priority::kLow &&
          fill >= options_.shed_low_watermark) ||
@@ -180,8 +256,9 @@ Ticket SmmService::admit(Request request) {
 
     // Cost budget: bounds queue *accumulation*, not request size — an
     // oversized request still runs when it has the queue to itself.
-    if (options_.cost_budget_ns > 0.0 && queued_ > 0 &&
-        queued_cost_ns_ + request.est_cost_ns > options_.cost_budget_ns) {
+    if (options_.cost_budget_ns > 0.0 && shard.queued > 0 &&
+        shard.queued_cost_ns + request.est_cost_ns >
+            options_.cost_budget_ns) {
       lock.unlock();
       return refuse(ErrorCode::kOverloaded,
                     "smm service: queued-cost budget exhausted", false,
@@ -192,9 +269,9 @@ Ticket SmmService::admit(Request request) {
     // of a strictly lower one; identify the victim's class now but pop
     // it only once the arrival is certain to be admitted.
     int victim_class = -1;
-    if (queued_ >= options_.queue_depth) {
+    if (shard.queued >= options_.queue_depth) {
       for (int p = 0; p < static_cast<int>(request.priority); ++p) {
-        if (queues_[p].empty()) continue;
+        if (shard.queues[p].empty()) continue;
         victim_class = p;
         break;
       }
@@ -216,21 +293,24 @@ Ticket SmmService::admit(Request request) {
     }
 
     if (victim_class >= 0) {
-      auto& q = queues_[victim_class];
+      auto& q = shard.queues[victim_class];
       victim = std::move(q.back().state);
-      queued_cost_ns_ -= q.back().est_cost_ns;
+      shard.queued_cost_ns -= q.back().est_cost_ns;
       q.pop_back();
-      --queued_;
+      --shard.queued;
+      total_queued_.fetch_sub(1, std::memory_order_relaxed);
     }
 
-    queued_cost_ns_ += request.est_cost_ns;
-    queues_[static_cast<int>(request.priority)].push_back(
+    shard.queued_cost_ns += request.est_cost_ns;
+    shard.queues[static_cast<int>(request.priority)].push_back(
         std::move(request));
-    ++queued_;
+    ++shard.queued;
+    total_queued_.fetch_add(1, std::memory_order_relaxed);
   }
-  work_cv_.notify_one();
+  shard.work_cv.notify_one();
   admitted_.fetch_add(1, std::memory_order_relaxed);
   robust::health().service_admitted.fetch_add(1, std::memory_order_relaxed);
+  shard.admitted.fetch_add(1, std::memory_order_relaxed);
 
   if (victim != nullptr) {
     // The victim was *admitted* (it is counted in admitted_) and is now
@@ -253,7 +333,7 @@ void SmmService::observe_pool_health() {
       robust::health().pool_quarantines.load(std::memory_order_relaxed);
   bool trip = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(pool_health_mu_);
     if (quarantines > seen_pool_quarantines_) {
       seen_pool_quarantines_ = quarantines;
       trip = true;
@@ -262,7 +342,50 @@ void SmmService::observe_pool_health() {
   if (trip) breaker_.trip();
 }
 
-void SmmService::execute(Request& request) {
+void SmmService::record_outcome(const Result& result) {
+  if (result.ok) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    robust::health().service_completed.fetch_add(1,
+                                                 std::memory_order_relaxed);
+    breaker_.on_success();
+    return;
+  }
+  switch (result.code) {
+    case ErrorCode::kCancelled:
+      cancellations_.fetch_add(1, std::memory_order_relaxed);
+      robust::health().service_cancellations.fetch_add(
+          1, std::memory_order_relaxed);
+      breaker_.on_neutral();
+      break;
+    case ErrorCode::kDeadlineExceeded:
+      deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      robust::health().service_deadline_misses.fetch_add(
+          1, std::memory_order_relaxed);
+      breaker_.on_neutral();
+      break;
+    case ErrorCode::kNonFinite:
+    case ErrorCode::kBadShape:
+    case ErrorCode::kAlias:
+    case ErrorCode::kPrecondition:
+      // The request's own fault: says nothing about the substrate.
+      breaker_.on_neutral();
+      break;
+    case ErrorCode::kDataCorrupted:
+    case ErrorCode::kCacheCorrupted:
+      // Silent-data-corruption defenses fired and could not repair:
+      // the substrate is actively producing wrong bytes — the
+      // strongest possible signal to trip the breaker.
+      breaker_.on_failure();
+      break;
+    default:
+      // Infrastructure-class failure (dead worker, pool timeout,
+      // allocation collapse): counts toward tripping the breaker.
+      breaker_.on_failure();
+      break;
+  }
+}
+
+void SmmService::execute(Request& request, Shard& shard) {
   const CancelToken token = request.state->cancel.token();
   Result result;
   // Queued-but-unstarted stop: complete without touching C (or any plan
@@ -276,7 +399,7 @@ void SmmService::execute(Request& request) {
               "smm service: deadline passed while queued"};
   } else {
     try {
-      request.run(token);
+      request.run(token, shard_cache(shard));
       result.ok = true;
     } catch (const Error& e) {
       ErrorCode code = e.code();
@@ -298,52 +421,100 @@ void SmmService::execute(Request& request) {
     }
   }
 
-  if (result.ok) {
-    completed_.fetch_add(1, std::memory_order_relaxed);
-    robust::health().service_completed.fetch_add(1,
-                                                 std::memory_order_relaxed);
-    breaker_.on_success();
-  } else {
-    switch (result.code) {
-      case ErrorCode::kCancelled:
-        cancellations_.fetch_add(1, std::memory_order_relaxed);
-        robust::health().service_cancellations.fetch_add(
-            1, std::memory_order_relaxed);
-        breaker_.on_neutral();
-        break;
-      case ErrorCode::kDeadlineExceeded:
-        deadline_misses_.fetch_add(1, std::memory_order_relaxed);
-        robust::health().service_deadline_misses.fetch_add(
-            1, std::memory_order_relaxed);
-        breaker_.on_neutral();
-        break;
-      case ErrorCode::kNonFinite:
-      case ErrorCode::kBadShape:
-      case ErrorCode::kAlias:
-      case ErrorCode::kPrecondition:
-        // The request's own fault: says nothing about the substrate.
-        breaker_.on_neutral();
-        break;
-      case ErrorCode::kDataCorrupted:
-      case ErrorCode::kCacheCorrupted:
-        // Silent-data-corruption defenses fired and could not repair:
-        // the substrate is actively producing wrong bytes — the
-        // strongest possible signal to trip the breaker.
-        breaker_.on_failure();
-        break;
-      default:
-        // Infrastructure-class failure (dead worker, pool timeout,
-        // allocation collapse): counts toward tripping the breaker.
-        breaker_.on_failure();
-        break;
-    }
-  }
+  record_outcome(result);
   observe_pool_health();
   complete(request.state, std::move(result));
 }
 
-void SmmService::reap_stopped_locked() {
-  for (auto& q : queues_) {
+template <typename T>
+void SmmService::run_coalesced(SmmService& svc, Shard& shard,
+                               std::vector<Request>& group) {
+  std::vector<core::GemmBatchItem<T>> items;
+  std::vector<CancelToken> token_storage;
+  std::vector<const CancelToken*> tokens;
+  items.reserve(group.size());
+  token_storage.reserve(group.size());  // no realloc: tokens points in
+  tokens.reserve(group.size());
+  const auto* lead =
+      static_cast<const detail::GemmArgs<T>*>(group.front().args.get());
+  for (auto& r : group) {
+    const auto* args =
+        static_cast<const detail::GemmArgs<T>*>(r.args.get());
+    items.push_back({args->a, args->b, args->c});
+    token_storage.push_back(r.state->cancel.token());
+    tokens.push_back(&token_storage.back());
+  }
+
+  {
+    // Correlated pair: a snapshot must never see a group without its
+    // items (or vice versa).
+    robust::Health::Transaction tx;
+    robust::health().service_coalesced_groups.fetch_add(
+        1, std::memory_order_relaxed);
+    robust::health().service_coalesced_items.fetch_add(
+        group.size(), std::memory_order_relaxed);
+  }
+  svc.coalesced_groups_.fetch_add(1, std::memory_order_relaxed);
+  svc.coalesced_items_.fetch_add(group.size(), std::memory_order_relaxed);
+
+  // One batched dispatch for the whole group: one plan lookup, one
+  // pack of the shared B (when the items share one), one fork-join —
+  // the Table II per-call overhead paid once instead of group-size
+  // times. batched_smm_each never lets one member's failure poison a
+  // sibling; the catch below only guards its own preconditions.
+  std::vector<core::BatchItemStatus> statuses;
+  try {
+    statuses = core::batched_smm_each(
+        lead->alpha, items, lead->beta, svc.shard_cache(shard),
+        svc.options_.threads_per_request, &svc.options_.gemm, &tokens);
+  } catch (const Error& e) {
+    statuses.assign(group.size(),
+                    core::BatchItemStatus{false, e.code(), e.what()});
+  } catch (const std::exception& e) {
+    statuses.assign(
+        group.size(),
+        core::BatchItemStatus{false, ErrorCode::kUnknown, e.what()});
+  }
+
+  // Success accounting is batched: one counter bump and one breaker
+  // on_success per group instead of per member (on_success is
+  // idempotent — it resets the failure streak — so folding N calls into
+  // one is semantically identical and keeps the per-item completion
+  // cost flat as groups deepen). Failures stay per-member so the
+  // breaker sees every individual infrastructure signal.
+  std::size_t ok_members = 0;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    Result result;
+    if (statuses[i].ok) {
+      result.ok = true;
+      ++ok_members;
+    } else {
+      ErrorCode code = statuses[i].code;
+      // Same reclassification as execute(): a stop that surfaced as a
+      // poisoned parallel region is reported as the stop it was.
+      if ((code == ErrorCode::kWorkerPanic ||
+           code == ErrorCode::kPoolTimeout) &&
+          token_storage[i].stop_requested()) {
+        code = token_storage[i].cancel_requested()
+                   ? ErrorCode::kCancelled
+                   : ErrorCode::kDeadlineExceeded;
+      }
+      result = Result{false, code, statuses[i].message};
+      svc.record_outcome(result);
+    }
+    complete(group[i].state, std::move(result));
+  }
+  if (ok_members > 0) {
+    svc.completed_.fetch_add(ok_members, std::memory_order_relaxed);
+    robust::health().service_completed.fetch_add(ok_members,
+                                                 std::memory_order_relaxed);
+    svc.breaker_.on_success();
+  }
+  svc.observe_pool_health();
+}
+
+void SmmService::reap_stopped_locked(Shard& shard) {
+  for (auto& q : shard.queues) {
     for (auto it = q.begin(); it != q.end();) {
       const CancelToken token = it->state->cancel.token();
       if (!token.stop_requested()) {
@@ -370,66 +541,248 @@ void SmmService::reap_stopped_locked() {
       // request may hold from admission.
       breaker_.on_neutral();
       complete(it->state, std::move(result));
-      queued_cost_ns_ -= it->est_cost_ns;
-      --queued_;
+      shard.queued_cost_ns -= it->est_cost_ns;
+      --shard.queued;
+      total_queued_.fetch_sub(1, std::memory_order_relaxed);
       it = q.erase(it);
     }
   }
 }
 
-void SmmService::lane_main() {
-  std::unique_lock<std::mutex> lock(mu_);
+std::size_t SmmService::sweep_matches_locked(Shard& shard,
+                                             std::vector<Request>& group) {
+  const CoalesceKey key = group.front().key;  // copy: group may realloc
+  std::size_t added = 0;
+  for (int p = 2; p >= 0 && group.size() < options_.coalesce_depth; --p) {
+    auto& q = shard.queues[p];
+    for (auto it = q.begin();
+         it != q.end() && group.size() < options_.coalesce_depth;) {
+      if (!it->key.matches(key)) {
+        ++it;
+        continue;
+      }
+      // A candidate whose output overlaps a member's operands (or whose
+      // inputs a member writes) stays queued and runs in a later group —
+      // batched workers write all Cs concurrently.
+      bool conflict = false;
+      for (const auto& member : group) {
+        if (ranges_overlap(it->c_range, member.c_range) ||
+            ranges_overlap(it->c_range, member.a_range) ||
+            ranges_overlap(it->c_range, member.b_range) ||
+            ranges_overlap(member.c_range, it->a_range) ||
+            ranges_overlap(member.c_range, it->b_range)) {
+          conflict = true;
+          break;
+        }
+      }
+      if (conflict) {
+        ++it;
+        continue;
+      }
+      // in_flight before queued: drain() watches the pair and must
+      // never observe a popped-but-unaccounted request as "done".
+      total_in_flight_.fetch_add(1, std::memory_order_relaxed);
+      total_queued_.fetch_sub(1, std::memory_order_relaxed);
+      --shard.queued;
+      shard.queued_cost_ns -= it->est_cost_ns;
+      group.push_back(std::move(*it));
+      it = q.erase(it);
+      ++added;
+    }
+  }
+  return added;
+}
+
+std::chrono::steady_clock::time_point SmmService::group_deadline_bound(
+    const std::vector<Request>& group) const {
+  auto bound = std::chrono::steady_clock::time_point::max();
+  double cost_ns = 0.0;
+  for (const auto& r : group) cost_ns += r.est_cost_ns;
+  // Safety margin: leave the group at least 4x its predicted cost (and
+  // never less than 2 ms) of runway before the earliest deadline — a
+  // window must amortize dispatch, not manufacture deadline misses.
+  const auto margin = std::chrono::nanoseconds(
+      static_cast<long long>(std::max(4.0 * cost_ns, 2e6)));
+  for (const auto& r : group)
+    if (r.has_deadline) bound = std::min(bound, r.deadline - margin);
+  return bound;
+}
+
+void SmmService::pop_group_locked(Shard& shard,
+                                  std::unique_lock<std::mutex>& lock,
+                                  std::vector<Request>& group) {
+  for (int p = 2; p >= 0; --p) {
+    auto& q = shard.queues[p];
+    if (q.empty()) continue;
+    total_in_flight_.fetch_add(1, std::memory_order_relaxed);
+    total_queued_.fetch_sub(1, std::memory_order_relaxed);
+    --shard.queued;
+    shard.queued_cost_ns -= q.front().est_cost_ns;
+    group.push_back(std::move(q.front()));
+    q.pop_front();
+    break;
+  }
+  if (group.empty()) return;
+  const std::size_t depth = options_.coalesce_depth;
+  if (depth <= 1 || !group.front().key.valid) return;
+
+  // Opportunistic sweep: whatever same-key work is already queued rides
+  // along for free (no waiting involved).
+  sweep_matches_locked(shard, group);
+  if (group.size() >= depth || options_.coalesce_window_us <= 0 ||
+      state() != State::kRunning)
+    return;
+
+  // Micro-batch window: hold the underfull group open for late same-key
+  // arrivals. Depth-, deadline-, and lifecycle-bounded — drain() and
+  // shutdown() notify the cv, flushing every open window immediately.
+  auto flush_at = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(options_.coalesce_window_us);
+  flush_at = std::min(flush_at, group_deadline_bound(group));
+  while (group.size() < depth && state() == State::kRunning &&
+         std::chrono::steady_clock::now() < flush_at) {
+    if (shard.work_cv.wait_until(lock, flush_at) ==
+        std::cv_status::timeout)
+      break;
+    if (state() != State::kRunning) break;
+    if (sweep_matches_locked(shard, group) > 0)
+      flush_at = std::min(flush_at, group_deadline_bound(group));
+  }
+}
+
+bool SmmService::try_steal(int thief_idx) {
+  if (state() != State::kRunning) return false;
+  const int n = static_cast<int>(shards_.size());
+  Shard& mine = *shards_[static_cast<std::size_t>(thief_idx)];
+  for (int d = 1; d < n; ++d) {
+    Shard& victim = *shards_[static_cast<std::size_t>((thief_idx + d) % n)];
+    Request stolen;
+    bool got = false;
+    {
+      std::lock_guard<std::mutex> lock(victim.mu);
+      // Bounded stealing: take ONE request, and only from a shard with
+      // at least two queued — the victim keeps its plan-cache-local
+      // work and the stolen plan is rebuilt at most once per thief.
+      if (victim.queued >= 2) {
+        for (int p = 0; p <= 2; ++p) {  // lowest class first: it waits
+          auto& q = victim.queues[p];   // longest at home anyway
+          if (q.empty()) continue;
+          total_in_flight_.fetch_add(1, std::memory_order_relaxed);
+          total_queued_.fetch_sub(1, std::memory_order_relaxed);
+          --victim.queued;
+          victim.queued_cost_ns -= q.back().est_cost_ns;
+          stolen = std::move(q.back());
+          q.pop_back();
+          got = true;
+          break;
+        }
+      }
+    }
+    if (!got) continue;
+    mine.steals.fetch_add(1, std::memory_order_relaxed);
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    robust::health().service_steals.fetch_add(1, std::memory_order_relaxed);
+    // Runs on the thief's domain (its pool binding is lane-scoped, its
+    // cache passed here) — the whole point is using idle capacity.
+    execute(stolen, mine);
+    total_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    maybe_notify_drained();
+    return true;
+  }
+  return false;
+}
+
+void SmmService::lane_main(int shard_idx) {
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_idx)];
+  const bool multi = shards_.size() > 1;
+  // Bind the shard's private pool as this lane's run_parallel target:
+  // every nested fork-join region lands on shard-local workers.
+  std::optional<par::WorkerPool::CurrentPoolBinding> binding;
+  if (shard.pool != nullptr) binding.emplace(*shard.pool);
+  std::unique_lock<std::mutex> lock(shard.mu);
   for (;;) {
-    work_cv_.wait(lock,
-                  [&] { return state_ == State::kStopped || queued_ > 0; });
+    const auto ready = [&] {
+      return state() == State::kStopped || shard.queued > 0;
+    };
+    if (multi) {
+      // Timed wait: an idle shard periodically scans peers for steals.
+      shard.work_cv.wait_for(lock, std::chrono::microseconds(500), ready);
+    } else {
+      shard.work_cv.wait(lock, ready);
+    }
     // Deadline-aware sweep before picking work: under sustained
     // higher-priority pressure a queued lower-class item may never be
     // popped, yet its caller's deadline keeps running. Reaping stopped
     // items here bounds time-to-terminal by the lane's pop cadence
     // instead of the item's (possibly starved) queue position.
-    if (queued_ > 0) reap_stopped_locked();
-    if (queued_ == 0) {
-      if (in_flight_ == 0) drained_cv_.notify_all();
-      if (state_ == State::kStopped) return;
+    if (shard.queued > 0) reap_stopped_locked(shard);
+    if (shard.queued == 0) {
+      maybe_notify_drained();
+      if (state() == State::kStopped) return;
+      if (multi && state() == State::kRunning) {
+        lock.unlock();
+        try_steal(shard_idx);
+        lock.lock();
+      }
       continue;
     }
-    Request request;
-    for (int p = 2; p >= 0; --p) {
-      auto& q = queues_[p];
-      if (q.empty()) continue;
-      request = std::move(q.front());
-      q.pop_front();
-      break;
-    }
-    --queued_;
-    queued_cost_ns_ -= request.est_cost_ns;
-    ++in_flight_;
+    std::vector<Request> group;
+    pop_group_locked(shard, lock, group);
+    if (group.empty()) continue;
     lock.unlock();
-    execute(request);
+    if (group.size() == 1) {
+      execute(group.front(), shard);
+    } else {
+      group.front().run_group(*this, shard, group);
+    }
+    total_in_flight_.fetch_sub(group.size(), std::memory_order_relaxed);
+    maybe_notify_drained();
     lock.lock();
-    --in_flight_;
-    if (queued_ == 0 && in_flight_ == 0) drained_cv_.notify_all();
   }
 }
 
 void SmmService::drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (state_ == State::kRunning) state_ = State::kDraining;
-  drained_cv_.wait(lock, [&] { return queued_ == 0 && in_flight_ == 0; });
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    State expected = State::kRunning;
+    state_.compare_exchange_strong(expected, State::kDraining,
+                                   std::memory_order_acq_rel);
+  }
+  // Admission barrier + window flush: an admit that saw kRunning holds
+  // its shard mutex until its enqueue is accounted in total_queued_, so
+  // taking each mutex once makes every such enqueue visible below; the
+  // wakeup flushes any open coalesce window.
+  for (auto& shard : shards_) {
+    { std::lock_guard<std::mutex> g(shard->mu); }
+    shard->work_cv.notify_all();
+  }
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drained_cv_.wait(lock, [&] {
+    return total_queued_.load(std::memory_order_acquire) == 0 &&
+           total_in_flight_.load(std::memory_order_acquire) == 0;
+  });
 }
 
 void SmmService::shutdown() {
   drain();
-  std::vector<std::thread> lanes;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    state_ = State::kStopped;
-    lanes.swap(lanes_);
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    state_.store(State::kStopped, std::memory_order_release);
   }
-  work_cv_.notify_all();
+  std::vector<std::thread> lanes;
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> g(shard->mu);
+      for (auto& lane : shard->lanes) lanes.push_back(std::move(lane));
+      shard->lanes.clear();
+    }
+    shard->work_cv.notify_all();
+  }
   for (auto& lane : lanes) lane.join();
-  // The service promised its caller a clean exit: after this, neither the
-  // service nor the pool underneath it owns a live thread.
+  // The service promised its caller a clean exit: after this, neither
+  // the service nor any pool underneath it owns a live thread.
+  for (auto& shard : shards_)
+    if (shard->pool != nullptr) shard->pool->release_threads();
   par::WorkerPool::instance().release_threads();
 }
 
@@ -445,9 +798,20 @@ SmmService::Stats SmmService::stats() const {
       breaker_rejections_.load(std::memory_order_relaxed);
   s.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
   s.cancellations = cancellations_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
-  s.queued = queued_;
-  s.in_flight = in_flight_;
+  s.routed = routed_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.coalesced_groups = coalesced_groups_.load(std::memory_order_relaxed);
+  s.coalesced_items = coalesced_items_.load(std::memory_order_relaxed);
+  s.queued = total_queued_.load(std::memory_order_relaxed);
+  s.in_flight = total_in_flight_.load(std::memory_order_relaxed);
+  s.routed_per_shard.reserve(shards_.size());
+  s.admitted_per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    s.routed_per_shard.push_back(
+        shard->routed.load(std::memory_order_relaxed));
+    s.admitted_per_shard.push_back(
+        shard->admitted.load(std::memory_order_relaxed));
+  }
   return s;
 }
 
@@ -470,15 +834,37 @@ Ticket SmmService::submit(T alpha, ConstMatrixView<T> a,
   request.state = std::make_shared<detail::RequestState>();
   const long ms =
       deadline_ms > 0 ? deadline_ms : options_.default_deadline_ms;
-  if (ms > 0)
-    request.state->cancel = CancelSource(std::chrono::steady_clock::now() +
-                                         std::chrono::milliseconds(ms));
+  if (ms > 0) {
+    request.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(ms);
+    request.has_deadline = true;
+    request.state->cancel = CancelSource(request.deadline);
+  }
+  const int scalar_id = sizeof(T) == 4 ? 0 : 1;
+  request.home = route_shard(c.rows(), c.cols(), a.cols(), scalar_id);
   const int threads = options_.threads_per_request;
   const core::SmmOptions gemm = options_.gemm;
-  request.run = [alpha, a, b, beta, c, threads,
-                 gemm](const CancelToken& token) {
-    core::smm_gemm(alpha, a, b, beta, c, threads, gemm, token);
+  request.run = [alpha, a, b, beta, c, threads, gemm](
+                    const CancelToken& token, core::PlanCache& cache) {
+    core::smm_gemm(alpha, a, b, beta, c, threads, gemm, token, cache);
   };
+  if (c.rows() > 0 && c.cols() > 0 && a.cols() > 0) {
+    // Coalescable: record the key, the typed operands, and the
+    // type-erased storage extents the sweep's conflict checks read.
+    request.key = CoalesceKey{c.rows(),
+                              c.cols(),
+                              a.cols(),
+                              scalar_id,
+                              static_cast<double>(alpha),
+                              static_cast<double>(beta),
+                              true};
+    request.args = std::make_shared<detail::GemmArgs<T>>(
+        detail::GemmArgs<T>{alpha, beta, a, b, c});
+    request.run_group = &SmmService::run_coalesced<T>;
+    request.a_range = storage_range(a);
+    request.b_range = storage_range(b);
+    request.c_range = storage_range(ConstMatrixView<T>(c));
+  }
   return admit(std::move(request));
 }
 
@@ -496,24 +882,36 @@ Ticket SmmService::submit_batch(T alpha, std::vector<BatchItem<T>> items,
   auto batch =
       std::make_shared<std::vector<core::GemmBatchItem<T>>>();
   batch->reserve(items.size());
+  const int scalar_id = sizeof(T) == 4 ? 0 : 1;
+  // Batch submissions route by a combined hash of their item shapes:
+  // identical batches stay shard-local; they never coalesce with other
+  // requests (the batch is already amortized).
+  std::uint64_t h = 1469598103934665603ull;
   double est = 0.0;
   for (const auto& item : items) {
+    h ^= shard::shape_class_hash(
+        {item.c.rows(), item.c.cols(), item.a.cols(), scalar_id});
+    h *= 1099511628211ull;
     batch->push_back({item.a, item.b, item.c});
     est += estimate_cost_ns(item.c.rows(), item.c.cols(), item.a.cols());
   }
   Request request;
   request.priority = priority;
   request.est_cost_ns = est;
+  request.home = shard::route(h, est, static_cast<int>(shards_.size()));
   request.state = std::make_shared<detail::RequestState>();
   const long ms =
       deadline_ms > 0 ? deadline_ms : options_.default_deadline_ms;
-  if (ms > 0)
-    request.state->cancel = CancelSource(std::chrono::steady_clock::now() +
-                                         std::chrono::milliseconds(ms));
+  if (ms > 0) {
+    request.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(ms);
+    request.has_deadline = true;
+    request.state->cancel = CancelSource(request.deadline);
+  }
   const int threads = options_.threads_per_request;
-  request.run = [alpha, beta, batch, threads](const CancelToken& token) {
-    core::batched_smm(alpha, *batch, beta, core::default_plan_cache(),
-                      threads, &token);
+  request.run = [alpha, beta, batch, threads](const CancelToken& token,
+                                              core::PlanCache& cache) {
+    core::batched_smm(alpha, *batch, beta, cache, threads, &token);
   };
   return admit(std::move(request));
 }

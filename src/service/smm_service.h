@@ -1,5 +1,5 @@
 // smm::service — the traffic-safe front door of the runtime
-// (DESIGN.md §11).
+// (DESIGN.md §11, sharded and coalesced in §13).
 //
 // The paper's motivating workload is serving-style: floods of small
 // GEMMs from DNN inference, where the fixed per-call costs (Table II's
@@ -8,24 +8,38 @@
 // cost to produce a result nobody reads. SmmService therefore puts a
 // bounded, deadline-aware admission layer above smm_gemm/batched_smm:
 //
-//   submit() ── admission ──► queue ──► lanes ──► smm_gemm(+CancelToken)
-//                 │                                  │
-//                 ├─ depth/cost budget → kOverloaded │
-//                 ├─ shed watermarks   → kOverloaded │ (low class first)
-//                 └─ circuit breaker   → kOverloaded │
-//                                                    └─ outcome drives
-//                                                       the breaker
+//   submit() ─ router ─► shard ── admission ──► queue ─► lanes ─► gemm
+//               │          │        │ depth/cost budget → kOverloaded
+//               │          │        ├─ shed watermarks  → kOverloaded
+//               │          │        └─ circuit breaker  → kOverloaded
+//               │          └─ own WorkerPool + PlanCache + lanes
+//               └─ hash(shape class) ⊕ cost bucket (smm::shard)
 //
-// Rejections are O(µs): submit() does shape validation plus a
+// Sharding (DESIGN.md §13): the runtime is partitioned into N execution
+// domains mirroring the sim's 8 NUMA panels. Each shard owns its queue,
+// its lanes, a private WorkerPool, and a partitioned PlanCache, so hot
+// shapes stay plan-cache-local and shards do not contend on one mutex.
+// Bounded work stealing (one request at a time, only from shards with
+// ≥2 queued) keeps a skewed shape distribution from idling capacity.
+//
+// Coalescing: lanes group same-shape same-options queued requests into
+// one batched_smm_each call (micro-batch window, depth- and
+// deadline-bounded), amortizing the per-call dispatch cost Table II
+// shows dominating small multi-threaded SMM. Completion fans back out to
+// the individual Tickets with per-item error/cancel propagation — a
+// coalesced neighbor's failure never poisons siblings.
+//
+// Rejections are O(µs): submit() does shape validation, routing, plus a
 // mutex-guarded admission decision — plan resolution, packing, and
 // execution all happen on the lanes.
 //
 // Lifecycle: drain() stops admitting and completes every admitted
-// request; shutdown() drains, retires the lanes, and releases the
-// process-wide WorkerPool's threads (release_threads), so a stopped
-// service leaves zero live pool threads behind.
+// request; shutdown() drains, retires every shard's lanes, and releases
+// both the per-shard pools' and the process-wide WorkerPool's threads,
+// so a stopped service leaves zero live pool threads behind.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -36,13 +50,16 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/common/cancel.h"
 #include "src/common/error.h"
+#include "src/core/plan_cache.h"
 #include "src/core/smm.h"
 #include "src/matrix/view.h"
 #include "src/service/circuit_breaker.h"
+#include "src/threading/worker_pool.h"
 
 namespace smm::service {
 
@@ -54,16 +71,22 @@ enum class Priority { kLow = 0, kNormal = 1, kHigh = 2 };
 const char* to_string(Priority priority);
 
 struct ServiceOptions {
-  /// Bounded queue depth; admissions beyond it are rejected (or evict a
-  /// lower-priority entry). Env: SMMKIT_QUEUE_DEPTH.
+  /// Execution domains (DESIGN.md §13). 0 = auto: SMMKIT_SHARDS, else 8
+  /// (the sim's panel count). Each shard owns its queue, lanes, a
+  /// private WorkerPool, and a partitioned PlanCache; queue_depth,
+  /// watermarks, and cost_budget_ns are all per shard. 1 = the legacy
+  /// single-domain service (process-wide pool and plan cache).
+  int shards = 0;
+  /// Bounded queue depth per shard; admissions beyond it are rejected
+  /// (or evict a lower-priority entry). Env: SMMKIT_QUEUE_DEPTH.
   std::size_t queue_depth = 64;
   /// Deadline applied to requests submitted without one; 0 = none.
   /// Env: SMMKIT_DEFAULT_DEADLINE_MS.
   long default_deadline_ms = 0;
-  /// Estimated-cost budget (ns of predicted single-lane work) the queue
-  /// may hold; 0 disables the cost gate. An oversized single request is
-  /// still admitted when the queue is empty — the budget bounds queue
-  /// *accumulation*, not request size.
+  /// Estimated-cost budget (ns of predicted single-lane work) each
+  /// shard's queue may hold; 0 disables the cost gate. An oversized
+  /// single request is still admitted when the queue is empty — the
+  /// budget bounds queue *accumulation*, not request size.
   double cost_budget_ns = 0.0;
   /// Queue fill fraction above which kLow arrivals are shed.
   /// Env: SMMKIT_SHED_LOW_WATERMARK.
@@ -71,10 +94,22 @@ struct ServiceOptions {
   /// Queue fill fraction above which kNormal arrivals are shed too.
   /// Env: SMMKIT_SHED_HIGH_WATERMARK.
   double shed_high_watermark = 0.8;
-  /// Service lanes (worker threads draining the queue).
-  int lanes = 1;
+  /// Service lanes (worker threads draining the queue) *per shard*.
+  /// 0 = auto: max(1, native_threads_available() / shards). Note that
+  /// native_threads_available() honors SMMKIT_MAX_THREADS, so capping
+  /// the pool also narrows the auto-derived lane count.
+  int lanes = 0;
   /// nthreads handed to smm_gemm per request.
   int threads_per_request = 1;
+  /// Most same-shape requests one coalesced dispatch may carry; 1
+  /// disables coalescing. Env: SMMKIT_COALESCE_DEPTH.
+  std::size_t coalesce_depth = 16;
+  /// Micro-batch window (µs) a lane may hold an underfull coalesce
+  /// group open for late same-shape arrivals. 0 = opportunistic only
+  /// (group whatever is already queued, never wait). The window is also
+  /// deadline-bounded: it never holds a member near its deadline.
+  /// Env: SMMKIT_COALESCE_WINDOW_US.
+  long coalesce_window_us = 0;
   /// Price admissions with the host-calibrated cost model instead of the
   /// deterministic reference constants (tests keep the default).
   bool calibrated_cost = false;
@@ -106,6 +141,17 @@ struct RequestState {
   std::condition_variable cv;
   bool done = false;
   Result result;
+};
+
+/// The typed operands of a coalescable GEMM submission, type-erased into
+/// Request::args so the shard queue stays untyped.
+template <typename T>
+struct GemmArgs {
+  T alpha;
+  T beta;
+  ConstMatrixView<T> a;
+  ConstMatrixView<T> b;
+  MatrixView<T> c;
 };
 }  // namespace detail
 
@@ -167,24 +213,31 @@ class SmmService {
                 long deadline_ms = 0);
 
   /// Submit a whole batch as one request (runs through batched_smm with
-  /// the request's token; one ticket covers all items).
+  /// the request's token; one ticket covers all items). Batch
+  /// submissions route by a combined hash of their item shapes and are
+  /// never coalesced with other requests.
   template <typename T>
   Ticket submit_batch(T alpha, std::vector<BatchItem<T>> items, T beta,
                       Priority priority = Priority::kNormal,
                       long deadline_ms = 0);
 
   /// Stop admitting (submits now refuse with kShuttingDown) and block
-  /// until every admitted request reached a terminal state. Idempotent;
-  /// the lanes stay up (a test can cancel tickets mid-drain).
+  /// until every admitted request reached a terminal state. Open
+  /// coalesce windows flush immediately. Idempotent; the lanes stay up
+  /// (a test can cancel tickets mid-drain).
   void drain();
 
-  /// drain(), then retire the lanes and release the process-wide
-  /// WorkerPool threads. After shutdown() the service owns no threads
-  /// and the pool has none parked. Idempotent; the destructor calls it.
+  /// drain(), then retire every shard's lanes and release both the
+  /// per-shard pools' and the process-wide WorkerPool's threads. After
+  /// shutdown() the service owns no threads and the pools have none
+  /// parked. Idempotent; the destructor calls it.
   void shutdown();
 
   /// Point-in-time counters (each also mirrored into robust::health()'s
-  /// service_* counters).
+  /// service_* counters). Invariants (DESIGN.md §13): submitted ==
+  /// routed == Σ routed_per_shard (every submission is routed exactly
+  /// once, before the admission decision), admitted == Σ
+  /// admitted_per_shard, and submitted == admitted + rejected.
   struct Stats {
     std::size_t submitted = 0;
     std::size_t admitted = 0;
@@ -199,14 +252,22 @@ class SmmService {
     std::size_t evicted = 0;
     std::size_t deadline_misses = 0;
     std::size_t cancellations = 0;
-    std::size_t queued = 0;      ///< currently waiting
-    std::size_t in_flight = 0;   ///< currently executing
+    std::size_t queued = 0;      ///< currently waiting (all shards)
+    std::size_t in_flight = 0;   ///< currently executing (all shards)
+    // Sharded runtime (DESIGN.md §13).
+    std::size_t routed = 0;            ///< placements (== submitted)
+    std::size_t steals = 0;            ///< requests run by a non-home shard
+    std::size_t coalesced_groups = 0;  ///< >=2-member batched dispatches
+    std::size_t coalesced_items = 0;   ///< requests served in those groups
+    std::vector<std::size_t> routed_per_shard;
+    std::vector<std::size_t> admitted_per_shard;
   };
   [[nodiscard]] Stats stats() const;
 
   [[nodiscard]] BreakerState breaker_state() const {
     return breaker_.state();
   }
+  /// Options with the auto knobs (shards, lanes) resolved.
   [[nodiscard]] const ServiceOptions& options() const { return options_; }
 
   /// Predicted single-lane cost (ns) of one m×n×k request under the
@@ -215,45 +276,137 @@ class SmmService {
   [[nodiscard]] double estimate_cost_ns(index_t m, index_t n,
                                         index_t k) const;
 
+  /// The shard the router would place an m×n×k request of scalar type
+  /// `scalar_id` (0 = f32, 1 = f64) on — deterministic (tests assert it).
+  [[nodiscard]] int route_shard(index_t m, index_t n, index_t k,
+                                int scalar_id) const;
+
  private:
   enum class State { kRunning, kDraining, kStopped };
 
-  struct Request {
-    std::shared_ptr<detail::RequestState> state;
-    std::function<void(const CancelToken&)> run;
-    Priority priority = Priority::kNormal;
-    double est_cost_ns = 0.0;
+  struct Shard;
+
+  /// What coalescing keys on: two requests merge into one batched
+  /// dispatch only when shape, scalar type, and scale factors all agree
+  /// (options are service-wide, so "same options" holds by construction).
+  struct CoalesceKey {
+    index_t m = 0;
+    index_t n = 0;
+    index_t k = 0;
+    int scalar = 0;
+    double alpha = 0.0;
+    double beta = 0.0;
+    bool valid = false;  ///< batch submissions never coalesce
+    [[nodiscard]] bool matches(const CoalesceKey& o) const {
+      return valid && o.valid && m == o.m && n == o.n && k == o.k &&
+             scalar == o.scalar && alpha == o.alpha && beta == o.beta;
+    }
   };
 
-  /// The admission decision plus enqueue. Returns an empty shared_ptr on
-  /// admit; otherwise the refusal is already recorded in the ticket.
+  using ByteRange = std::pair<const void*, const void*>;
+
+  struct Request {
+    std::shared_ptr<detail::RequestState> state;
+    /// Single-request execution against the shard's plan cache.
+    std::function<void(const CancelToken&, core::PlanCache&)> run;
+    Priority priority = Priority::kNormal;
+    double est_cost_ns = 0.0;
+    int home = 0;  ///< shard the router placed this request on
+    std::chrono::steady_clock::time_point deadline{};
+    bool has_deadline = false;
+    CoalesceKey key;
+    /// detail::GemmArgs<T> when key.valid (run_group recovers the type).
+    std::shared_ptr<void> args;
+    /// Coalesced execution of a whole same-key group; set alongside args.
+    void (*run_group)(SmmService&, Shard&, std::vector<Request>&) = nullptr;
+    /// Operand storage extents for the coalesce sweep's conflict checks
+    /// (type-erased so the sweep never touches args).
+    ByteRange a_range{nullptr, nullptr};
+    ByteRange b_range{nullptr, nullptr};
+    ByteRange c_range{nullptr, nullptr};
+  };
+
+  /// One execution domain: queue + lanes + pool + plan cache
+  /// (DESIGN.md §13). `pool`/`cache` are null on a single-shard service,
+  /// which keeps the legacy process-wide instances.
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable work_cv;
+    /// One deque per priority class; lanes pop the highest non-empty.
+    std::deque<Request> queues[3];
+    std::size_t queued = 0;
+    double queued_cost_ns = 0.0;
+    std::vector<std::thread> lanes;
+    std::unique_ptr<par::WorkerPool> pool;
+    std::unique_ptr<core::PlanCache> cache;
+    std::atomic<std::size_t> routed{0};
+    std::atomic<std::size_t> admitted{0};
+    std::atomic<std::size_t> steals{0};
+  };
+
+  /// The admission decision plus enqueue on the request's home shard.
+  /// Returns the ticket; refusals are already recorded in it.
   Ticket admit(Request request);
   /// Complete-and-remove every queued request whose token is already
   /// stopped (cancelled or past deadline) without executing it. Called
-  /// by lanes under mu_ before picking work, so a starved class still
-  /// reaches a terminal state at the lanes' pop cadence.
-  void reap_stopped_locked();
-  void lane_main();
-  void execute(Request& request);
+  /// by lanes under shard.mu before picking work, so a starved class
+  /// still reaches a terminal state at the lanes' pop cadence.
+  void reap_stopped_locked(Shard& shard);
+  void lane_main(int shard_idx);
+  /// Pop a leader and coalesce same-key queued requests behind it, up to
+  /// coalesce_depth, optionally holding the micro-batch window open.
+  /// Accounts every popped member (in_flight before queued, so drain
+  /// never sees a gap). Caller holds `lock` on shard.mu.
+  void pop_group_locked(Shard& shard, std::unique_lock<std::mutex>& lock,
+                        std::vector<Request>& group);
+  /// Move every queued request matching the group leader's key (and not
+  /// conflicting with a member's output) into the group. Returns how
+  /// many joined. Caller holds shard.mu.
+  std::size_t sweep_matches_locked(Shard& shard,
+                                   std::vector<Request>& group);
+  /// Latest instant the window may hold this group (earliest member
+  /// deadline minus a safety margin scaled by the group's predicted
+  /// cost).
+  [[nodiscard]] std::chrono::steady_clock::time_point group_deadline_bound(
+      const std::vector<Request>& group) const;
+  /// Steal ONE request from the back of another shard's lowest-priority
+  /// queue (only from shards with >= 2 queued — bounded stealing leaves
+  /// the victim its plan-cache-local work) and run it on the thief's
+  /// domain. Returns true when something was stolen and executed.
+  bool try_steal(int thief_idx);
+  void execute(Request& request, Shard& shard);
+  template <typename T>
+  static void run_coalesced(SmmService& svc, Shard& shard,
+                            std::vector<Request>& group);
+  /// The completed/cancelled/deadline/breaker bookkeeping shared by the
+  /// single-request and coalesced completion paths.
+  void record_outcome(const Result& result);
   static void complete(const std::shared_ptr<detail::RequestState>& state,
                        Result result);
   void observe_pool_health();
+  [[nodiscard]] core::PlanCache& shard_cache(Shard& shard) const;
+  [[nodiscard]] State state() const {
+    return state_.load(std::memory_order_acquire);
+  }
+  void maybe_notify_drained();
 
   ServiceOptions options_;
   double flop_ns_ = 0.0;      ///< cost-model constants, resolved once
   double dispatch_ns_ = 0.0;
   CircuitBreaker breaker_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;     ///< lanes wait for work / stop
-  std::condition_variable drained_cv_;  ///< drain() waits for empty
-  State state_ = State::kRunning;
-  /// One deque per priority class; lanes pop the highest non-empty.
-  std::deque<Request> queues_[3];
-  std::size_t queued_ = 0;
-  std::size_t in_flight_ = 0;
-  double queued_cost_ns_ = 0.0;
-  std::vector<std::thread> lanes_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<State> state_{State::kRunning};
+  /// Serializes state transitions (drain/shutdown vs each other).
+  std::mutex lifecycle_mu_;
+  /// drain() waits here for both totals to reach zero; lanes notify
+  /// through maybe_notify_drained().
+  mutable std::mutex drain_mu_;
+  std::condition_variable drained_cv_;
+  std::atomic<std::size_t> total_queued_{0};
+  std::atomic<std::size_t> total_in_flight_{0};
+
+  std::mutex pool_health_mu_;
   std::size_t seen_pool_quarantines_ = 0;
 
   std::atomic<std::size_t> submitted_{0};
@@ -265,6 +418,10 @@ class SmmService {
   std::atomic<std::size_t> breaker_rejections_{0};
   std::atomic<std::size_t> deadline_misses_{0};
   std::atomic<std::size_t> cancellations_{0};
+  std::atomic<std::size_t> routed_{0};
+  std::atomic<std::size_t> steals_{0};
+  std::atomic<std::size_t> coalesced_groups_{0};
+  std::atomic<std::size_t> coalesced_items_{0};
 };
 
 }  // namespace smm::service

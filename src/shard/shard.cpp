@@ -1,0 +1,63 @@
+#include "src/shard/shard.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/model/parallel_runtime.h"
+
+namespace smm::shard {
+
+int default_shard_count() {
+  int shards = 8;  // the sim's Phytium 2000+ panel count
+  if (const char* env = std::getenv("SMMKIT_SHARDS");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) shards = static_cast<int>(v);
+  }
+  return std::clamp(shards, 1, kMaxShards);
+}
+
+namespace {
+
+inline void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ull;
+}
+
+}  // namespace
+
+std::uint64_t shape_class_hash(const ShapeClass& sc) {
+  std::uint64_t h = 1469598103934665603ull;
+  fnv_mix(h, static_cast<std::uint64_t>(sc.m));
+  fnv_mix(h, static_cast<std::uint64_t>(sc.n));
+  fnv_mix(h, static_cast<std::uint64_t>(sc.k));
+  fnv_mix(h, static_cast<std::uint64_t>(sc.scalar));
+  return h;
+}
+
+int route(std::uint64_t shape_hash, double est_cost_ns, int nshards) {
+  if (nshards <= 1) return 0;
+  // Bucketize the predicted cost on a log2 scale in units of one
+  // dispatch quantum (the reference model's fixed per-call cost — the
+  // Table II overhead the whole runtime exists to amortize). The bucket
+  // is a pure function of the estimate, so equal shape classes always
+  // share it; folding it in re-mixes traffic classes whose costs differ
+  // by powers of two so the expensive tail does not ride the raw shape
+  // hash onto one shard.
+  const double quantum =
+      std::max(1.0, model::reference_cost_model().dispatch_ns);
+  std::uint64_t bucket = 0;
+  double units = est_cost_ns / quantum;
+  while (units >= 2.0 && bucket < 63) {
+    units *= 0.5;
+    ++bucket;
+  }
+  std::uint64_t h = shape_hash;
+  fnv_mix(h, bucket);
+  // xor-fold before the modulo: FNV's low bits are its weakest.
+  h ^= h >> 32;
+  return static_cast<int>(h % static_cast<std::uint64_t>(nshards));
+}
+
+}  // namespace smm::shard

@@ -138,8 +138,10 @@ void run_parallel(int nthreads, const std::function<void(int)>& body,
   }
   std::vector<std::exception_ptr> errors(
       static_cast<std::size_t>(nthreads));
-  if (!WorkerPool::instance().try_run(nthreads, body, on_worker_failure,
-                                      errors)) {
+  // current(): the thread's bound pool (a shard lane binds its own) or
+  // the process-wide instance.
+  if (!WorkerPool::current().try_run(nthreads, body, on_worker_failure,
+                                     errors)) {
     robust::health().pool_spawn_fallbacks.fetch_add(
         1, std::memory_order_relaxed);
     run_spawned(nthreads, body, on_worker_failure, errors);

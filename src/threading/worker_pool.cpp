@@ -19,6 +19,11 @@ namespace {
 // such a thread must not touch the pool (region_mu_ is non-recursive).
 thread_local bool tls_in_pool_region = false;
 
+// The innermost CurrentPoolBinding on this thread; null means "use the
+// process-wide instance()". A raw pointer is safe because a binding's
+// lifetime brackets every use (shard lanes bind for the whole request).
+thread_local WorkerPool* tls_current_pool = nullptr;
+
 }  // namespace
 
 WorkerPool& WorkerPool::instance() {
@@ -28,11 +33,29 @@ WorkerPool& WorkerPool::instance() {
   // after static destruction (fork_guard.h: only immortal process-wide
   // singletons may register). Threads are retired explicitly through
   // release_threads(); whatever is still parked dies with the process.
-  static WorkerPool* pool = new WorkerPool;
+  static WorkerPool* pool = new WorkerPool(/*fork_guard=*/true);
   return *pool;
 }
 
-WorkerPool::WorkerPool() {
+std::unique_ptr<WorkerPool> WorkerPool::create_private() {
+  return std::unique_ptr<WorkerPool>(new WorkerPool(/*fork_guard=*/false));
+}
+
+WorkerPool& WorkerPool::current() {
+  WorkerPool* bound = tls_current_pool;
+  return bound != nullptr ? *bound : instance();
+}
+
+WorkerPool::CurrentPoolBinding::CurrentPoolBinding(WorkerPool& pool)
+    : previous_(tls_current_pool) {
+  tls_current_pool = &pool;
+}
+
+WorkerPool::CurrentPoolBinding::~CurrentPoolBinding() {
+  tls_current_pool = previous_;
+}
+
+WorkerPool::WorkerPool(bool fork_guard) {
   // Generous default: the watchdog exists to catch dead workers, not slow
   // ones — a false positive poisons a healthy region mid-computation.
   long ms = 30000;
@@ -43,6 +66,8 @@ WorkerPool::WorkerPool() {
     if (end != env && *end == '\0' && v >= 0) ms = v;
   }
   timeout_ms_.store(ms, std::memory_order_relaxed);
+
+  if (!fork_guard) return;
 
   // Fork safety (DESIGN.md §11): the child inherits the roster's state
   // but none of its threads — fork() copies only the calling thread. The

@@ -56,6 +56,33 @@ class WorkerPool {
   /// The process-wide pool used by run_parallel.
   static WorkerPool& instance();
 
+  /// A privately owned pool (the sharded service gives each shard one so
+  /// panels stop contending on a single region lock). Unlike instance(),
+  /// a private pool registers no atfork handlers — fork handlers are
+  /// permanent and capture `this`, which only an immortal object may do
+  /// (fork_guard.h). A forked child must therefore not reuse inherited
+  /// private pools; the service rebuilds its shards instead.
+  static std::unique_ptr<WorkerPool> create_private();
+
+  /// The pool run_parallel dispatches to on this thread: the pool bound
+  /// by the innermost live CurrentPoolBinding, else instance().
+  static WorkerPool& current();
+
+  /// Binds `pool` as this thread's current() for the binding's lifetime
+  /// (restores the previous binding on destruction). Shard lanes hold one
+  /// across each request so nested run_parallel calls land on the
+  /// shard-local pool.
+  class CurrentPoolBinding {
+   public:
+    explicit CurrentPoolBinding(WorkerPool& pool);
+    ~CurrentPoolBinding();
+    CurrentPoolBinding(const CurrentPoolBinding&) = delete;
+    CurrentPoolBinding& operator=(const CurrentPoolBinding&) = delete;
+
+   private:
+    WorkerPool* previous_;
+  };
+
   ~WorkerPool();
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
@@ -116,7 +143,9 @@ class WorkerPool {
   [[nodiscard]] int live_threads() const;
 
  private:
-  WorkerPool();
+  /// `fork_guard` registers the permanent atfork handlers — true only for
+  /// the immortal instance(); private pools must pass false.
+  explicit WorkerPool(bool fork_guard);
 
   /// One fork-join region's shared state. Heap-held behind shared_ptr:
   /// an abandoned worker may outlive the try_run call that created the

@@ -3,10 +3,12 @@
 
 #include <atomic>
 
+#include "src/common/cancel.h"
 #include "src/core/batched.h"
 #include "src/core/plan_cache.h"
 #include "src/core/smm.h"
 #include "src/plan/native_executor.h"
+#include "src/robust/health.h"
 #include "src/threading/thread_pool.h"
 #include "tests/test_helpers.h"
 
@@ -136,6 +138,86 @@ TEST(Batched, DefaultCacheSingleton) {
   PlanCache& a = default_plan_cache();
   PlanCache& b = default_plan_cache();
   EXPECT_EQ(&a, &b);
+}
+
+TEST(Batched, SharedBPacksOnceAcrossItems) {
+  // 30 % nr != 0, so the default-built plan edge-packs B and the handle
+  // materializes — the precondition for replaying one packed B across
+  // the batch (DESIGN.md §13 satellite of the coalescer).
+  PlanCache cache(reference_smm());
+  const index_t m = 32, n = 30, k = 32;
+  constexpr std::size_t kBatch = 8;
+  std::vector<test::GemmProblem<double>> probs;
+  probs.reserve(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i)
+    probs.emplace_back(m, n, k, 200 + static_cast<unsigned>(i));
+  // Every item must present *literally the same* B view (same pointer,
+  // same leading dimension) for the pack-once path to engage; copy item
+  // 0's B into the others so their c_expected stays truthful.
+  for (std::size_t i = 1; i < kBatch; ++i)
+    probs[i].b = probs[0].b.clone();
+  std::vector<GemmBatchItem<double>> items;
+  for (auto& p : probs) {
+    p.reference(1.0, 0.0);
+    items.push_back({p.a.cview(), probs[0].b.cview(), p.c.view()});
+  }
+  const std::size_t reuse_before =
+      robust::health().snapshot().batched_prepack_reuse;
+  batched_smm(1.0, items, 0.0, cache, /*nworkers=*/1);
+  for (auto& p : probs) EXPECT_TRUE(p.check(k));
+  EXPECT_EQ(cache.misses(), 1u);  // one shape, one plan build
+  // The pack-once hit: all kBatch items were served off one packed B.
+  EXPECT_EQ(robust::health().snapshot().batched_prepack_reuse,
+            reuse_before + kBatch);
+}
+
+TEST(Batched, EachIsolatesNeighborFailures) {
+  // batched_smm_each is the coalescer's engine: one member's bad shape
+  // or cancellation must land in its own status slot while the healthy
+  // neighbors run to completion (and still share the packed B).
+  PlanCache cache(reference_smm());
+  const index_t m = 32, n = 30, k = 32;
+  std::vector<test::GemmProblem<double>> probs;
+  for (unsigned i = 0; i < 4; ++i) probs.emplace_back(m, n, k, 300 + i);
+  for (std::size_t i = 1; i < probs.size(); ++i)
+    probs[i].b = probs[0].b.clone();
+  Matrix<double> bad_c(m + 1, n);  // dimension mismatch for item 2
+
+  std::vector<GemmBatchItem<double>> items;
+  for (std::size_t i = 0; i < 3; ++i) {
+    probs[i].reference(1.0, 0.0);
+    items.push_back(
+        {probs[i].a.cview(), probs[0].b.cview(), probs[i].c.view()});
+  }
+  items.push_back({probs[3].a.cview(), probs[0].b.cview(), bad_c.view()});
+
+  CancelSource cancelled;
+  cancelled.request_cancel();
+  const CancelToken stop = cancelled.token();
+  std::vector<const CancelToken*> tokens{nullptr, &stop, nullptr, nullptr};
+  const Matrix<double> c1_before = probs[1].c.clone();
+
+  const std::size_t reuse_before =
+      robust::health().snapshot().batched_prepack_reuse;
+  const auto statuses =
+      batched_smm_each(1.0, items, 0.0, cache, /*nworkers=*/1,
+                       /*options=*/nullptr, &tokens);
+  ASSERT_EQ(statuses.size(), items.size());
+  EXPECT_TRUE(statuses[0].ok) << statuses[0].message;
+  ASSERT_FALSE(statuses[1].ok);
+  EXPECT_EQ(statuses[1].code, ErrorCode::kCancelled);
+  EXPECT_TRUE(statuses[2].ok) << statuses[2].message;
+  ASSERT_FALSE(statuses[3].ok);
+  EXPECT_EQ(statuses[3].code, ErrorCode::kBadShape);
+  // Healthy members produced the right numbers; the cancelled member's C
+  // is untouched.
+  EXPECT_TRUE(probs[0].check(k));
+  EXPECT_TRUE(probs[2].check(k));
+  EXPECT_EQ(max_abs_diff(probs[1].c.cview(), c1_before.cview()), 0.0);
+  // The three runnable members (the cancelled one is excluded at the
+  // token pre-check, after the uniform scan) still shared one packed B.
+  EXPECT_EQ(robust::health().snapshot().batched_prepack_reuse,
+            reuse_before + 3);
 }
 
 }  // namespace

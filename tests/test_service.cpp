@@ -160,6 +160,7 @@ TEST_F(ServiceTest, AlreadyExpiredDeadlineFailsAtFirstCheck) {
 
 TEST_F(ServiceTest, DeadlineExpiresWhileQueued) {
   ServiceOptions options;
+  options.shards = 1;  // single queue: the blocker provably blocks
   options.lanes = 1;
   SmmService svc(options);
   Blocker blocker;
@@ -181,6 +182,7 @@ TEST_F(ServiceTest, DeadlineExpiresWhileQueued) {
 
 TEST_F(ServiceTest, DeadlineExpiresMidExecution) {
   ServiceOptions options;
+  options.shards = 1;
   options.lanes = 1;
   SmmService svc(options);
   Blocker blocker(200);  // a couple hundred ms of work in one request
@@ -210,7 +212,8 @@ TEST_F(ServiceTest, SubmittedWorkComputesCorrectResult) {
 
 TEST_F(ServiceTest, QueueDepthRejectsWithOverloaded) {
   ServiceOptions options;
-  options.lanes = 1;
+  options.shards = 1;  // depth/shedding tests exercise ONE shard's queue;
+  options.lanes = 1;   // stealing peers would drain it nondeterministically
   options.queue_depth = 2;
   options.shed_low_watermark = 1.0;  // isolate the depth gate
   options.shed_high_watermark = 1.0;
@@ -247,6 +250,7 @@ TEST_F(ServiceTest, QueueDepthRejectsWithOverloaded) {
 
 TEST_F(ServiceTest, WatermarkShedsLowPriorityFirst) {
   ServiceOptions options;
+  options.shards = 1;
   options.lanes = 1;
   options.queue_depth = 4;
   options.shed_low_watermark = 0.5;
@@ -315,6 +319,7 @@ TEST_F(ServiceTest, EnvWatermarksUnorderedPairIsIgnored) {
 
 TEST_F(ServiceTest, CostBudgetBoundsQueueAccumulation) {
   ServiceOptions options;
+  options.shards = 1;
   options.lanes = 1;
   // Budget below the predicted cost of two queued 32³ requests but above
   // one — so the queue holds exactly one while a blocker runs.
@@ -342,6 +347,7 @@ TEST_F(ServiceTest, CostBudgetBoundsQueueAccumulation) {
 
 TEST_F(ServiceTest, OversizedRequestAdmittedWhenQueueEmpty) {
   ServiceOptions options;
+  options.shards = 1;
   options.cost_budget_ns = 1.0;  // smaller than any request's estimate
   SmmService svc(options);
   test::GemmProblem<double> p(32, 32, 32, 34);
@@ -386,6 +392,7 @@ TEST_F(ServiceTest, BreakerUnitTripHalfOpenRecover) {
 
 TEST_F(ServiceTest, ServiceBreakerTripsOnRepeatedFailuresAndRecovers) {
   ServiceOptions options;
+  options.shards = 1;
   options.lanes = 1;
   options.threads_per_request = 2;  // route through the worker pool
   options.breaker.failure_threshold = 2;
@@ -430,6 +437,7 @@ TEST_F(ServiceTest, ServiceBreakerTripsOnRepeatedFailuresAndRecovers) {
 
 TEST_F(ServiceTest, CancelDuringDrainCompletesQueuedAsCancelled) {
   ServiceOptions options;
+  options.shards = 1;
   options.lanes = 1;
   SmmService svc(options);
   Blocker blocker;
@@ -463,6 +471,7 @@ TEST_F(ServiceTest, CancelDuringDrainCompletesQueuedAsCancelled) {
 
 TEST_F(ServiceTest, ShutdownCompletesAdmittedWorkAndReleasesPoolThreads) {
   ServiceOptions options;
+  options.shards = 1;  // exercises the legacy process-wide pool promise
   options.lanes = 2;
   options.threads_per_request = 2;  // make the pool spawn workers
   std::vector<Ticket> tickets;
@@ -629,6 +638,12 @@ TEST_F(ServiceTest, SnapshotNeverTearsAcrossTransaction) {
             1, std::memory_order_relaxed);
         robust::health().naive_fallbacks.fetch_add(
             1, std::memory_order_relaxed);
+        // The shard router's correlated pair (DESIGN.md §13): admit()
+        // brackets these two exactly like this.
+        robust::health().service_submitted.fetch_add(
+            1, std::memory_order_relaxed);
+        robust::health().service_routed.fetch_add(
+            1, std::memory_order_relaxed);
       }
     });
   }
@@ -639,6 +654,8 @@ TEST_F(ServiceTest, SnapshotNeverTearsAcrossTransaction) {
     const auto s = robust::health().snapshot();
     ASSERT_EQ(s.rebuild_fallbacks, s.naive_fallbacks)
         << "torn snapshot after " << reads << " reads";
+    ASSERT_EQ(s.service_submitted, s.service_routed)
+        << "torn submitted/routed pair after " << reads << " reads";
     ++reads;
   }
   stop.store(true, std::memory_order_relaxed);
@@ -651,6 +668,7 @@ TEST_F(ServiceTest, SnapshotNeverTearsAcrossTransaction) {
 
 TEST_F(ServiceTest, ConcurrentSubmitCancelStress) {
   ServiceOptions options;
+  options.shards = 1;  // the multi-shard stress lives in test_shard
   options.lanes = 2;
   options.queue_depth = 16;
   options.default_deadline_ms = 50;
