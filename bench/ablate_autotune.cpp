@@ -4,14 +4,234 @@
 // SMM's closed-form choices. Where the gain is ~1.0x the Section III/IV
 // rules already pick the optimum; larger gains mark shapes where the
 // analytical rules leave performance behind.
+//
+// --online switches to the smm::tune A/B soak (DESIGN.md §14): the same
+// skewed warm-path shape mix is driven through smm_gemm three times —
+// SMMKIT_AUTOTUNE=off (static plans), =observe (sampling on, decisions
+// untouched: its cost IS the warm-path overhead of the tuner), and
+// =adapt (the online explore/commit loop, measured at steady state
+// after convergence). Writes BENCH_autotune.json; with --check, exits
+// nonzero when adapt steady-state falls below --adapt-gain x static or
+// observe overhead exceeds --observe-overhead.
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <vector>
+
 #include "bench/bench_common.h"
 #include "src/common/str.h"
 #include "src/core/autotune.h"
+#include "src/core/plan_cache.h"
+#include "src/matrix/matrix.h"
+#include "src/tune/tune.h"
 
 namespace smm::bench {
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+/// The skewed serving mix: the hot shapes are ones where the closed-form
+/// Section III tile/blocking rules (derived on ARMv8) pick wrong on the
+/// host actually running — exactly the gap IAAT motivates closing with
+/// observed timings. A tail of ordinary SMM shapes (where the rules are
+/// near-optimal) keeps the mix honest. Weights are call counts per pass.
+struct MixItem {
+  GemmShape shape;
+  int weight;
+};
+
+constexpr MixItem kMix[] = {
+    {{100, 100, 100}, 6},  // hot: default tile well off the measured best
+    {{64, 8, 64}, 4},      // hot: skinny N, tile choice dominates
+    {{13, 17, 19}, 4},     // hot: odd edges, tile choice dominates
+    {{128, 128, 128}, 2},  // warm: moderate tile headroom
+    {{32, 32, 32}, 2},     // tail: classic SMM, defaults near-optimal
+    {{16, 16, 256}, 1},    // tail
+};
+
+struct MixOperand {
+  Matrix<float> a, b, c;
+  GemmShape shape;
+  MixOperand(GemmShape s, std::uint64_t seed)
+      : a(s.m, s.k), b(s.k, s.n), c(s.m, s.n), shape(s) {
+    Rng rng(seed);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    c.fill_random(rng);
+  }
+};
+
+/// One pass = every mix entry, `weight` calls each, through the warm
+/// smm_gemm path (global plan cache + global tuner — the production
+/// wiring, which is the point of an *online* soak).
+void run_pass(std::vector<MixOperand>& ops) {
+  std::size_t i = 0;
+  for (const MixItem& item : kMix) {
+    MixOperand& op = ops[i++];
+    for (int w = 0; w < item.weight; ++w)
+      core::smm_gemm(1.0f, op.a.cview(), op.b.cview(), 0.0f, op.c.view(),
+                     /*nthreads=*/1, {});
+  }
+}
+
+/// Best-of-reps mean ns per pass (the min over independent batches
+/// discards scheduler preemptions — the ablate_dispatch rationale).
+double ns_per_pass(std::vector<MixOperand>& ops, int iters, int reps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) run_pass(ops);
+    const double ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - t0)
+                .count()) /
+        iters;
+    if (r == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+/// Reset the global tuner + plan cache to a cold arm boundary and pin
+/// the mode. Each arm rebuilds its plans from scratch so no arm inherits
+/// the previous arm's cache contents.
+void arm_begin(tune::Mode mode) {
+  tune::set_mode_override(mode);
+  tune::tuner().reset();
+  tune::tuner().set_options({});  // back to the production knobs
+  core::smm_plan_cache().clear();
+}
+
+int run_online(int argc, char** argv) {
+  const int iters = std::atoi(
+      arg_value(argc, argv, "--iters", "20").c_str());
+  const int reps = std::atoi(arg_value(argc, argv, "--reps", "5").c_str());
+  const bool check = has_flag(argc, argv, "--check");
+  const double adapt_gain = std::atof(
+      arg_value(argc, argv, "--adapt-gain", "1.10").c_str());
+  const double observe_overhead = std::atof(
+      arg_value(argc, argv, "--observe-overhead", "0.02").c_str());
+  const std::string json_path =
+      arg_value(argc, argv, "--json", "BENCH_autotune.json");
+
+  std::vector<MixOperand> ops;
+  std::uint64_t seed = 7;
+  for (const MixItem& item : kMix) ops.emplace_back(item.shape, seed++);
+
+  std::printf("-- A6 --online: static vs observe vs adapt on the skewed "
+              "mix (%d passes x %d reps per arm) --\n", iters, reps);
+
+  // Arm 1: static — tuning off, the pre-smm::tune runtime.
+  arm_begin(tune::Mode::kOff);
+  run_pass(ops);  // build + warm the plans outside the timed window
+  const double static_ns = ns_per_pass(ops, iters, reps);
+  std::printf("%10s : %12.0f ns/pass\n", "static", static_ns);
+
+  // Arm 2: observe — sampling and the table on, decisions untouched.
+  // Its delta over static is the tuner's entire warm-path cost.
+  arm_begin(tune::Mode::kObserve);
+  run_pass(ops);
+  const double observe_ns = ns_per_pass(ops, iters, reps);
+  const double overhead = observe_ns / static_ns - 1.0;
+  std::printf("%10s : %12.0f ns/pass (overhead %+.2f%%)\n", "observe",
+              observe_ns, overhead * 100.0);
+
+  // Arm 3: adapt — converge first (aggressive sampling so exploration
+  // finishes in seconds instead of the production warm-up horizon), then
+  // measure steady state under the production sampling rate.
+  arm_begin(tune::Mode::kAdapt);
+  {
+    tune::Tuner::Options warmup;
+    warmup.sample_period = 2;   // feed the posterior fast
+    warmup.min_samples = 4;
+    warmup.trial_samples = 8;   // enough that trial noise can't crown
+                                // a mediocre candidate
+    warmup.hot_samples = 8;     // every mix class counts as hot
+    // Serial candidates price identically under the analytic prior (it
+    // has no tile/pack term for one thread), so only a wide trial list
+    // reaches the alternate-tile candidates — the ones that win when
+    // the ARMv8-derived tile rule mispicks for the measured host.
+    warmup.max_candidates = 16;
+    tune::tuner().set_options(warmup);
+  }
+  for (int i = 0; i < 64; ++i) {
+    run_pass(ops);
+    bool settled = true;
+    for (const auto& s : tune::tuner().snapshot_classes())
+      settled = settled && s.committed;
+    if (settled && !tune::tuner().snapshot_classes().empty()) break;
+  }
+  tune::tuner().set_options({});  // production sampling for the window
+  run_pass(ops);                  // absorb the post-commit cache misses
+  const double adapt_ns = ns_per_pass(ops, iters, reps);
+  const double speedup = static_ns / adapt_ns;
+  std::printf("%10s : %12.0f ns/pass (%.3fx static, %llu replans)\n",
+              "adapt", adapt_ns, speedup,
+              static_cast<unsigned long long>(tune::tuner().replans()));
+
+  const auto classes = tune::tuner().snapshot_classes();
+  for (const auto& s : classes) {
+    std::printf("  class %ldx%ldx%ld: %s %ldx%ld kc=%ld %s (ewma %.0f "
+                "ns, %llu samples)\n",
+                static_cast<long>(s.key.m), static_cast<long>(s.key.n),
+                static_cast<long>(s.key.k),
+                s.committed ? "committed" : "open",
+                static_cast<long>(s.spec.mr),
+                static_cast<long>(s.spec.nr),
+                static_cast<long>(s.spec.kc),
+                s.spec.pack_b ? "packB" : "direct", s.ewma_ns,
+                static_cast<unsigned long long>(s.samples));
+  }
+
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"ablate_autotune\",\n  \"mode\": \"online\","
+       << "\n  \"iters\": " << iters << ",\n  \"reps\": " << reps
+       << ",\n  \"static_ns_per_pass\": " << static_ns
+       << ",\n  \"observe_ns_per_pass\": " << observe_ns
+       << ",\n  \"adapt_ns_per_pass\": " << adapt_ns
+       << ",\n  \"observe_overhead\": " << overhead
+       << ",\n  \"adapt_speedup\": " << speedup
+       << ",\n  \"replans\": " << tune::tuner().replans()
+       << ",\n  \"classes\": [\n";
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const auto& s = classes[i];
+    json << "    {\"m\": " << s.key.m << ", \"n\": " << s.key.n
+         << ", \"k\": " << s.key.k << ", \"committed\": "
+         << (s.committed ? "true" : "false") << ", \"kc\": " << s.spec.kc
+         << ", \"pack_b\": " << (s.spec.pack_b ? "true" : "false")
+         << ", \"ewma_ns\": " << s.ewma_ns << "}"
+         << (i + 1 < classes.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("# wrote %s\n", json_path.c_str());
+
+  // Leave the process knobs the way we found them.
+  tune::set_mode_override(tune::Mode::kAuto);
+  tune::tuner().reset();
+  tune::tuner().set_options({});
+
+  if (check) {
+    bool ok = true;
+    if (speedup < adapt_gain) {
+      std::printf("FAIL: adapt steady-state %.3fx static < gate %.2fx\n",
+                  speedup, adapt_gain);
+      ok = false;
+    }
+    if (overhead > observe_overhead) {
+      std::printf("FAIL: observe overhead %.2f%% > gate %.2f%%\n",
+                  overhead * 100.0, observe_overhead * 100.0);
+      ok = false;
+    }
+    if (!ok) return 1;
+    std::printf("PASS: adapt %.3fx >= %.2fx, observe overhead %.2f%% <= "
+                "%.2f%%\n", speedup, adapt_gain, overhead * 100.0,
+                observe_overhead * 100.0);
+  }
+  return 0;
+}
+
 int run(int argc, char** argv) {
+  if (has_flag(argc, argv, "--online")) return run_online(argc, argv);
   const auto machine = sim::phytium2000p();
   CsvSink csv(argc, argv,
               "m,n,k,threads,default_cycles,tuned_cycles,speedup,"

@@ -1,7 +1,9 @@
 #include "src/core/parallel_cost.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <mutex>
 #include <vector>
 
 #include "src/core/kernel_select.h"
@@ -130,11 +132,44 @@ model::ParallelCostModel calibrate() {
   return m;
 }
 
+/// Once-per-process slot the model is resolved into, either by measuring
+/// (calibrated_cost_model) or by seeding from a persisted tune table
+/// (set_calibrated_model) — whichever happens first pins it for the
+/// process lifetime, so every consumer prices against one set of
+/// constants.
+struct ModelSlot {
+  std::mutex mu;
+  std::atomic<bool> ready{false};
+  model::ParallelCostModel model;
+};
+
+ModelSlot& model_slot() {
+  static ModelSlot* slot = new ModelSlot;  // immortal: fork/exit safe
+  return *slot;
+}
+
 }  // namespace
 
 const model::ParallelCostModel& calibrated_cost_model() {
-  static const model::ParallelCostModel cached = calibrate();
-  return cached;
+  ModelSlot& slot = model_slot();
+  if (!slot.ready.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    if (!slot.ready.load(std::memory_order_relaxed)) {
+      slot.model = calibrate();
+      slot.ready.store(true, std::memory_order_release);
+    }
+  }
+  return slot.model;
+}
+
+bool set_calibrated_model(const model::ParallelCostModel& m) {
+  ModelSlot& slot = model_slot();
+  std::lock_guard<std::mutex> lock(slot.mu);
+  if (slot.ready.load(std::memory_order_relaxed)) return false;
+  slot.model = m;
+  slot.model.measured = true;
+  slot.ready.store(true, std::memory_order_release);
+  return true;
 }
 
 }  // namespace smm::core

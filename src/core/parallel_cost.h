@@ -21,4 +21,10 @@ namespace smm::core {
 /// reflects native_threads_available() and `measured` is always true.
 const model::ParallelCostModel& calibrated_cost_model();
 
+/// Seed the process cost model from a persisted table (smm::tune warm
+/// start) instead of measuring. Only effective before the first
+/// calibrated_cost_model() call — returns false (and changes nothing)
+/// once the model is pinned, measured or seeded. Thread-safe.
+bool set_calibrated_model(const model::ParallelCostModel& m);
+
 }  // namespace smm::core

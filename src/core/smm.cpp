@@ -1,10 +1,12 @@
 #include "src/core/smm.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "src/common/error.h"
 #include "src/common/str.h"
+#include "src/core/autotune.h"
 #include "src/core/kernel_select.h"
 #include "src/core/parallel_cost.h"
 #include "src/core/parallel_select.h"
@@ -13,6 +15,7 @@
 #include "src/plan/native_executor.h"
 #include "src/robust/fault_injection.h"
 #include "src/robust/health.h"
+#include "src/tune/tune.h"
 
 namespace smm::core {
 
@@ -63,45 +66,8 @@ class ReferenceSmm final : public libs::GemmStrategy {
     plan.strategy = traits_.name;
     plan.shape = shape;
     plan.scalar = scalar;
-
-    BuildSpec spec;
-    if (options_.adaptive_kernel) {
-      const KernelChoice choice = choose_main_tile(shape);
-      spec.mr = choice.mr;
-      spec.nr = choice.nr;
-    } else {
-      spec.mr = 16;
-      spec.nr = 4;
-    }
-    spec.mc = kMc;
-    spec.kc = kKc;
-    spec.nc = kNc;
-
-    int max_threads = nthreads;
-    if (options_.thread_cap > 0)
-      max_threads = std::min(max_threads, options_.thread_cap);
-    // kAuto resolves to the static heuristic here: a directly built plan
-    // must be a pure function of (shape, scalar, nthreads, options), or
-    // simulated goldens would vary with the machine running the tests.
-    // The runtime entry points opt into kMeasured before reaching this.
-    const model::ParallelCostModel* cost =
-        options_.thread_scaling == SmmOptions::ThreadScaling::kMeasured
-            ? &calibrated_cost_model()
-            : nullptr;
-    const ParallelChoice par_choice =
-        choose_parallel(shape, std::max(1, max_threads), spec.mr, spec.nr,
-                        spec.mc, spec.nc, 4, cost, spec.kc);
-    spec.nthreads = par_choice.nthreads;
-    spec.ways = par_choice.ways;
-    spec.k_parts = par_choice.k_parts;
-
-    const PackingDecision pd =
-        decide_packing(shape, plan::elem_bytes(scalar), options_);
-    spec.pack_a = pd.pack_a;
-    spec.pack_b = pd.pack_b;
-    spec.edge_pack_b = pd.edge_pack_b;
-
-    build_smm_plan(plan, spec);
+    build_smm_plan(plan,
+                   default_build_spec(shape, scalar, nthreads, options_));
     plan.validate();
     return plan;
   }
@@ -112,6 +78,47 @@ class ReferenceSmm final : public libs::GemmStrategy {
 };
 
 }  // namespace
+
+BuildSpec default_build_spec(GemmShape shape, plan::ScalarType scalar,
+                             int nthreads, const SmmOptions& options) {
+  BuildSpec spec;
+  if (options.adaptive_kernel) {
+    const KernelChoice choice = choose_main_tile(shape);
+    spec.mr = choice.mr;
+    spec.nr = choice.nr;
+  } else {
+    spec.mr = 16;
+    spec.nr = 4;
+  }
+  spec.mc = kMc;
+  spec.kc = kKc;
+  spec.nc = kNc;
+
+  int max_threads = nthreads;
+  if (options.thread_cap > 0)
+    max_threads = std::min(max_threads, options.thread_cap);
+  // kAuto resolves to the static heuristic here: a directly built plan
+  // must be a pure function of (shape, scalar, nthreads, options), or
+  // simulated goldens would vary with the machine running the tests.
+  // The runtime entry points opt into kMeasured before reaching this.
+  const model::ParallelCostModel* cost =
+      options.thread_scaling == SmmOptions::ThreadScaling::kMeasured
+          ? &calibrated_cost_model()
+          : nullptr;
+  const ParallelChoice par_choice =
+      choose_parallel(shape, std::max(1, max_threads), spec.mr, spec.nr,
+                      spec.mc, spec.nc, 4, cost, spec.kc);
+  spec.nthreads = par_choice.nthreads;
+  spec.ways = par_choice.ways;
+  spec.k_parts = par_choice.k_parts;
+
+  const PackingDecision pd =
+      decide_packing(shape, plan::elem_bytes(scalar), options);
+  spec.pack_a = pd.pack_a;
+  spec.pack_b = pd.pack_b;
+  spec.edge_pack_b = pd.edge_pack_b;
+  return spec;
+}
 
 PackingDecision decide_packing(GemmShape shape, index_t elem_bytes,
                                const SmmOptions& options) {
@@ -191,16 +198,47 @@ SmmOptions resolve_runtime_scaling(const SmmOptions& options) {
   return resolved;
 }
 
+/// Whether the tuner may speak for this (already resolved) option set:
+/// only when every plan-shaping field is at its runtime default. An
+/// explicit pack/tile/thread option is the caller overruling the
+/// heuristics, and a tuned spec overruling the caller back would break
+/// it; and a sample taken under exotic options would pollute the class
+/// posterior the default-options traffic is keyed on. check_finite and
+/// abft ride along freely — they never change the built plan.
+bool tuner_applies(const SmmOptions& resolved) {
+  static const SmmOptions defaults =
+      resolve_runtime_scaling(SmmOptions{});
+  return resolved.pack_a == defaults.pack_a &&
+         resolved.pack_b == defaults.pack_b &&
+         resolved.edge_pack == defaults.edge_pack &&
+         resolved.adaptive_kernel == defaults.adaptive_kernel &&
+         resolved.thread_cap == defaults.thread_cap &&
+         resolved.thread_scaling == defaults.thread_scaling;
+}
+
 }  // namespace
 
 std::shared_ptr<const plan::GemmPlan> cached_smm_plan(
     PlanCache& cache, GemmShape shape, plan::ScalarType scalar,
     int nthreads, const SmmOptions& options) {
   const SmmOptions resolved = resolve_runtime_scaling(options);
-  return cache.get_or_build(
-      shape, scalar, nthreads, options_fingerprint(resolved), [&] {
-        return ReferenceSmm{resolved}.make_plan(shape, scalar, nthreads);
-      });
+  std::uint64_t fingerprint = options_fingerprint(resolved);
+  // The tuner's say (DESIGN.md §14): in adapt mode an installed winner
+  // (or exploration candidate) overrides the default spec, keyed by an
+  // epoch-bumped fingerprint — a re-plan is an ordinary cache miss under
+  // a new key, so stale plans age out of the LRU without a flush. kOff
+  // skips even the lookup; the zero PlanChoice leaves the key unchanged.
+  tune::PlanChoice choice;
+  if (tune::mode() != tune::Mode::kOff && tuner_applies(resolved)) {
+    choice = tune::tuner().plan_choice(tune::ShapeClass{
+        shape.m, shape.n, shape.k, static_cast<int>(scalar), nthreads});
+    fingerprint ^= choice.fingerprint;
+  }
+  return cache.get_or_build(shape, scalar, nthreads, fingerprint, [&] {
+    if (choice.has_spec)
+      return build_tuned_plan(shape, scalar, choice.spec);
+    return ReferenceSmm{resolved}.make_plan(shape, scalar, nthreads);
+  });
 }
 
 /// check_finite screen: one pass over each operand before any plan work.
@@ -263,6 +301,36 @@ void smm_gemm_impl(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b,
   // shapes the build costs more than the multiply it describes.
   PlanCache& plans = cache != nullptr ? *cache : smm_plan_cache();
   const auto p = cached_smm_plan(plans, shape, scalar, nthreads, options);
+  // 1-in-N sampling for the autotuner: two clock reads bracket the plain
+  // executor. Deliberately NOT execute_plan_timed here — its per-op
+  // instrumentation costs roughly a clock read per op, which both
+  // inflates small-shape observations and biases candidate trials toward
+  // plans with fewer, larger ops (a small-tile plan would look slower
+  // than it is). The per-op Table II breakdown stays a diagnosis path
+  // (table2_breakdown, execute_plan_timed); the posterior needs only the
+  // end-to-end wall. The unsampled path pays one relaxed load + branch.
+  if (tune::mode() != tune::Mode::kOff &&
+      tuner_applies(resolve_runtime_scaling(options))) {
+    const tune::ShapeClass sc{shape.m, shape.n, shape.k,
+                              static_cast<int>(scalar), nthreads};
+    const tune::SampleToken token = tune::tuner().sample_token(sc);
+    if (token.sample) {
+      const auto t0 = std::chrono::steady_clock::now();
+      if (cancel != nullptr && cancel->valid())
+        plan::execute_plan(*p, alpha, a, b, beta, c, *cancel);
+      else
+        plan::execute_plan(*p, alpha, a, b, beta, c);
+      // Reached only on a clean run: a cancel unwind throws past the
+      // record, so a truncated call never pollutes the posterior.
+      const double wall_ns =
+          static_cast<double>(std::chrono::duration_cast<
+                                  std::chrono::nanoseconds>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count());
+      tune::tuner().record(sc, token, wall_ns, {});
+      return;
+    }
+  }
   if (cancel != nullptr && cancel->valid())
     plan::execute_plan(*p, alpha, a, b, beta, c, *cancel);
   else

@@ -411,6 +411,29 @@ template void execute_plan_timed(const GemmPlan&, double,
                                  MatrixView<double>,
                                  std::vector<ThreadTiming>&);
 
+template <typename T>
+void execute_plan_timed(const GemmPlan& plan, T alpha, ConstMatrixView<T> a,
+                        ConstMatrixView<T> b, T beta, MatrixView<T> c,
+                        std::vector<ThreadTiming>& timings,
+                        const CancelToken& cancel) {
+  timings.assign(static_cast<std::size_t>(plan.nthreads), ThreadTiming{});
+  execute_plan_impl<T>(plan, alpha, a, b, beta, c, /*prepacked=*/nullptr,
+                       &timings, &cancel);
+}
+
+template void execute_plan_timed(const GemmPlan&, float,
+                                 ConstMatrixView<float>,
+                                 ConstMatrixView<float>, float,
+                                 MatrixView<float>,
+                                 std::vector<ThreadTiming>&,
+                                 const CancelToken&);
+template void execute_plan_timed(const GemmPlan&, double,
+                                 ConstMatrixView<double>,
+                                 ConstMatrixView<double>, double,
+                                 MatrixView<double>,
+                                 std::vector<ThreadTiming>&,
+                                 const CancelToken&);
+
 // ---- PrepackedB ------------------------------------------------------------
 
 template <typename T>

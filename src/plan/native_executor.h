@@ -54,6 +54,20 @@ void execute_plan_timed(const GemmPlan& plan, T alpha, ConstMatrixView<T> a,
                         ConstMatrixView<T> b, T beta, MatrixView<T> c,
                         std::vector<ThreadTiming>& timings);
 
+/// Timed + cancellable: both the per-op breakdown and the op-boundary
+/// cancellation checks of the overloads above, for diagnosing serving
+/// calls that carry deadline tokens. Note the autotuner does NOT sample
+/// through this path — per-op instrumentation inflates small-shape wall
+/// times and biases plans with fewer, larger ops (smm.cpp); tuning
+/// samples bracket the plain executor instead. On a cancel unwind
+/// `timings` holds the partial breakdown, which callers must discard —
+/// a cancelled call is not a cost observation.
+template <typename T>
+void execute_plan_timed(const GemmPlan& plan, T alpha, ConstMatrixView<T> a,
+                        ConstMatrixView<T> b, T beta, MatrixView<T> c,
+                        std::vector<ThreadTiming>& timings,
+                        const CancelToken& cancel);
+
 /// B packed once, replayed many times — the batch/inference idiom (and
 /// IAAT's amortization argument): when one B multiplies a stream of As,
 /// the per-call PackB cost that Table II shows dominating small-M GEMM

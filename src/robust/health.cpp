@@ -100,6 +100,10 @@ HealthSnapshot Health::read_counters() const {
   s.plan_seal_rebuilds =
       plan_seal_rebuilds.load(std::memory_order_relaxed);
   s.corrected_runs = corrected_runs.load(std::memory_order_relaxed);
+  s.tune_samples = tune_samples.load(std::memory_order_relaxed);
+  s.tune_replans = tune_replans.load(std::memory_order_relaxed);
+  s.tune_table_hits = tune_table_hits.load(std::memory_order_relaxed);
+  s.tune_table_stale = tune_table_stale.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -170,6 +174,10 @@ void Health::reset() {
   prepack_repacks = 0;
   plan_seal_rebuilds = 0;
   corrected_runs = 0;
+  tune_samples = 0;
+  tune_replans = 0;
+  tune_table_hits = 0;
+  tune_table_stale = 0;
 }
 
 std::string HealthSnapshot::to_string() const {
@@ -191,7 +199,9 @@ std::string HealthSnapshot::to_string() const {
       "service_coalesced_items=%zu nonfinite_rejections=%zu "
       "fork_resets=%zu integrity_detected=%zu integrity_corrected=%zu "
       "integrity_recomputed=%zu integrity_quarantines=%zu "
-      "prepack_repacks=%zu plan_seal_rebuilds=%zu corrected_runs=%zu",
+      "prepack_repacks=%zu plan_seal_rebuilds=%zu corrected_runs=%zu "
+      "tune_samples=%zu tune_replans=%zu tune_table_hits=%zu "
+      "tune_table_stale=%zu",
       guarded_runs, clean_runs, retries, rebuild_fallbacks, naive_fallbacks,
       failures, checksum_rejections, worker_panics, alloc_failures,
       batched_items, batched_item_failures, batched_prepack_reuse,
@@ -207,7 +217,8 @@ std::string HealthSnapshot::to_string() const {
       nonfinite_rejections, fork_resets,
       integrity_detected, integrity_corrected, integrity_recomputed,
       integrity_quarantines, prepack_repacks, plan_seal_rebuilds,
-      corrected_runs);
+      corrected_runs, tune_samples, tune_replans, tune_table_hits,
+      tune_table_stale);
 }
 
 }  // namespace smm::robust

@@ -90,6 +90,13 @@ struct HealthSnapshot {
   std::size_t prepack_repacks = 0;      ///< PrepackedB seal mismatch -> repacked
   std::size_t plan_seal_rebuilds = 0;   ///< PlanCache seal mismatch -> rebuilt
   std::size_t corrected_runs = 0;       ///< guarded runs served via in-place repair
+  // Online autotuning (DESIGN.md §14): the observe/adapt feedback loop.
+  // Invariant (Transaction-bracketed at the install site): every re-plan
+  // was driven by at least one sample — tune_replans <= tune_samples.
+  std::size_t tune_samples = 0;      ///< timed warm calls fed to the tuner
+  std::size_t tune_replans = 0;      ///< epoch bumps (plan installs/reverts)
+  std::size_t tune_table_hits = 0;   ///< classes warm-started from disk
+  std::size_t tune_table_stale = 0;  ///< tables rejected (corrupt/foreign)
 
   [[nodiscard]] std::string to_string() const;
 };
@@ -145,6 +152,10 @@ class Health {
   std::atomic<std::size_t> prepack_repacks{0};
   std::atomic<std::size_t> plan_seal_rebuilds{0};
   std::atomic<std::size_t> corrected_runs{0};
+  std::atomic<std::size_t> tune_samples{0};
+  std::atomic<std::size_t> tune_replans{0};
+  std::atomic<std::size_t> tune_table_hits{0};
+  std::atomic<std::size_t> tune_table_stale{0};
 
   /// Brackets a correlated multi-counter update: writer-exclusive (a
   /// mutex serializes transactions) with an odd/even sequence bump so

@@ -12,6 +12,7 @@
 #include "src/robust/health.h"
 #include "src/shard/shard.h"
 #include "src/threading/thread_pool.h"
+#include "src/tune/tune.h"
 #include "src/threading/worker_pool.h"
 
 namespace smm::service {
@@ -153,16 +154,33 @@ SmmService::SmmService(ServiceOptions options)
 
 SmmService::~SmmService() { shutdown(); }
 
-double SmmService::estimate_cost_ns(index_t m, index_t n, index_t k) const {
+double SmmService::static_cost_ns(index_t m, index_t n, index_t k) const {
   return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
              static_cast<double>(k) * flop_ns_ +
          dispatch_ns_;
 }
 
+double SmmService::estimate_cost_ns(index_t m, index_t n, index_t k) const {
+  // Admission budgets track reality: once the autotuner has a steady
+  // per-shape-class EWMA (either scalar type — the estimate runs before
+  // T is known), it replaces the construction-time constants here, so
+  // queued_cost_ns and the coalescing cost bucket price requests at what
+  // they actually cost on this host today.
+  if (tune::mode() != tune::Mode::kOff) {
+    const std::optional<double> observed = tune::tuner().observed_cost_ns(
+        m, n, k, /*scalar=*/-1, options_.threads_per_request);
+    if (observed.has_value()) return *observed;
+  }
+  return static_cost_ns(m, n, k);
+}
+
 int SmmService::route_shard(index_t m, index_t n, index_t k,
                             int scalar_id) const {
+  // Routing stays on the static estimate on purpose: a tuned cost that
+  // drifts across a log2 bucket boundary would re-home a hot shape mid-
+  // run, abandoning its shard-local plan cache and warm pool (§13/§14).
   return shard::route(shard::shape_class_hash({m, n, k, scalar_id}),
-                      estimate_cost_ns(m, n, k),
+                      static_cost_ns(m, n, k),
                       static_cast<int>(shards_.size()));
 }
 

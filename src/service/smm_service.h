@@ -270,9 +270,14 @@ class SmmService {
   /// Options with the auto knobs (shards, lanes) resolved.
   [[nodiscard]] const ServiceOptions& options() const { return options_; }
 
-  /// Predicted single-lane cost (ns) of one m×n×k request under the
-  /// service's cost model — the unit of cost_budget_ns (exposed so
-  /// benches can size an overload factor).
+  /// Predicted single-lane cost (ns) of one m×n×k request — the unit of
+  /// cost_budget_ns (exposed so benches can size an overload factor).
+  /// Serves the autotuner's observed per-shape-class EWMA once a class
+  /// has enough samples (smm::tune, DESIGN.md §14), so long-lived
+  /// services re-read their admission budgets from reality instead of
+  /// trusting the constants snapshotted at construction; falls back to
+  /// those constants (2mnk·flop_ns + dispatch_ns) for unseen shapes or
+  /// with SMMKIT_AUTOTUNE=off.
   [[nodiscard]] double estimate_cost_ns(index_t m, index_t n,
                                         index_t k) const;
 
@@ -385,6 +390,11 @@ class SmmService {
                        Result result);
   void observe_pool_health();
   [[nodiscard]] core::PlanCache& shard_cache(Shard& shard) const;
+  /// The construction-time constants alone (no tuner feedback): what
+  /// route_shard buckets on, so a shape's home shard never moves when
+  /// the tuner revises its cost (plan/pool locality outlives tuning).
+  [[nodiscard]] double static_cost_ns(index_t m, index_t n,
+                                      index_t k) const;
   [[nodiscard]] State state() const {
     return state_.load(std::memory_order_acquire);
   }

@@ -1,0 +1,85 @@
+// On-disk persistence of the tuned plan table (DESIGN.md §14).
+//
+// The file is a sealed snapshot of everything a warm start needs to skip
+// the cold-start work: the calibrated ParallelCostModel (so
+// calibrated_cost_model() is seeded instead of measured) and every
+// committed per-shape-class winner (so exploration never runs). It is
+// only trustworthy on the machine that wrote it, so the header carries a
+// machine fingerprint — CPU model hash + core count + a digest of the
+// stored calibrated constants — and the whole payload is sealed with
+// integrity::content_checksum (the smm::integrity idiom: cached state is
+// validated before it is believed, never trusted because it parses).
+//
+// A reader rejects, and the tuner rebuilds from scratch, on: short or
+// truncated files, unknown magic/version, a seal mismatch (bit rot or a
+// torn write), a foreign fingerprint (the table came from another
+// machine or another core count), or a cost-model digest that does not
+// match the stored constants. Rejection is never an error — cold start
+// is always correct, just slower.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/plan_builder.h"
+#include "src/model/parallel_runtime.h"
+#include "src/tune/tune.h"
+
+namespace smm::tune {
+
+/// What identifies "this machine" for table reuse. Deliberately coarse:
+/// CPU model string and core count — the calibrated constants themselves
+/// travel *in* the table (digest-bound to the header), so they are data,
+/// not a match criterion.
+struct MachineFingerprint {
+  std::uint64_t cpu_hash = 0;  ///< FNV of the CPU model string
+  std::uint32_t cores = 0;     ///< std::thread::hardware_concurrency()
+
+  friend bool operator==(const MachineFingerprint&,
+                         const MachineFingerprint&) = default;
+};
+
+/// This host's fingerprint (cached after the first /proc/cpuinfo read).
+MachineFingerprint machine_fingerprint();
+
+/// Short hex token of the fingerprint, used in the default table
+/// filename so tables from different machines can share one directory.
+std::string fingerprint_token(const MachineFingerprint& fp);
+
+/// One committed shape class in the table.
+struct TableEntry {
+  ShapeClass key;
+  std::uint32_t epoch = 0;
+  bool has_override = false;  ///< false: the default plan won
+  core::BuildSpec spec;       ///< meaningful when has_override
+  double mean_ns = 0.0;
+  double var_ns2 = 0.0;
+  std::uint64_t samples = 0;
+};
+
+enum class TableStatus : std::uint8_t {
+  kOk = 0,
+  kMissing,   ///< no file / unreadable — cold start, not an anomaly
+  kCorrupt,   ///< truncated, bad magic/version, seal or digest mismatch
+  kForeign,   ///< another machine's table
+};
+
+const char* to_string(TableStatus status);
+
+/// Serialize and atomically replace `path` (write temp + rename, so a
+/// crash mid-write leaves the previous table intact). Returns false on
+/// any I/O failure.
+bool write_table(const std::string& path, const MachineFingerprint& fp,
+                 const model::ParallelCostModel& model,
+                 const std::vector<TableEntry>& entries);
+
+/// Parse and validate `path` against `expect`. On kOk, `model` and
+/// `entries` are filled; on anything else both are left empty and the
+/// caller must rebuild.
+TableStatus read_table(const std::string& path,
+                       const MachineFingerprint& expect,
+                       model::ParallelCostModel* model,
+                       std::vector<TableEntry>* entries);
+
+}  // namespace smm::tune

@@ -644,6 +644,12 @@ TEST_F(ServiceTest, SnapshotNeverTearsAcrossTransaction) {
             1, std::memory_order_relaxed);
         robust::health().service_routed.fetch_add(
             1, std::memory_order_relaxed);
+        // The autotuner's correlated pair (DESIGN.md §14): a re-plan is
+        // always driven by a recorded sample.
+        robust::health().tune_samples.fetch_add(1,
+                                                std::memory_order_relaxed);
+        robust::health().tune_replans.fetch_add(1,
+                                                std::memory_order_relaxed);
       }
     });
   }
@@ -656,6 +662,8 @@ TEST_F(ServiceTest, SnapshotNeverTearsAcrossTransaction) {
         << "torn snapshot after " << reads << " reads";
     ASSERT_EQ(s.service_submitted, s.service_routed)
         << "torn submitted/routed pair after " << reads << " reads";
+    ASSERT_EQ(s.tune_samples, s.tune_replans)
+        << "torn tune samples/replans pair after " << reads << " reads";
     ++reads;
   }
   stop.store(true, std::memory_order_relaxed);
