@@ -85,6 +85,15 @@ HealthSnapshot Health::read_counters() const {
       service_coalesced_groups.load(std::memory_order_relaxed);
   s.service_coalesced_items =
       service_coalesced_items.load(std::memory_order_relaxed);
+  s.service_rerouted = service_rerouted.load(std::memory_order_relaxed);
+  s.service_hedged = service_hedged.load(std::memory_order_relaxed);
+  s.service_hedge_wins =
+      service_hedge_wins.load(std::memory_order_relaxed);
+  s.shard_quarantines =
+      shard_quarantines.load(std::memory_order_relaxed);
+  s.shard_rebuilds = shard_rebuilds.load(std::memory_order_relaxed);
+  s.service_brownouts =
+      service_brownouts.load(std::memory_order_relaxed);
   s.nonfinite_rejections =
       nonfinite_rejections.load(std::memory_order_relaxed);
   s.fork_resets = fork_resets.load(std::memory_order_relaxed);
@@ -165,6 +174,12 @@ void Health::reset() {
   service_steals = 0;
   service_coalesced_groups = 0;
   service_coalesced_items = 0;
+  service_rerouted = 0;
+  service_hedged = 0;
+  service_hedge_wins = 0;
+  shard_quarantines = 0;
+  shard_rebuilds = 0;
+  service_brownouts = 0;
   nonfinite_rejections = 0;
   fork_resets = 0;
   integrity_detected = 0;
@@ -196,7 +211,10 @@ std::string HealthSnapshot::to_string() const {
       "service_cancellations=%zu service_breaker_trips=%zu "
       "service_breaker_rejections=%zu service_routed=%zu "
       "service_steals=%zu service_coalesced_groups=%zu "
-      "service_coalesced_items=%zu nonfinite_rejections=%zu "
+      "service_coalesced_items=%zu service_rerouted=%zu "
+      "service_hedged=%zu service_hedge_wins=%zu "
+      "shard_quarantines=%zu shard_rebuilds=%zu "
+      "service_brownouts=%zu nonfinite_rejections=%zu "
       "fork_resets=%zu integrity_detected=%zu integrity_corrected=%zu "
       "integrity_recomputed=%zu integrity_quarantines=%zu "
       "prepack_repacks=%zu plan_seal_rebuilds=%zu corrected_runs=%zu "
@@ -214,6 +232,8 @@ std::string HealthSnapshot::to_string() const {
       service_deadline_misses, service_cancellations, service_breaker_trips,
       service_breaker_rejections, service_routed, service_steals,
       service_coalesced_groups, service_coalesced_items,
+      service_rerouted, service_hedged, service_hedge_wins,
+      shard_quarantines, shard_rebuilds, service_brownouts,
       nonfinite_rejections, fork_resets,
       integrity_detected, integrity_corrected, integrity_recomputed,
       integrity_quarantines, prepack_repacks, plan_seal_rebuilds,

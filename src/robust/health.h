@@ -75,6 +75,17 @@ struct HealthSnapshot {
   std::size_t service_steals = 0;          ///< requests run by a non-home shard
   std::size_t service_coalesced_groups = 0;///< >=2-member batched dispatches
   std::size_t service_coalesced_items = 0; ///< requests served inside those groups
+  // Failure domains (DESIGN.md §15): the per-shard lifecycle, drain
+  // re-routing, hedged deadline requests, and brownout entries.
+  // Invariant (enforced in tests): service_routed counts every
+  // submission once — a diversion or drain moves the *per-shard*
+  // attribution and lands here instead, never double-counts.
+  std::size_t service_rerouted = 0;    ///< placements diverted off a quarantined home
+  std::size_t service_hedged = 0;      ///< backup submissions fired
+  std::size_t service_hedge_wins = 0;  ///< hedged requests whose backup won
+  std::size_t shard_quarantines = 0;   ///< shard entries into kQuarantined
+  std::size_t shard_rebuilds = 0;      ///< quarantine -> rebuilding probes
+  std::size_t service_brownouts = 0;   ///< brownout-mode entries
   std::size_t nonfinite_rejections = 0;
   std::size_t fork_resets = 0;            ///< atfork child-side pool resets
   // Integrity layer (DESIGN.md §12): ABFT detections and how each one was
@@ -143,6 +154,12 @@ class Health {
   std::atomic<std::size_t> service_steals{0};
   std::atomic<std::size_t> service_coalesced_groups{0};
   std::atomic<std::size_t> service_coalesced_items{0};
+  std::atomic<std::size_t> service_rerouted{0};
+  std::atomic<std::size_t> service_hedged{0};
+  std::atomic<std::size_t> service_hedge_wins{0};
+  std::atomic<std::size_t> shard_quarantines{0};
+  std::atomic<std::size_t> shard_rebuilds{0};
+  std::atomic<std::size_t> service_brownouts{0};
   std::atomic<std::size_t> nonfinite_rejections{0};
   std::atomic<std::size_t> fork_resets{0};
   std::atomic<std::size_t> integrity_detected{0};

@@ -37,21 +37,38 @@ namespace {
 // kAuto (0) doubles as "no override".
 std::atomic<std::uint8_t> g_override{
     static_cast<std::uint8_t>(AbftMode::kAuto)};
+std::atomic<bool> g_repair_suppressed{false};
 }  // namespace
 
 AbftMode mode() {
+  const auto cap = [](AbftMode m) {
+    // Brownout (DESIGN.md §15): correct-mode's repair work is optional
+    // load a degraded runtime sheds; detection is not.
+    return m == AbftMode::kCorrect &&
+                   g_repair_suppressed.load(std::memory_order_relaxed)
+               ? AbftMode::kDetect
+               : m;
+  };
   const auto ov =
       static_cast<AbftMode>(g_override.load(std::memory_order_relaxed));
-  if (ov != AbftMode::kAuto) return ov;
+  if (ov != AbftMode::kAuto) return cap(ov);
   // The env knob is read once: getenv on every plan-cache hit would put a
   // linear environ scan on the warm path.
   static const AbftMode env = mode_from_env();
-  return env;
+  return cap(env);
 }
 
 void set_mode_override(AbftMode mode) {
   g_override.store(static_cast<std::uint8_t>(mode),
                    std::memory_order_relaxed);
+}
+
+void set_repair_suppressed(bool suppressed) {
+  g_repair_suppressed.store(suppressed, std::memory_order_relaxed);
+}
+
+bool repair_suppressed() {
+  return g_repair_suppressed.load(std::memory_order_relaxed);
 }
 
 namespace {

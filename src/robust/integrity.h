@@ -54,6 +54,14 @@ AbftMode mode();
 /// returns to the env-derived value). Takes effect immediately.
 void set_mode_override(AbftMode mode);
 
+/// Brownout cap (smm::failover, DESIGN.md §15): while set, mode() serves
+/// kDetect where it would serve kCorrect — detection stays armed, but
+/// the repair path (localization, in-place fixes, panel recomputes) is
+/// shed along with the rest of the optional work a browned-out runtime
+/// drops. An *explicit* per-call kCorrect passes resolve() untouched.
+void set_repair_suppressed(bool suppressed);
+bool repair_suppressed();
+
 /// resolve(kAuto) == mode(); any explicit value passes through.
 inline AbftMode resolve(AbftMode m) {
   return m == AbftMode::kAuto ? mode() : m;

@@ -8,8 +8,10 @@
 #include "src/common/str.h"
 #include "src/core/batched.h"
 #include "src/core/parallel_cost.h"
+#include "src/matrix/matrix.h"
 #include "src/model/parallel_runtime.h"
 #include "src/robust/health.h"
+#include "src/robust/integrity.h"
 #include "src/shard/shard.h"
 #include "src/threading/thread_pool.h"
 #include "src/tune/tune.h"
@@ -83,6 +85,7 @@ ServiceOptions service_options_from_env(ServiceOptions base) {
     base.shed_low_watermark = low;
     base.shed_high_watermark = high;
   }
+  base.failover = failover::failover_options_from_env(base.failover);
   return base;
 }
 
@@ -135,6 +138,7 @@ SmmService::SmmService(ServiceOptions options)
   // cache; N > 1 gives every shard a private domain (DESIGN.md §13) so
   // panels stop contending on one region lock and one cache mutex.
   const bool isolated = options_.shards > 1;
+  failover_active_ = isolated && options_.failover.enabled;
   shards_.reserve(static_cast<std::size_t>(options_.shards));
   for (int s = 0; s < options_.shards; ++s) {
     auto sh = std::make_unique<Shard>();
@@ -142,6 +146,9 @@ SmmService::SmmService(ServiceOptions options)
       sh->pool = par::WorkerPool::create_private();
       sh->cache = std::make_unique<core::PlanCache>(core::reference_smm());
     }
+    if (failover_active_)
+      sh->health = std::make_unique<failover::ShardHealth>(
+          options_.failover, options_.breaker);
     shards_.push_back(std::move(sh));
   }
   for (int s = 0; s < options_.shards; ++s) {
@@ -149,6 +156,10 @@ SmmService::SmmService(ServiceOptions options)
     sh.lanes.reserve(static_cast<std::size_t>(options_.lanes));
     for (int l = 0; l < options_.lanes; ++l)
       sh.lanes.emplace_back([this, s] { lane_main(s); });
+  }
+  if (failover_active_) {
+    supervisor_running_ = true;
+    supervisor_ = std::thread([this] { failover_main(); });
   }
 }
 
@@ -208,7 +219,18 @@ void SmmService::maybe_notify_drained() {
 }
 
 Ticket SmmService::admit(Request request) {
-  Shard& shard = *shards_[static_cast<std::size_t>(request.home)];
+  // Failure-domain diversion (DESIGN.md §15): a quarantined home sends
+  // its placements to the next admissible shard on the deterministic
+  // fallback ring. The route hash itself is untouched — request.home
+  // (and with it the coalesce key population) stays stable, only the
+  // placement moves.
+  int target = request.home;
+  if (failover_active_ && !shard_admissible(target)) {
+    const int n = static_cast<int>(shards_.size());
+    target = failover::next_on_ring(
+        target, n, [&](int idx) { return shard_admissible(idx); });
+  }
+  Shard& shard = *shards_[static_cast<std::size_t>(target)];
   {
     // Correlated pair (DESIGN.md §13): every submission is routed
     // exactly once, before the admission decision — a health snapshot
@@ -220,7 +242,16 @@ Ticket SmmService::admit(Request request) {
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
   routed_.fetch_add(1, std::memory_order_relaxed);
-  shard.routed.fetch_add(1, std::memory_order_relaxed);
+  if (target == request.home) {
+    shard.routed.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Diverted placements land in rerouted_, not a shard's routed
+    // counter: routed == Σ routed_per_shard + rerouted stays exact.
+    request.rerouted = true;
+    rerouted_.fetch_add(1, std::memory_order_relaxed);
+    robust::health().service_rerouted.fetch_add(1,
+                                                std::memory_order_relaxed);
+  }
   Ticket ticket(request.state);
 
   // Refusals complete the ticket immediately — the entire decision is one
@@ -245,6 +276,16 @@ Ticket SmmService::admit(Request request) {
   };
 
   std::shared_ptr<detail::RequestState> victim;
+  // Hedge-eligible (submit armed run_claim): snapshot the backup before
+  // the primary is moved into the queue. The copy shares the ticket
+  // state and the submit-time operand snapshot; backup=true makes it
+  // silent on a lost claim.
+  std::optional<Request> backup_template;
+  if (failover_active_ && request.run_claim != nullptr && !request.backup) {
+    backup_template = request;
+    backup_template->backup = true;
+    backup_template->rerouted = false;
+  }
   {
     std::unique_lock<std::mutex> lock(shard.mu);
     if (state() != State::kRunning) {
@@ -252,6 +293,27 @@ Ticket SmmService::admit(Request request) {
       return refuse(ErrorCode::kShuttingDown,
                     "smm service: draining, no new work admitted", false,
                     false);
+    }
+
+    if (failover_active_ && !shard_admissible(target)) {
+      // Either every domain is quarantined (the ring fell back to the
+      // quarantined home) or the target flipped between selection and
+      // lock. Refuse — never enqueue onto a domain the drain owns.
+      lock.unlock();
+      return refuse(ErrorCode::kOverloaded,
+                    "smm service: no healthy shard domain available",
+                    false, false);
+    }
+
+    // Brownout (DESIGN.md §15): under sustained multi-shard failure the
+    // surviving capacity is reserved for the traffic that matters —
+    // kLow is shed at the door regardless of queue fill.
+    if (failover_active_ && request.priority == Priority::kLow &&
+        brownout_.load(std::memory_order_relaxed)) {
+      lock.unlock();
+      return refuse(ErrorCode::kOverloaded,
+                    "smm service: brownout, low-priority traffic shed",
+                    true, false);
     }
 
     // Load shedding: above the watermarks, lower classes are refused
@@ -300,11 +362,13 @@ Ticket SmmService::admit(Request request) {
       }
     }
 
-    // The breaker is consulted after every load-shaped refusal (so a
-    // refused request never consumes the half-open probe slot) but
-    // before the eviction is performed (so a breaker refusal strands no
-    // already-popped victim — it simply stays queued).
-    if (!breaker_.allow()) {
+    // The breaker — the *target shard's* when the failover layer is
+    // active, the legacy global one otherwise — is consulted after every
+    // load-shaped refusal (so a refused request never consumes the
+    // half-open probe slot) but before the eviction is performed (so a
+    // breaker refusal strands no already-popped victim — it simply
+    // stays queued).
+    if (!effective_breaker(shard).allow()) {
       lock.unlock();
       return refuse(ErrorCode::kOverloaded,
                     "smm service: circuit breaker open", false, true);
@@ -326,6 +390,12 @@ Ticket SmmService::admit(Request request) {
     total_queued_.fetch_add(1, std::memory_order_relaxed);
   }
   shard.work_cv.notify_one();
+  // Hedged request admitted (submit armed run_claim): register the
+  // backup template with the supervisor, which fires it on a different
+  // shard once the hedge delay elapses. Registration is outside the
+  // shard lock — the supervisor takes shard locks when it fires.
+  if (backup_template.has_value())
+    register_hedge(std::move(*backup_template));
   admitted_.fetch_add(1, std::memory_order_relaxed);
   robust::health().service_admitted.fetch_add(1, std::memory_order_relaxed);
   shard.admitted.fetch_add(1, std::memory_order_relaxed);
@@ -360,12 +430,38 @@ void SmmService::observe_pool_health() {
   if (trip) breaker_.trip();
 }
 
-void SmmService::record_outcome(const Result& result) {
+CircuitBreaker& SmmService::effective_breaker(Shard& shard) {
+  return failover_active_ ? shard.health->breaker() : breaker_;
+}
+
+bool SmmService::shard_admissible(int idx) const {
+  const Shard& shard = *shards_[static_cast<std::size_t>(idx)];
+  return shard.health == nullptr || shard.health->admissible();
+}
+
+void SmmService::record_outcome(const Result& result, Shard& shard) {
+  CircuitBreaker& breaker = effective_breaker(shard);
+  // Ledger transitions (multi-shard): the executing shard's own outcome
+  // stream drives its lifecycle — a quarantine entry discovered here
+  // owns the drain that follows.
+  const auto on_shard_failure = [&] {
+    if (shard.health == nullptr || !shard.health->on_failure()) return;
+    // The ledger just crossed into quarantine: drain the shard. shards_
+    // holds unique_ptrs, so recover the index by scan (failure path
+    // only, <=64 entries).
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (shards_[i].get() == &shard) {
+        handle_quarantine(static_cast<int>(i));
+        break;
+      }
+    }
+  };
   if (result.ok) {
     completed_.fetch_add(1, std::memory_order_relaxed);
     robust::health().service_completed.fetch_add(1,
                                                  std::memory_order_relaxed);
-    breaker_.on_success();
+    breaker.on_success();
+    if (shard.health != nullptr) shard.health->on_success();
     return;
   }
   switch (result.code) {
@@ -373,38 +469,342 @@ void SmmService::record_outcome(const Result& result) {
       cancellations_.fetch_add(1, std::memory_order_relaxed);
       robust::health().service_cancellations.fetch_add(
           1, std::memory_order_relaxed);
-      breaker_.on_neutral();
+      breaker.on_neutral();
       break;
     case ErrorCode::kDeadlineExceeded:
       deadline_misses_.fetch_add(1, std::memory_order_relaxed);
       robust::health().service_deadline_misses.fetch_add(
           1, std::memory_order_relaxed);
-      breaker_.on_neutral();
+      breaker.on_neutral();
       break;
     case ErrorCode::kNonFinite:
     case ErrorCode::kBadShape:
     case ErrorCode::kAlias:
     case ErrorCode::kPrecondition:
       // The request's own fault: says nothing about the substrate.
-      breaker_.on_neutral();
+      breaker.on_neutral();
       break;
     case ErrorCode::kDataCorrupted:
     case ErrorCode::kCacheCorrupted:
       // Silent-data-corruption defenses fired and could not repair:
       // the substrate is actively producing wrong bytes — the
       // strongest possible signal to trip the breaker.
-      breaker_.on_failure();
+      breaker.on_failure();
+      on_shard_failure();
       break;
     default:
       // Infrastructure-class failure (dead worker, pool timeout,
       // allocation collapse): counts toward tripping the breaker.
-      breaker_.on_failure();
+      breaker.on_failure();
+      on_shard_failure();
       break;
   }
 }
 
+BreakerState SmmService::shard_breaker_state(int shard_idx) const {
+  const Shard& shard = *shards_[static_cast<std::size_t>(shard_idx)];
+  return shard.health != nullptr ? shard.health->breaker().state()
+                                 : breaker_.state();
+}
+
+failover::ShardState SmmService::shard_state(int shard_idx) const {
+  const Shard& shard = *shards_[static_cast<std::size_t>(shard_idx)];
+  return shard.health != nullptr ? shard.health->state()
+                                 : failover::ShardState::kHealthy;
+}
+
+void SmmService::quarantine_shard(int shard_idx) {
+  if (!failover_active_) return;
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_idx)];
+  // force_quarantine() is true exactly on *entry*: an upgrade of an
+  // existing quarantine to an administrative hold needs no second drain.
+  if (shard.health->force_quarantine()) handle_quarantine(shard_idx);
+}
+
+void SmmService::revive_shard(int shard_idx) {
+  if (!failover_active_) return;
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_idx)];
+  if (!shard.health->revive()) return;
+  begin_shard_rebuild(shard);
+}
+
+void SmmService::begin_shard_rebuild(Shard& shard) {
+  // The quarantined domain's cached plans are suspect — whatever broke
+  // the substrate may have rotted them (that is what the seals catch,
+  // but a rebuild starts from a blank slate instead of betting on it).
+  if (shard.cache != nullptr) shard.cache->clear();
+  shard_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  robust::health().shard_rebuilds.fetch_add(1, std::memory_order_relaxed);
+  evaluate_brownout();
+  shard.work_cv.notify_all();
+}
+
+void SmmService::failover_main() {
+  // Supervisor cadence: 200µs keeps quarantine expiry and hedge firing
+  // well under any deadline a serving workload would set, while the
+  // notify in register_hedge() covers hedges shorter than a tick.
+  std::unique_lock<std::mutex> lock(supervisor_mu_);
+  while (supervisor_running_) {
+    supervisor_cv_.wait_for(lock, std::chrono::microseconds(200));
+    if (!supervisor_running_) return;
+    lock.unlock();
+    tick_failover();
+    lock.lock();
+  }
+}
+
+void SmmService::tick_failover() {
+  const auto now = std::chrono::steady_clock::now();
+  const int n = static_cast<int>(shards_.size());
+
+  // 1. Pool-quarantine attribution: each shard's private pool watchdog
+  //    is that shard's hardest health signal. The process-wide
+  //    observe_pool_health() path is bypassed entirely when the failover
+  //    layer is active — a panel's hung pool condemns the panel, not
+  //    the whole service.
+  for (int i = 0; i < n; ++i) {
+    Shard& shard = *shards_[static_cast<std::size_t>(i)];
+    if (shard.pool == nullptr) continue;
+    const std::size_t q = shard.pool->stats().quarantines;
+    if (q > shard.seen_pool_quarantines) {
+      shard.seen_pool_quarantines = q;
+      if (shard.health->on_pool_quarantine()) handle_quarantine(i);
+    }
+  }
+
+  // 2. Quarantine expiry: kQuarantined -> kRebuilding once the hold
+  //    elapses; the first clean completion heals the shard.
+  for (int i = 0; i < n; ++i) {
+    Shard& shard = *shards_[static_cast<std::size_t>(i)];
+    if (shard.health->maybe_begin_rebuild(now)) begin_shard_rebuild(shard);
+  }
+
+  // 3. Hedge sweep: cancel losers of decided races, fire backups whose
+  //    delay elapsed. Lock order is hedge_mu_ -> shard.mu (enqueue);
+  //    no path takes them in the other order.
+  const bool browned_out = brownout_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(hedge_mu_);
+  for (auto it = hedges_.begin(); it != hedges_.end();) {
+    bool done;
+    {
+      std::lock_guard<std::mutex> g(it->state->mu);
+      done = it->state->done;
+    }
+    const bool stopped = it->state->cancel.token().stop_requested();
+    if (done || stopped) {
+      // The race is decided (or the caller stopped the ticket): stop
+      // the outstanding arms and retire the entry. A cancelled loser
+      // reaps out of its queue, loses the claim, and vanishes without
+      // a second completion. Stopping the shared source after done is
+      // invisible to the caller (the result is already recorded) and
+      // spares a still-queued loser its pointless run.
+      if (it->backup_cancel != nullptr) it->backup_cancel->request_cancel();
+      if (done) it->state->cancel.request_cancel();
+      it = hedges_.erase(it);
+      continue;
+    }
+    if (!it->fired && now >= it->fire_at) {
+      it->fired = true;
+      if (state() == State::kRunning && !browned_out) {
+        const int target = failover::next_on_ring(
+            it->backup.home, n,
+            [&](int idx) { return shard_admissible(idx); });
+        if (target != it->backup.home) {
+          Request backup = std::move(it->backup);
+          backup.exec_cancel =
+              backup.has_deadline
+                  ? std::make_shared<CancelSource>(backup.deadline)
+                  : std::make_shared<CancelSource>();
+          it->backup_cancel = backup.exec_cancel;
+          if (enqueue_backup(target, std::move(backup))) {
+            hedged_.fetch_add(1, std::memory_order_relaxed);
+            robust::health().service_hedged.fetch_add(
+                1, std::memory_order_relaxed);
+          } else {
+            // Queue full or the service stopped running between the
+            // check and the enqueue: the hedge is best-effort, the
+            // primary still owns the ticket.
+            it->backup_cancel = nullptr;
+          }
+        }
+        // No admissible second shard: nothing to hedge onto — the
+        // primary runs unhedged (fired stays true; the entry is GC'd
+        // when the ticket reaches terminal).
+      }
+    }
+    ++it;
+  }
+}
+
+void SmmService::handle_quarantine(int idx) {
+  shard_quarantines_.fetch_add(1, std::memory_order_relaxed);
+  robust::health().shard_quarantines.fetch_add(1,
+                                               std::memory_order_relaxed);
+  drain_shard_queue(idx);
+  evaluate_brownout();
+}
+
+void SmmService::drain_shard_queue(int idx) {
+  Shard& shard = *shards_[static_cast<std::size_t>(idx)];
+  std::vector<Request> orphans;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& q : shard.queues) {
+      for (auto& r : q) {
+        // in_flight before queued: drain() watches the pair and must
+        // never observe a mid-migration request as "done".
+        total_in_flight_.fetch_add(1, std::memory_order_relaxed);
+        total_queued_.fetch_sub(1, std::memory_order_relaxed);
+        orphans.push_back(std::move(r));
+      }
+      q.clear();
+    }
+    shard.queued = 0;
+    shard.queued_cost_ns = 0.0;
+  }
+  for (auto& r : orphans) place_rerouted(std::move(r), idx);
+}
+
+void SmmService::place_rerouted(Request request, int from_idx) {
+  const int n = static_cast<int>(shards_.size());
+  const int target = failover::next_on_ring(
+      from_idx, n, [&](int idx) { return shard_admissible(idx); });
+  if (target != from_idx) {
+    Shard& shard = *shards_[static_cast<std::size_t>(target)];
+    const bool attribute = !request.rerouted && !request.backup;
+    const int pclass = static_cast<int>(request.priority);
+    request.rerouted = true;
+    bool placed = false;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      // A re-routed ticket was already admitted once; it only bounces
+      // when the fallback has no room at all (hard-full), in which case
+      // it terminates below rather than strand.
+      if (state() != State::kStopped &&
+          shard.queued < options_.queue_depth) {
+        shard.queued_cost_ns += request.est_cost_ns;
+        shard.queues[pclass].push_back(std::move(request));
+        ++shard.queued;
+        total_queued_.fetch_add(1, std::memory_order_relaxed);
+        total_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+        placed = true;
+      }
+    }
+    if (placed) {
+      if (attribute) {
+        // First migration: the placement leaves its origin's routed
+        // count for rerouted_, keeping routed == Σ routed_per_shard +
+        // rerouted exact.
+        shards_[static_cast<std::size_t>(from_idx)]->routed.fetch_sub(
+            1, std::memory_order_relaxed);
+        rerouted_.fetch_add(1, std::memory_order_relaxed);
+        robust::health().service_rerouted.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+      shard.work_cv.notify_one();
+      maybe_notify_drained();
+      return;
+    }
+  }
+  // No admissible fallback (or it is hard-full): the ticket terminates
+  // here — never stranded in a quarantined queue.
+  if (request.backup ||
+      (request.run_claim != nullptr && !request.state->claim())) {
+    // A backup (or a hedged primary whose sibling already claimed) is
+    // dropped silently: the other arm owns the ticket.
+    total_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    maybe_notify_drained();
+    return;
+  }
+  evicted_.fetch_add(1, std::memory_order_relaxed);
+  robust::health().service_evictions.fetch_add(1,
+                                               std::memory_order_relaxed);
+  complete(request.state,
+           Result{false, ErrorCode::kOverloaded,
+                  "smm service: shard quarantined, no healthy fallback"});
+  total_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  maybe_notify_drained();
+}
+
+void SmmService::evaluate_brownout() {
+  const int n = static_cast<int>(shards_.size());
+  int admissible = 0;
+  for (int i = 0; i < n; ++i)
+    if (shard_admissible(i)) ++admissible;
+  // Majority rule: fewer than half the domains still admitting is no
+  // longer a local failure — the service sheds optional work explicitly
+  // instead of letting the survivors collapse under the full load.
+  const bool should = 2 * admissible < n;
+  const bool was = brownout_.exchange(should, std::memory_order_relaxed);
+  if (should && !was) {
+    brownouts_.fetch_add(1, std::memory_order_relaxed);
+    robust::health().service_brownouts.fetch_add(1,
+                                                 std::memory_order_relaxed);
+    tune::set_sampling_suppressed(true);
+    integrity::set_repair_suppressed(true);
+  } else if (!should && was) {
+    tune::set_sampling_suppressed(false);
+    integrity::set_repair_suppressed(false);
+  }
+}
+
+void SmmService::register_hedge(Request backup_template) {
+  const auto now = std::chrono::steady_clock::now();
+  double delay_ns;
+  if (options_.failover.hedge_ms > 0) {
+    delay_ns = static_cast<double>(options_.failover.hedge_ms) * 1e6;
+  } else {
+    // Percentile rule: past the p95 of recent completions a still-
+    // outstanding request has statistically stalled. Floor keeps
+    // microsecond shapes from hedging instantly (pure waste); cap keeps
+    // the backup worth firing — launched with at least half the
+    // deadline budget left. (Hedge eligibility guarantees a deadline.)
+    const double budget_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            backup_template.deadline - now)
+            .count();
+    delay_ns = latency_.quantile(options_.failover.hedge_percentile,
+                                 2.0 * backup_template.est_cost_ns);
+    delay_ns = std::clamp(delay_ns, 2.0e4, std::max(2.0e4, 0.5 * budget_ns));
+  }
+  HedgeEntry entry;
+  entry.state = backup_template.state;
+  entry.fire_at =
+      now + std::chrono::nanoseconds(static_cast<long long>(delay_ns));
+  entry.backup = std::move(backup_template);
+  {
+    std::lock_guard<std::mutex> lock(hedge_mu_);
+    hedges_.push_back(std::move(entry));
+  }
+  // A hedge shorter than the supervisor tick still fires on time.
+  supervisor_cv_.notify_all();
+}
+
+bool SmmService::enqueue_backup(int target, Request backup) {
+  Shard& shard = *shards_[static_cast<std::size_t>(target)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (state() != State::kRunning) return false;
+    if (shard.queued >= options_.queue_depth) return false;
+    shard.queued_cost_ns += backup.est_cost_ns;
+    // kHigh on purpose: the eviction victim scan only considers classes
+    // strictly below an arrival, so hedge machinery is never evicted
+    // (and never evicts — backups bypass admission entirely).
+    shard.queues[2].push_back(std::move(backup));
+    ++shard.queued;
+    total_queued_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.work_cv.notify_one();
+  return true;
+}
+
 void SmmService::execute(Request& request, Shard& shard) {
-  const CancelToken token = request.state->cancel.token();
+  // A hedged backup runs under its own CancelSource so the supervisor
+  // can cancel the loser without disturbing the caller-facing source.
+  const CancelToken token = request.exec_cancel != nullptr
+                                ? request.exec_cancel->token()
+                                : request.state->cancel.token();
+  const bool claiming = request.run_claim != nullptr;
   Result result;
   // Queued-but-unstarted stop: complete without touching C (or any plan
   // state) — exactly the "work nobody is waiting for" shedding exists
@@ -416,9 +816,39 @@ void SmmService::execute(Request& request, Shard& shard) {
     result = {false, ErrorCode::kDeadlineExceeded,
               "smm service: deadline passed while queued"};
   } else {
+    const auto t0 = std::chrono::steady_clock::now();
     try {
-      request.run(token, shard_cache(shard));
-      result.ok = true;
+      // A degraded/rebuilding shard produces failover-shaped latencies
+      // (cold caches, half-open probes) that must not be ingested as
+      // evidence about kernel variants — suppress tuner sampling for
+      // the duration of the run.
+      std::optional<tune::ScopedSampleSuppression> suppress;
+      if (failover_active_ &&
+          shard.health->state() != failover::ShardState::kHealthy)
+        suppress.emplace();
+      if (claiming) {
+        // Hedged: compute into private scratch, then race for the
+        // claim. Only the winner published into the caller's C; the
+        // loser's work is discarded without touching any shared state.
+        if (!request.run_claim(token, shard_cache(shard))) {
+          if (!request.backup) effective_breaker(shard).on_neutral();
+          return;  // the sibling owns the outcome — record nothing
+        }
+        result.ok = true;
+        if (request.backup) {
+          hedge_wins_.fetch_add(1, std::memory_order_relaxed);
+          robust::health().service_hedge_wins.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+      } else {
+        request.run(token, shard_cache(shard));
+        result.ok = true;
+      }
+      if (failover_active_)
+        latency_.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
     } catch (const Error& e) {
       ErrorCode code = e.code();
       // A stop inside a parallel plan poisons the peers' barriers, so
@@ -439,8 +869,17 @@ void SmmService::execute(Request& request, Shard& shard) {
     }
   }
 
-  record_outcome(result);
-  observe_pool_health();
+  if (claiming && !result.ok) {
+    // First terminal wins — success or failure alike. A second arm is
+    // still racing (or already terminal); if the claim is lost, this
+    // arm's outcome is nobody's business.
+    if (!request.state->claim()) {
+      if (!request.backup) effective_breaker(shard).on_neutral();
+      return;
+    }
+  }
+  record_outcome(result, shard);
+  if (!failover_active_) observe_pool_health();
   complete(request.state, std::move(result));
 }
 
@@ -481,6 +920,10 @@ void SmmService::run_coalesced(SmmService& svc, Shard& shard,
   // times. batched_smm_each never lets one member's failure poison a
   // sibling; the catch below only guards its own preconditions.
   std::vector<core::BatchItemStatus> statuses;
+  std::optional<tune::ScopedSampleSuppression> suppress;
+  if (svc.failover_active_ &&
+      shard.health->state() != failover::ShardState::kHealthy)
+    suppress.emplace();
   try {
     statuses = core::batched_smm_each(
         lead->alpha, items, lead->beta, svc.shard_cache(shard),
@@ -518,7 +961,7 @@ void SmmService::run_coalesced(SmmService& svc, Shard& shard,
                    : ErrorCode::kDeadlineExceeded;
       }
       result = Result{false, code, statuses[i].message};
-      svc.record_outcome(result);
+      svc.record_outcome(result, shard);
     }
     complete(group[i].state, std::move(result));
   }
@@ -526,17 +969,35 @@ void SmmService::run_coalesced(SmmService& svc, Shard& shard,
     svc.completed_.fetch_add(ok_members, std::memory_order_relaxed);
     robust::health().service_completed.fetch_add(ok_members,
                                                  std::memory_order_relaxed);
-    svc.breaker_.on_success();
+    svc.effective_breaker(shard).on_success();
+    if (shard.health != nullptr) shard.health->on_success();
   }
-  svc.observe_pool_health();
+  if (!svc.failover_active_) svc.observe_pool_health();
 }
 
 void SmmService::reap_stopped_locked(Shard& shard) {
   for (auto& q : shard.queues) {
     for (auto it = q.begin(); it != q.end();) {
-      const CancelToken token = it->state->cancel.token();
+      // A hedged backup is stopped through its private source (the
+      // supervisor cancels the loser once the sibling is terminal).
+      const CancelToken token = it->exec_cancel != nullptr
+                                    ? it->exec_cancel->token()
+                                    : it->state->cancel.token();
       if (!token.stop_requested()) {
         ++it;
+        continue;
+      }
+      const auto unqueue = [&] {
+        shard.queued_cost_ns -= it->est_cost_ns;
+        --shard.queued;
+        total_queued_.fetch_sub(1, std::memory_order_relaxed);
+        it = q.erase(it);
+      };
+      if (it->run_claim != nullptr && !it->state->claim()) {
+        // The sibling already owns the terminal outcome: this arm is
+        // pure leftovers — drop it without a second completion or any
+        // health accounting (no double-counting).
+        unqueue();
         continue;
       }
       Result result =
@@ -556,13 +1017,10 @@ void SmmService::reap_stopped_locked(Shard& shard) {
       }
       // Mirrors execute()'s queued pre-check: a stop is neutral for the
       // breaker, but must still release a half-open probe slot the
-      // request may hold from admission.
-      breaker_.on_neutral();
+      // request may hold from admission. Backups never took that slot.
+      if (!it->backup) effective_breaker(shard).on_neutral();
       complete(it->state, std::move(result));
-      shard.queued_cost_ns -= it->est_cost_ns;
-      --shard.queued;
-      total_queued_.fetch_sub(1, std::memory_order_relaxed);
-      it = q.erase(it);
+      unqueue();
     }
   }
 }
@@ -672,8 +1130,21 @@ bool SmmService::try_steal(int thief_idx) {
   if (state() != State::kRunning) return false;
   const int n = static_cast<int>(shards_.size());
   Shard& mine = *shards_[static_cast<std::size_t>(thief_idx)];
+  if (failover_active_) {
+    // Only a healthy or merely degraded shard may steal: a quarantined
+    // or rebuilding domain must not pull fresh work onto the very
+    // substrate the ledger just condemned.
+    const auto mine_state = mine.health->state();
+    if (mine_state != failover::ShardState::kHealthy &&
+        mine_state != failover::ShardState::kDegraded)
+      return false;
+  }
   for (int d = 1; d < n; ++d) {
-    Shard& victim = *shards_[static_cast<std::size_t>((thief_idx + d) % n)];
+    const int victim_idx = (thief_idx + d) % n;
+    // A quarantined victim's queue belongs to the drain: stealing from
+    // it would race the re-route and double-handle tickets.
+    if (failover_active_ && !shard_admissible(victim_idx)) continue;
+    Shard& victim = *shards_[static_cast<std::size_t>(victim_idx)];
     Request stolen;
     bool got = false;
     {
@@ -787,6 +1258,24 @@ void SmmService::shutdown() {
     std::lock_guard<std::mutex> lock(lifecycle_mu_);
     state_.store(State::kStopped, std::memory_order_release);
   }
+  // Supervisor first: it re-routes into shard queues and fires backups,
+  // so it must be gone before the lanes stop popping.
+  {
+    std::lock_guard<std::mutex> lock(supervisor_mu_);
+    supervisor_running_ = false;
+  }
+  supervisor_cv_.notify_all();
+  if (supervisor_.joinable()) supervisor_.join();
+  {
+    std::lock_guard<std::mutex> lock(hedge_mu_);
+    hedges_.clear();
+  }
+  // The brownout flags are process-global (tune, integrity): a service
+  // that dies browned-out must not leave them pinned for its successor.
+  if (brownout_.exchange(false, std::memory_order_relaxed)) {
+    tune::set_sampling_suppressed(false);
+    integrity::set_repair_suppressed(false);
+  }
   std::vector<std::thread> lanes;
   for (auto& shard : shards_) {
     {
@@ -817,6 +1306,12 @@ SmmService::Stats SmmService::stats() const {
   s.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
   s.cancellations = cancellations_.load(std::memory_order_relaxed);
   s.routed = routed_.load(std::memory_order_relaxed);
+  s.rerouted = rerouted_.load(std::memory_order_relaxed);
+  s.hedged = hedged_.load(std::memory_order_relaxed);
+  s.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
+  s.shard_quarantines = shard_quarantines_.load(std::memory_order_relaxed);
+  s.shard_rebuilds = shard_rebuilds_.load(std::memory_order_relaxed);
+  s.brownouts = brownouts_.load(std::memory_order_relaxed);
   s.steals = steals_.load(std::memory_order_relaxed);
   s.coalesced_groups = coalesced_groups_.load(std::memory_order_relaxed);
   s.coalesced_items = coalesced_items_.load(std::memory_order_relaxed);
@@ -882,6 +1377,44 @@ Ticket SmmService::submit(T alpha, ConstMatrixView<T> a,
     request.a_range = storage_range(a);
     request.b_range = storage_range(b);
     request.c_range = storage_range(ConstMatrixView<T>(c));
+  }
+  // Hedged execution (DESIGN.md §15): a kHigh request whose deadline
+  // budget exceeds hedge_budget_factor × its predicted cost can afford
+  // to run twice — a backup fires on a different shard after the hedge
+  // delay, first terminal wins. Both arms read one immutable snapshot
+  // of C taken here and compute into private scratch; only the claim
+  // winner publishes into the caller's C, so primary and backup never
+  // race on user memory (and beta-accumulation reads a stable
+  // pre-image). A hedged request never coalesces: its group siblings
+  // would write the user's C directly, defeating the claim protocol.
+  if (failover_active_ && priority == Priority::kHigh && ms > 0 &&
+      c.rows() > 0 && c.cols() > 0 && a.cols() > 0 &&
+      static_cast<double>(ms) * 1e6 >
+          options_.failover.hedge_budget_factor * request.est_cost_ns) {
+    auto c0 = std::make_shared<Matrix<T>>(c.rows(), c.cols(), c.layout());
+    for (index_t j = 0; j < c.cols(); ++j)
+      for (index_t i = 0; i < c.rows(); ++i) (*c0)(i, j) = c(i, j);
+    request.run = nullptr;
+    request.key = CoalesceKey{};
+    request.args = nullptr;
+    request.run_group = nullptr;
+    request.run_claim = [alpha, a, b, beta, c, c0, threads, gemm,
+                         state = request.state](
+                            const CancelToken& token,
+                            core::PlanCache& cache) -> bool {
+      Matrix<T> scratch = c0->clone();
+      core::smm_gemm(alpha, a, b, beta, scratch.view(), threads, gemm,
+                     token, cache);
+      if (!state->claim()) return false;  // the sibling already decided
+      // Publish: the caller observes C only after wait() returns, and
+      // complete() hands the result over under state->mu — the mutex
+      // orders this copy before any caller read.
+      MatrixView<T> out = c;
+      for (index_t j = 0; j < out.cols(); ++j)
+        for (index_t i = 0; i < out.rows(); ++i)
+          out(i, j) = scratch(i, j);
+      return true;
+    };
   }
   return admit(std::move(request));
 }

@@ -29,6 +29,19 @@
 // the individual Tickets with per-item error/cancel propagation — a
 // coalesced neighbor's failure never poisons siblings.
 //
+// Failure domains (smm::failover, DESIGN.md §15): on a multi-shard
+// service every shard carries its own health ledger and circuit breaker,
+// driven by that shard's outcome stream alone. A quarantined shard is
+// drained — its queue re-routes along a deterministic fallback ring, in-
+// flight work runs to terminal state — and its home traffic diverts at
+// admission until the rebuild probe proves recovery. kHigh requests with
+// deadline slack are hedged: a backup fires on a different shard after a
+// percentile-based delay, the first terminal claims the ticket, the
+// loser is cancelled and never double-counts. When a majority of shards
+// are quarantined the service browns out (kLow shed at the door, tune
+// sampling paused, ABFT-correct serving detect-only) instead of
+// collapsing into a global breaker.
+//
 // Rejections are O(µs): submit() does shape validation, routing, plus a
 // mutex-guarded admission decision — plan resolution, packing, and
 // execution all happen on the lanes.
@@ -57,6 +70,7 @@
 #include "src/common/error.h"
 #include "src/core/plan_cache.h"
 #include "src/core/smm.h"
+#include "src/failover/failover.h"
 #include "src/matrix/view.h"
 #include "src/service/circuit_breaker.h"
 #include "src/threading/worker_pool.h"
@@ -117,6 +131,12 @@ struct ServiceOptions {
   /// here: a serving front-end typically turns it on).
   core::SmmOptions gemm;
   CircuitBreaker::Options breaker;
+  /// Per-shard failure domains, re-routing, hedging, brownout
+  /// (smm::failover, DESIGN.md §15). Active only when shards > 1 — a
+  /// single-shard service keeps the legacy global-breaker path verbatim
+  /// (there is nowhere to fail over, and the layer must cost nothing
+  /// when it cannot help).
+  failover::FailoverOptions failover;
 };
 
 /// ServiceOptions with the SMMKIT_* environment overrides applied on top
@@ -141,6 +161,12 @@ struct RequestState {
   std::condition_variable cv;
   bool done = false;
   Result result;
+  /// Hedged execution (DESIGN.md §15): primary and backup share this
+  /// state, and exactly one of them may record the outcome and publish
+  /// the result — whoever wins this exchange. Only consulted when the
+  /// failover layer is active.
+  std::atomic<bool> claimed{false};
+  bool claim() { return !claimed.exchange(true, std::memory_order_acq_rel); }
 };
 
 /// The typed operands of a coalescable GEMM submission, type-erased into
@@ -234,10 +260,12 @@ class SmmService {
   void shutdown();
 
   /// Point-in-time counters (each also mirrored into robust::health()'s
-  /// service_* counters). Invariants (DESIGN.md §13): submitted ==
-  /// routed == Σ routed_per_shard (every submission is routed exactly
-  /// once, before the admission decision), admitted == Σ
-  /// admitted_per_shard, and submitted == admitted + rejected.
+  /// service_* counters). Invariants (DESIGN.md §13/§15): submitted ==
+  /// routed == Σ routed_per_shard + rerouted (every submission is routed
+  /// exactly once; a placement diverted off its quarantined home — at
+  /// admission or by a drain — is attributed to `rerouted` instead of a
+  /// shard), admitted == Σ admitted_per_shard, and submitted ==
+  /// admitted + rejected.
   struct Stats {
     std::size_t submitted = 0;
     std::size_t admitted = 0;
@@ -259,13 +287,44 @@ class SmmService {
     std::size_t steals = 0;            ///< requests run by a non-home shard
     std::size_t coalesced_groups = 0;  ///< >=2-member batched dispatches
     std::size_t coalesced_items = 0;   ///< requests served in those groups
+    // Failure domains (DESIGN.md §15).
+    std::size_t rerouted = 0;    ///< placements diverted off a quarantined home
+    std::size_t hedged = 0;      ///< backup submissions fired
+    std::size_t hedge_wins = 0;  ///< hedged requests whose backup won
+    std::size_t shard_quarantines = 0;  ///< lifecycle entries into kQuarantined
+    std::size_t shard_rebuilds = 0;     ///< quarantine -> rebuilding probes
+    std::size_t brownouts = 0;          ///< brownout-mode entries
     std::vector<std::size_t> routed_per_shard;
     std::vector<std::size_t> admitted_per_shard;
   };
   [[nodiscard]] Stats stats() const;
 
+  /// The legacy global breaker (the only one consulted when shards == 1
+  /// or the failover layer is disabled; informational otherwise — a
+  /// multi-shard service admits through the per-shard breakers).
   [[nodiscard]] BreakerState breaker_state() const {
     return breaker_.state();
+  }
+  /// Per-shard breaker (multi-shard failover); breaker_state() when the
+  /// failover layer is inactive.
+  [[nodiscard]] BreakerState shard_breaker_state(int shard_idx) const;
+
+  // Failure-domain surface (DESIGN.md §15). All of these are no-ops /
+  // kHealthy on a single-shard or failover-disabled service.
+  /// Lifecycle state of one shard.
+  [[nodiscard]] failover::ShardState shard_state(int shard_idx) const;
+  /// Administratively quarantine a shard (fault drills, operational
+  /// tooling): its queue drains onto the fallback ring, its home traffic
+  /// diverts at admission, and it is *held* until revive_shard().
+  void quarantine_shard(int shard_idx);
+  /// Administrative revive: the shard re-enters as kRebuilding and heals
+  /// to kHealthy on its first clean completion.
+  void revive_shard(int shard_idx);
+  /// True while the service is in brownout (majority of shards
+  /// quarantined): kLow shed at the door, tune sampling paused,
+  /// ABFT-correct serving detect-only.
+  [[nodiscard]] bool in_brownout() const {
+    return brownout_.load(std::memory_order_relaxed);
   }
   /// Options with the auto knobs (shards, lanes) resolved.
   [[nodiscard]] const ServiceOptions& options() const { return options_; }
@@ -314,11 +373,27 @@ class SmmService {
     std::shared_ptr<detail::RequestState> state;
     /// Single-request execution against the shard's plan cache.
     std::function<void(const CancelToken&, core::PlanCache&)> run;
+    /// Hedged variant (set instead of `run`): computes into a private
+    /// scratch C, claims the shared state, and publishes into the user's
+    /// C only on a won claim — primary and backup never race on user
+    /// memory. Returns whether this execution won.
+    std::function<bool(const CancelToken&, core::PlanCache&)> run_claim;
     Priority priority = Priority::kNormal;
     double est_cost_ns = 0.0;
     int home = 0;  ///< shard the router placed this request on
     std::chrono::steady_clock::time_point deadline{};
     bool has_deadline = false;
+    /// Hedge backup: bypasses admission stats, never coalesces, and on a
+    /// lost claim (or a drain with no fallback) is dropped silently —
+    /// the primary owns the ticket.
+    bool backup = false;
+    /// Already attributed to rerouted_ instead of a shard's routed
+    /// counter (admission diversion or a quarantine drain); a second
+    /// move must not count again.
+    bool rerouted = false;
+    /// Backup executions cancel independently of the shared ticket
+    /// source (the loser is cancelled without touching the winner).
+    std::shared_ptr<CancelSource> exec_cancel;
     CoalesceKey key;
     /// detail::GemmArgs<T> when key.valid (run_group recovers the type).
     std::shared_ptr<void> args;
@@ -344,9 +419,25 @@ class SmmService {
     std::vector<std::thread> lanes;
     std::unique_ptr<par::WorkerPool> pool;
     std::unique_ptr<core::PlanCache> cache;
+    /// Failure-domain ledger + per-shard breaker; null unless the
+    /// failover layer is active (DESIGN.md §15).
+    std::unique_ptr<failover::ShardHealth> health;
+    /// Pool-quarantine count last attributed by the supervisor (only the
+    /// supervisor thread touches it).
+    std::size_t seen_pool_quarantines = 0;
     std::atomic<std::size_t> routed{0};
     std::atomic<std::size_t> admitted{0};
     std::atomic<std::size_t> steals{0};
+  };
+
+  /// One registered hedge: the shared ticket state, the pre-built backup
+  /// request, and when to fire it. Guarded by hedge_mu_.
+  struct HedgeEntry {
+    std::shared_ptr<detail::RequestState> state;
+    Request backup;
+    std::chrono::steady_clock::time_point fire_at{};
+    std::shared_ptr<CancelSource> backup_cancel;  ///< set once fired
+    bool fired = false;
   };
 
   /// The admission decision plus enqueue on the request's home shard.
@@ -384,11 +475,43 @@ class SmmService {
   static void run_coalesced(SmmService& svc, Shard& shard,
                             std::vector<Request>& group);
   /// The completed/cancelled/deadline/breaker bookkeeping shared by the
-  /// single-request and coalesced completion paths.
-  void record_outcome(const Result& result);
+  /// single-request and coalesced completion paths. `shard` is the
+  /// domain that *executed* the request — its ledger and breaker take
+  /// the outcome when the failover layer is active.
+  void record_outcome(const Result& result, Shard& shard);
   static void complete(const std::shared_ptr<detail::RequestState>& state,
                        Result result);
   void observe_pool_health();
+
+  // Failure domains (DESIGN.md §15). All run only when failover_active_.
+  /// The breaker admission and outcome recording consult for `shard`.
+  [[nodiscard]] CircuitBreaker& effective_breaker(Shard& shard);
+  /// May placements land on shards_[idx] right now?
+  [[nodiscard]] bool shard_admissible(int idx) const;
+  /// Supervisor thread: pool-quarantine attribution, quarantine expiry,
+  /// hedge firing/cancellation, brownout evaluation.
+  void failover_main();
+  void tick_failover();
+  /// Entry into kQuarantined: mirror counters, drain the queue onto the
+  /// fallback ring, re-evaluate brownout. Never called under a shard mu.
+  void handle_quarantine(int idx);
+  /// Entry into kRebuilding: blank the shard's plan cache (its cached
+  /// state is suspect), mirror counters, wake the lanes.
+  void begin_shard_rebuild(Shard& shard);
+  /// Move every queued request off shards_[idx] to the next admissible
+  /// shard on the ring; requests with no fallback complete kOverloaded
+  /// (backups are dropped silently). Nothing is left stranded.
+  void drain_shard_queue(int idx);
+  /// Re-route one already-extracted request (the caller did the
+  /// in_flight/queued handover). Returns false when it had to terminate
+  /// the request instead.
+  void place_rerouted(Request request, int from_idx);
+  void evaluate_brownout();
+  /// Register a hedge for a just-admitted eligible request.
+  void register_hedge(Request backup_template);
+  /// Fire one backup onto `target`'s kHigh queue (bypasses admission —
+  /// hedges are best-effort; a full queue skips the fire).
+  bool enqueue_backup(int target, Request backup);
   [[nodiscard]] core::PlanCache& shard_cache(Shard& shard) const;
   /// The construction-time constants alone (no tuner feedback): what
   /// route_shard buckets on, so a shape's home shard never moves when
@@ -404,6 +527,10 @@ class SmmService {
   double flop_ns_ = 0.0;      ///< cost-model constants, resolved once
   double dispatch_ns_ = 0.0;
   CircuitBreaker breaker_;
+  /// shards > 1 && options_.failover.enabled, resolved once: the single
+  /// branch every failover hook hides behind — a single-shard service
+  /// runs the PR 7 code paths unchanged.
+  bool failover_active_ = false;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<State> state_{State::kRunning};
@@ -432,6 +559,24 @@ class SmmService {
   std::atomic<std::size_t> steals_{0};
   std::atomic<std::size_t> coalesced_groups_{0};
   std::atomic<std::size_t> coalesced_items_{0};
+
+  // Failure domains (DESIGN.md §15).
+  std::atomic<std::size_t> rerouted_{0};
+  std::atomic<std::size_t> hedged_{0};
+  std::atomic<std::size_t> hedge_wins_{0};
+  std::atomic<std::size_t> shard_quarantines_{0};
+  std::atomic<std::size_t> shard_rebuilds_{0};
+  std::atomic<std::size_t> brownouts_{0};
+  std::atomic<bool> brownout_{false};
+  failover::LatencyWindow latency_;
+  /// Hedge registry and its supervisor thread (started only when
+  /// failover_active_).
+  std::mutex hedge_mu_;
+  std::vector<HedgeEntry> hedges_;
+  std::mutex supervisor_mu_;
+  std::condition_variable supervisor_cv_;
+  bool supervisor_running_ = false;  // guarded by supervisor_mu_
+  std::thread supervisor_;
 };
 
 }  // namespace smm::service

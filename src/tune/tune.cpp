@@ -59,6 +59,28 @@ void set_mode_override(Mode mode) {
 }
 
 namespace {
+std::atomic<bool> g_sampling_suppressed{false};
+thread_local int t_sample_suppress_depth = 0;
+}  // namespace
+
+void set_sampling_suppressed(bool suppressed) {
+  g_sampling_suppressed.store(suppressed, std::memory_order_relaxed);
+}
+
+bool sampling_suppressed() {
+  return t_sample_suppress_depth > 0 ||
+         g_sampling_suppressed.load(std::memory_order_relaxed);
+}
+
+ScopedSampleSuppression::ScopedSampleSuppression() {
+  ++t_sample_suppress_depth;
+}
+
+ScopedSampleSuppression::~ScopedSampleSuppression() {
+  --t_sample_suppress_depth;
+}
+
+namespace {
 
 /// The PlanCache key contribution of one tuning epoch: epoch 0 (never
 /// re-planned, and any class the tuner reverted to the default spec)
@@ -131,6 +153,11 @@ PlanChoice Tuner::plan_choice(const ShapeClass& sc) {
 
 SampleToken Tuner::sample_token(const ShapeClass& sc) {
   if (mode() == Mode::kOff) return {};
+  // Failover gate (DESIGN.md §15): a suppressed context (brownout, or a
+  // lane executing on a non-healthy shard) produces wall times that
+  // describe the failure, not the plan — issue no token at all so even
+  // an exploration trial never ingests them.
+  if (sampling_suppressed()) return {};
   // Mid-exploration classes sample every call — a trial that waited for
   // the 1-in-N counter would take N x trial_samples calls to converge.
   // The atomic count keeps this a single relaxed load when (as almost

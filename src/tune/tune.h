@@ -72,6 +72,30 @@ Mode mode();
 /// returns to the env-derived value). Takes effect immediately.
 void set_mode_override(Mode mode);
 
+/// Process-wide sampling gate (smm::failover's brownout): while set,
+/// sample_token issues no tokens — the posterior is frozen rather than
+/// fed wall times from a runtime in degraded service.
+void set_sampling_suppressed(bool suppressed);
+
+/// True when sampling is currently gated off, either process-wide (see
+/// above) or by a ScopedSampleSuppression on this thread.
+bool sampling_suppressed();
+
+/// Thread-scoped sampling gate: the serving layer wraps executions that
+/// land on a non-healthy shard (failover re-routes, rebuild probes,
+/// guarded retries on a degraded domain) so their wall times — inflated
+/// by spawn fallbacks and retry ladders — can never poison the EWMA
+/// posterior or trigger a spurious re-plan. Nestable; cheap (one
+/// thread-local increment).
+class ScopedSampleSuppression {
+ public:
+  ScopedSampleSuppression();
+  ~ScopedSampleSuppression();
+  ScopedSampleSuppression(const ScopedSampleSuppression&) = delete;
+  ScopedSampleSuppression& operator=(const ScopedSampleSuppression&) =
+      delete;
+};
+
 /// What the tuner keys on — the service router's shape class plus the
 /// caller's thread budget (the same shape tuned under different budgets
 /// is a different decision).
