@@ -37,7 +37,7 @@ namespace {
 // kAuto (0) doubles as "no override".
 std::atomic<std::uint8_t> g_override{
     static_cast<std::uint8_t>(AbftMode::kAuto)};
-std::atomic<bool> g_repair_suppressed{false};
+std::atomic<int> g_repair_suppression_holds{0};
 }  // namespace
 
 AbftMode mode() {
@@ -45,7 +45,8 @@ AbftMode mode() {
     // Brownout (DESIGN.md §15): correct-mode's repair work is optional
     // load a degraded runtime sheds; detection is not.
     return m == AbftMode::kCorrect &&
-                   g_repair_suppressed.load(std::memory_order_relaxed)
+                   g_repair_suppression_holds.load(
+                       std::memory_order_relaxed) > 0
                ? AbftMode::kDetect
                : m;
   };
@@ -63,12 +64,21 @@ void set_mode_override(AbftMode mode) {
                    std::memory_order_relaxed);
 }
 
-void set_repair_suppressed(bool suppressed) {
-  g_repair_suppressed.store(suppressed, std::memory_order_relaxed);
+void hold_repair_suppression() {
+  g_repair_suppression_holds.fetch_add(1, std::memory_order_relaxed);
+}
+
+void release_repair_suppression() {
+  // Clamped at zero, like tune's sampling holds: a stray extra release
+  // must not bank a negative count against the next brownout.
+  int held = g_repair_suppression_holds.load(std::memory_order_relaxed);
+  while (held > 0 && !g_repair_suppression_holds.compare_exchange_weak(
+                         held, held - 1, std::memory_order_relaxed)) {
+  }
 }
 
 bool repair_suppressed() {
-  return g_repair_suppressed.load(std::memory_order_relaxed);
+  return g_repair_suppression_holds.load(std::memory_order_relaxed) > 0;
 }
 
 namespace {

@@ -54,12 +54,16 @@ AbftMode mode();
 /// returns to the env-derived value). Takes effect immediately.
 void set_mode_override(AbftMode mode);
 
-/// Brownout cap (smm::failover, DESIGN.md §15): while set, mode() serves
-/// kDetect where it would serve kCorrect — detection stays armed, but
-/// the repair path (localization, in-place fixes, panel recomputes) is
-/// shed along with the rest of the optional work a browned-out runtime
-/// drops. An *explicit* per-call kCorrect passes resolve() untouched.
-void set_repair_suppressed(bool suppressed);
+/// Brownout cap (smm::failover, DESIGN.md §15): while any hold is
+/// outstanding, mode() serves kDetect where it would serve kCorrect —
+/// detection stays armed, but the repair path (localization, in-place
+/// fixes, panel recomputes) is shed along with the rest of the optional
+/// work a browned-out runtime drops. An *explicit* per-call kCorrect
+/// passes resolve() untouched. Counted, not boolean, so independent
+/// holders (two browned-out SmmService instances) compose; release is
+/// clamped at zero.
+void hold_repair_suppression();
+void release_repair_suppression();
 bool repair_suppressed();
 
 /// resolve(kAuto) == mode(); any explicit value passes through.

@@ -393,9 +393,12 @@ Ticket SmmService::admit(Request request) {
   // Hedged request admitted (submit armed run_claim): register the
   // backup template with the supervisor, which fires it on a different
   // shard once the hedge delay elapses. Registration is outside the
-  // shard lock — the supervisor takes shard locks when it fires.
+  // shard lock — the supervisor takes shard locks when it fires. The
+  // entry records where the primary actually landed (`target`, not
+  // `home`: a rerouted primary already sits on home's ring successor,
+  // which is exactly where a home-relative scan would put the backup).
   if (backup_template.has_value())
-    register_hedge(std::move(*backup_template));
+    register_hedge(std::move(*backup_template), target);
   admitted_.fetch_add(1, std::memory_order_relaxed);
   robust::health().service_admitted.fetch_add(1, std::memory_order_relaxed);
   shard.admitted.fetch_add(1, std::memory_order_relaxed);
@@ -606,10 +609,17 @@ void SmmService::tick_failover() {
     if (!it->fired && now >= it->fire_at) {
       it->fired = true;
       if (state() == State::kRunning && !browned_out) {
+        // Scan relative to the primary's actual placement, not its
+        // routed home: an admission-diverted primary already runs on
+        // home's ring successor, and a home-relative scan would land
+        // the backup on that same shard — doubling its load and
+        // forfeiting the different-shard isolation the hedge is for.
+        // next_on_ring starts after `primary_shard`, so the primary's
+        // own domain is excluded by construction.
         const int target = failover::next_on_ring(
-            it->backup.home, n,
+            it->primary_shard, n,
             [&](int idx) { return shard_admissible(idx); });
-        if (target != it->backup.home) {
+        if (target != it->primary_shard) {
           Request backup = std::move(it->backup);
           backup.exec_cancel =
               backup.has_deadline
@@ -740,15 +750,18 @@ void SmmService::evaluate_brownout() {
     brownouts_.fetch_add(1, std::memory_order_relaxed);
     robust::health().service_brownouts.fetch_add(1,
                                                  std::memory_order_relaxed);
-    tune::set_sampling_suppressed(true);
-    integrity::set_repair_suppressed(true);
+    // Counted holds: a second browned-out service instance keeps the
+    // process-wide suppressions up after this one exits or shuts down.
+    tune::hold_sampling_suppression();
+    integrity::hold_repair_suppression();
   } else if (!should && was) {
-    tune::set_sampling_suppressed(false);
-    integrity::set_repair_suppressed(false);
+    tune::release_sampling_suppression();
+    integrity::release_repair_suppression();
   }
 }
 
-void SmmService::register_hedge(Request backup_template) {
+void SmmService::register_hedge(Request backup_template,
+                                int primary_shard) {
   const auto now = std::chrono::steady_clock::now();
   double delay_ns;
   if (options_.failover.hedge_ms > 0) {
@@ -769,6 +782,7 @@ void SmmService::register_hedge(Request backup_template) {
   }
   HedgeEntry entry;
   entry.state = backup_template.state;
+  entry.primary_shard = primary_shard;
   entry.fire_at =
       now + std::chrono::nanoseconds(static_cast<long long>(delay_ns));
   entry.backup = std::move(backup_template);
@@ -820,12 +834,17 @@ void SmmService::execute(Request& request, Shard& shard) {
     try {
       // A degraded/rebuilding shard produces failover-shaped latencies
       // (cold caches, half-open probes) that must not be ingested as
-      // evidence about kernel variants — suppress tuner sampling for
-      // the duration of the run.
+      // evidence — neither by the tuner (sampling suppressed for the
+      // run) nor by the hedge LatencyWindow (recording skipped below):
+      // failure-inflated wall times would stretch the p95-derived
+      // hedge delay exactly when hedging matters most. Snapshot of the
+      // state at run start; a mid-run transition misclassifies at most
+      // this one observation.
+      const bool shard_healthy =
+          !failover_active_ ||
+          shard.health->state() == failover::ShardState::kHealthy;
       std::optional<tune::ScopedSampleSuppression> suppress;
-      if (failover_active_ &&
-          shard.health->state() != failover::ShardState::kHealthy)
-        suppress.emplace();
+      if (!shard_healthy) suppress.emplace();
       if (claiming) {
         // Hedged: compute into private scratch, then race for the
         // claim. Only the winner published into the caller's C; the
@@ -844,7 +863,7 @@ void SmmService::execute(Request& request, Shard& shard) {
         request.run(token, shard_cache(shard));
         result.ok = true;
       }
-      if (failover_active_)
+      if (failover_active_ && shard_healthy)
         latency_.record(static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - t0)
@@ -1270,11 +1289,13 @@ void SmmService::shutdown() {
     std::lock_guard<std::mutex> lock(hedge_mu_);
     hedges_.clear();
   }
-  // The brownout flags are process-global (tune, integrity): a service
-  // that dies browned-out must not leave them pinned for its successor.
+  // The brownout suppressions are process-global counted holds (tune,
+  // integrity): a service that dies browned-out must release its own
+  // hold — and only its own; another instance's brownout stays in
+  // force (the exchange guarantees exactly one release per entry).
   if (brownout_.exchange(false, std::memory_order_relaxed)) {
-    tune::set_sampling_suppressed(false);
-    integrity::set_repair_suppressed(false);
+    tune::release_sampling_suppression();
+    integrity::release_repair_suppression();
   }
   std::vector<std::thread> lanes;
   for (auto& shard : shards_) {
@@ -1381,16 +1402,26 @@ Ticket SmmService::submit(T alpha, ConstMatrixView<T> a,
   // Hedged execution (DESIGN.md §15): a kHigh request whose deadline
   // budget exceeds hedge_budget_factor × its predicted cost can afford
   // to run twice — a backup fires on a different shard after the hedge
-  // delay, first terminal wins. Both arms read one immutable snapshot
-  // of C taken here and compute into private scratch; only the claim
-  // winner publishes into the caller's C, so primary and backup never
-  // race on user memory (and beta-accumulation reads a stable
-  // pre-image). A hedged request never coalesces: its group siblings
-  // would write the user's C directly, defeating the claim protocol.
+  // delay, first terminal wins. ALL THREE operands are snapshotted here
+  // into service-owned storage: the winner claims and completes while
+  // the loser may still be executing (its cancellation is cooperative),
+  // and the submit() contract lets the caller free A/B/C the moment
+  // wait() returns — a loser still reading the borrowed views would be
+  // a use-after-free. Both arms therefore compute from the snapshots
+  // into private scratch; only the claim winner publishes into the
+  // caller's C (and beta-accumulation reads a stable pre-image). A
+  // hedged request never coalesces: its group siblings would write the
+  // user's C directly, defeating the claim protocol.
   if (failover_active_ && priority == Priority::kHigh && ms > 0 &&
       c.rows() > 0 && c.cols() > 0 && a.cols() > 0 &&
       static_cast<double>(ms) * 1e6 >
           options_.failover.hedge_budget_factor * request.est_cost_ns) {
+    auto a0 = std::make_shared<Matrix<T>>(a.rows(), a.cols(), a.layout());
+    for (index_t j = 0; j < a.cols(); ++j)
+      for (index_t i = 0; i < a.rows(); ++i) (*a0)(i, j) = a(i, j);
+    auto b0 = std::make_shared<Matrix<T>>(b.rows(), b.cols(), b.layout());
+    for (index_t j = 0; j < b.cols(); ++j)
+      for (index_t i = 0; i < b.rows(); ++i) (*b0)(i, j) = b(i, j);
     auto c0 = std::make_shared<Matrix<T>>(c.rows(), c.cols(), c.layout());
     for (index_t j = 0; j < c.cols(); ++j)
       for (index_t i = 0; i < c.rows(); ++i) (*c0)(i, j) = c(i, j);
@@ -1398,13 +1429,13 @@ Ticket SmmService::submit(T alpha, ConstMatrixView<T> a,
     request.key = CoalesceKey{};
     request.args = nullptr;
     request.run_group = nullptr;
-    request.run_claim = [alpha, a, b, beta, c, c0, threads, gemm,
+    request.run_claim = [alpha, a0, b0, beta, c, c0, threads, gemm,
                          state = request.state](
                             const CancelToken& token,
                             core::PlanCache& cache) -> bool {
       Matrix<T> scratch = c0->clone();
-      core::smm_gemm(alpha, a, b, beta, scratch.view(), threads, gemm,
-                     token, cache);
+      core::smm_gemm(alpha, a0->cview(), b0->cview(), beta,
+                     scratch.view(), threads, gemm, token, cache);
       if (!state->claim()) return false;  // the sibling already decided
       // Publish: the caller observes C only after wait() returns, and
       // complete() hands the result over under state->mu — the mutex

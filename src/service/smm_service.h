@@ -373,10 +373,13 @@ class SmmService {
     std::shared_ptr<detail::RequestState> state;
     /// Single-request execution against the shard's plan cache.
     std::function<void(const CancelToken&, core::PlanCache&)> run;
-    /// Hedged variant (set instead of `run`): computes into a private
-    /// scratch C, claims the shared state, and publishes into the user's
-    /// C only on a won claim — primary and backup never race on user
-    /// memory. Returns whether this execution won.
+    /// Hedged variant (set instead of `run`): computes from submit-time
+    /// snapshots of ALL operands into a private scratch C, claims the
+    /// shared state, and publishes into the user's C only on a won claim.
+    /// The arms never race on user memory, and the losing arm — which
+    /// may outlive the ticket's terminal state — touches none of the
+    /// caller-borrowed views at all (the caller is free to release them
+    /// the moment wait() returns). Returns whether this execution won.
     std::function<bool(const CancelToken&, core::PlanCache&)> run_claim;
     Priority priority = Priority::kNormal;
     double est_cost_ns = 0.0;
@@ -437,6 +440,11 @@ class SmmService {
     Request backup;
     std::chrono::steady_clock::time_point fire_at{};
     std::shared_ptr<CancelSource> backup_cancel;  ///< set once fired
+    /// Where admission actually placed the primary (it may have been
+    /// diverted off a quarantined home): the ring scan for the backup
+    /// starts after THIS shard, so a hedge never lands on the very
+    /// domain it exists to route around.
+    int primary_shard = 0;
     bool fired = false;
   };
 
@@ -508,7 +516,8 @@ class SmmService {
   void place_rerouted(Request request, int from_idx);
   void evaluate_brownout();
   /// Register a hedge for a just-admitted eligible request.
-  void register_hedge(Request backup_template);
+  /// `primary_shard` is the shard admission actually placed it on.
+  void register_hedge(Request backup_template, int primary_shard);
   /// Fire one backup onto `target`'s kHigh queue (bypasses admission —
   /// hedges are best-effort; a full queue skips the fire).
   bool enqueue_backup(int target, Request backup);

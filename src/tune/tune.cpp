@@ -59,17 +59,27 @@ void set_mode_override(Mode mode) {
 }
 
 namespace {
-std::atomic<bool> g_sampling_suppressed{false};
+std::atomic<int> g_sampling_suppression_holds{0};
 thread_local int t_sample_suppress_depth = 0;
 }  // namespace
 
-void set_sampling_suppressed(bool suppressed) {
-  g_sampling_suppressed.store(suppressed, std::memory_order_relaxed);
+void hold_sampling_suppression() {
+  g_sampling_suppression_holds.fetch_add(1, std::memory_order_relaxed);
+}
+
+void release_sampling_suppression() {
+  // CAS loop instead of fetch_sub: clamped at zero so an unbalanced
+  // release can never park the counter negative and swallow the next
+  // holder's suppression.
+  int held = g_sampling_suppression_holds.load(std::memory_order_relaxed);
+  while (held > 0 && !g_sampling_suppression_holds.compare_exchange_weak(
+                         held, held - 1, std::memory_order_relaxed)) {
+  }
 }
 
 bool sampling_suppressed() {
   return t_sample_suppress_depth > 0 ||
-         g_sampling_suppressed.load(std::memory_order_relaxed);
+         g_sampling_suppression_holds.load(std::memory_order_relaxed) > 0;
 }
 
 ScopedSampleSuppression::ScopedSampleSuppression() {

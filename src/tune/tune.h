@@ -72,10 +72,15 @@ Mode mode();
 /// returns to the env-derived value). Takes effect immediately.
 void set_mode_override(Mode mode);
 
-/// Process-wide sampling gate (smm::failover's brownout): while set,
-/// sample_token issues no tokens — the posterior is frozen rather than
-/// fed wall times from a runtime in degraded service.
-void set_sampling_suppressed(bool suppressed);
+/// Process-wide sampling gate (smm::failover's brownout): while any
+/// hold is outstanding, sample_token issues no tokens — the posterior
+/// is frozen rather than fed wall times from a runtime in degraded
+/// service. Counted, not boolean, so independent holders (two browned-
+/// out SmmService instances) compose: one holder releasing never lifts
+/// another's suppression. release is clamped at zero (a stray extra
+/// release is a no-op, not a latent un-suppression debt).
+void hold_sampling_suppression();
+void release_sampling_suppression();
 
 /// True when sampling is currently gated off, either process-wide (see
 /// above) or by a ScopedSampleSuppression on this thread.

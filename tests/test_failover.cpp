@@ -16,6 +16,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <memory>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -56,17 +57,23 @@ class FailoverTest : public ::testing::Test {
  protected:
   void SetUp() override {
     FaultInjector::instance().disarm_all();
-    tune::set_sampling_suppressed(false);
-    integrity::set_repair_suppressed(false);
+    clear_suppressions();
     integrity::set_mode_override(integrity::AbftMode::kAuto);
     heal_pool();
   }
   void TearDown() override {
     FaultInjector::instance().disarm_all();
-    tune::set_sampling_suppressed(false);
-    integrity::set_repair_suppressed(false);
+    clear_suppressions();
     integrity::set_mode_override(integrity::AbftMode::kAuto);
     heal_pool();
+  }
+  /// Drain any suppression holds a failed test may have leaked (the
+  /// holds are counted, so release until the gates read clear).
+  static void clear_suppressions() {
+    for (int i = 0; i < 64 && tune::sampling_suppressed(); ++i)
+      tune::release_sampling_suppression();
+    for (int i = 0; i < 64 && integrity::repair_suppressed(); ++i)
+      integrity::release_repair_suppression();
   }
   static void heal_pool() {
     for (int i = 0; i < 2; ++i) par::run_parallel(2, [](int) {});
@@ -238,12 +245,12 @@ TEST_F(FailoverTest, OptionsReadTheEnvironment) {
 TEST_F(FailoverTest, SampleTokensStopWhileSuppressed) {
   tune::set_mode_override(tune::Mode::kObserve);
   const tune::ShapeClass sc{40, 40, 40, 0, 1};
-  tune::set_sampling_suppressed(true);
+  tune::hold_sampling_suppression();
   EXPECT_TRUE(tune::sampling_suppressed());
   for (int i = 0; i < 512; ++i)
     EXPECT_FALSE(tune::tuner().sample_token(sc).sample)
         << "token issued while suppressed (i=" << i << ")";
-  tune::set_sampling_suppressed(false);
+  tune::release_sampling_suppression();
   int sampled = 0;
   for (int i = 0; i < 512; ++i)
     if (tune::tuner().sample_token(sc).sample) ++sampled;
@@ -274,7 +281,7 @@ TEST_F(FailoverTest, ScopedSuppressionNestsPerThread) {
 TEST_F(FailoverTest, RepairSuppressionCapsCorrectToDetect) {
   integrity::set_mode_override(integrity::AbftMode::kCorrect);
   EXPECT_EQ(integrity::mode(), integrity::AbftMode::kCorrect);
-  integrity::set_repair_suppressed(true);
+  integrity::hold_repair_suppression();
   EXPECT_EQ(integrity::mode(), integrity::AbftMode::kDetect);
   // Detection stays armed — only the repair tier is shed.
   integrity::set_mode_override(integrity::AbftMode::kDetect);
@@ -282,9 +289,42 @@ TEST_F(FailoverTest, RepairSuppressionCapsCorrectToDetect) {
   // An explicit per-call kCorrect is a caller decision, not policy.
   EXPECT_EQ(integrity::resolve(integrity::AbftMode::kCorrect),
             integrity::AbftMode::kCorrect);
-  integrity::set_repair_suppressed(false);
+  integrity::release_repair_suppression();
   integrity::set_mode_override(integrity::AbftMode::kCorrect);
   EXPECT_EQ(integrity::mode(), integrity::AbftMode::kCorrect);
+}
+
+TEST_F(FailoverTest, SuppressionHoldsComposeAcrossHolders) {
+  // Two independent holders (two browned-out service instances): one
+  // releasing — or shutting down — must not lift the other's hold.
+  tune::hold_sampling_suppression();
+  tune::hold_sampling_suppression();
+  tune::release_sampling_suppression();
+  EXPECT_TRUE(tune::sampling_suppressed())
+      << "one holder's release lifted another's suppression";
+  tune::release_sampling_suppression();
+  EXPECT_FALSE(tune::sampling_suppressed());
+  // Clamped at zero: a stray extra release is a no-op, not a debt the
+  // next holder's hold would silently pay off.
+  tune::release_sampling_suppression();
+  tune::hold_sampling_suppression();
+  EXPECT_TRUE(tune::sampling_suppressed());
+  tune::release_sampling_suppression();
+
+  integrity::set_mode_override(integrity::AbftMode::kCorrect);
+  integrity::hold_repair_suppression();
+  integrity::hold_repair_suppression();
+  integrity::release_repair_suppression();
+  EXPECT_TRUE(integrity::repair_suppressed());
+  EXPECT_EQ(integrity::mode(), integrity::AbftMode::kDetect);
+  integrity::release_repair_suppression();
+  EXPECT_FALSE(integrity::repair_suppressed());
+  EXPECT_EQ(integrity::mode(), integrity::AbftMode::kCorrect);
+  integrity::release_repair_suppression();
+  integrity::hold_repair_suppression();
+  EXPECT_TRUE(integrity::repair_suppressed());
+  integrity::release_repair_suppression();
+  integrity::set_mode_override(integrity::AbftMode::kAuto);
 }
 
 // ---- admission diversion + drain -------------------------------------------
@@ -436,6 +476,14 @@ TEST_F(FailoverTest, HedgedBackupWinsWhilePrimaryIsStuck) {
   p.reference(1.0, 0.5);
 
   Ticket busy = svc.submit_batch(1.0, blocker_items, 0.0);
+  // Wait for the home lane to pop the blocker before submitting the
+  // hedged primary: while the blocker is still *queued*, the peer
+  // shard's idle lane may steal it (home would hold 2 queued entries),
+  // the primary would then run immediately, and the hedge would be
+  // GC'd unfired — a flaky hedged==0.
+  for (int spin = 0; spin < 200000 && svc.stats().queued > 0; ++spin)
+    std::this_thread::yield();
+  ASSERT_EQ(svc.stats().queued, 0u) << "blocker batch never started";
   // kHigh + a deadline far beyond 2× the predicted cost: hedge-eligible.
   Ticket hedged = svc.submit(1.0, p.a.cview(), p.b.cview(), 0.5,
                              p.c.view(), Priority::kHigh,
@@ -477,6 +525,42 @@ TEST_F(FailoverTest, HedgeDoesNotFireWhenThePrimaryIsFast) {
   std::this_thread::sleep_for(std::chrono::milliseconds(2));
   EXPECT_EQ(svc.stats().hedged, 0u);
   EXPECT_EQ(svc.stats().hedge_wins, 0u);
+  svc.shutdown();
+}
+
+TEST_F(FailoverTest, HedgedLoserSurvivesCallerFreeingOperands) {
+  // The submit() contract lets the caller free A and B the moment
+  // wait() returns — but the ticket reaches terminal when the WINNING
+  // arm claims, while the losing arm may still be mid-gemm (its
+  // cancellation is cooperative). Both arms must therefore read only
+  // the service-owned submit-time snapshots. Regression: the hedged
+  // closure used to capture the borrowed A/B views directly, so this
+  // sequence was a use-after-free in the loser (ASan-visible in the
+  // sanitized CI runs of this suite).
+  ServiceOptions options = failover_options(2);
+  options.failover.hedge_ms = 1;  // fire while the primary is mid-gemm
+  SmmService svc(options);
+  // Big enough that one arm is still executing when the other claims:
+  // the backup fires 1 ms in, several ms before either gemm finishes.
+  constexpr index_t kDim = 256;
+  test::GemmProblem<double> p(kDim, kDim, kDim, 99);
+  p.reference(1.0, 0.5);
+  auto a_heap = std::make_unique<Matrix<double>>(p.a.clone());
+  auto b_heap = std::make_unique<Matrix<double>>(p.b.clone());
+
+  Ticket hedged = svc.submit(1.0, a_heap->cview(), b_heap->cview(), 0.5,
+                             p.c.view(), Priority::kHigh,
+                             /*deadline_ms=*/20000);
+  const Result r = hedged.wait();
+  // Terminal reached: the contract says these may die now, whichever
+  // arm is still running.
+  a_heap.reset();
+  b_heap.reset();
+  ASSERT_TRUE(r.ok) << r.message;
+  EXPECT_TRUE(p.check(kDim));
+  svc.drain();  // the loser runs to terminal against its snapshots
+  EXPECT_TRUE(p.check(kDim));  // and never re-publishes into C
+  check_accounting(svc);
   svc.shutdown();
 }
 
