@@ -46,6 +46,8 @@ const char* to_string(ErrorCode code) {
       return "shutting-down";
     case ErrorCode::kNonFinite:
       return "non-finite";
+    case ErrorCode::kRetryBudgetExhausted:
+      return "retry-budget-exhausted";
   }
   return "?";
 }

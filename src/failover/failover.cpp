@@ -1,7 +1,8 @@
 #include "src/failover/failover.h"
 
 #include <algorithm>
-#include <cstdlib>
+
+#include "src/common/env.h"
 
 namespace smm::failover {
 
@@ -19,22 +20,10 @@ const char* to_string(ShardState state) {
   return "?";
 }
 
-namespace {
-
-long env_long(const char* name, long fallback) {
-  const char* env = std::getenv(name);
-  if (env == nullptr || *env == '\0') return fallback;
-  char* end = nullptr;
-  const long v = std::strtol(env, &end, 10);
-  return (end != env && *end == '\0' && v >= 0) ? v : fallback;
-}
-
-}  // namespace
-
 FailoverOptions failover_options_from_env(FailoverOptions base) {
   base.quarantine_ms =
-      env_long("SMMKIT_SHARD_QUARANTINE", base.quarantine_ms);
-  base.hedge_ms = env_long("SMMKIT_HEDGE_MS", base.hedge_ms);
+      env::read_long("SMMKIT_SHARD_QUARANTINE", base.quarantine_ms);
+  base.hedge_ms = env::read_long("SMMKIT_HEDGE_MS", base.hedge_ms);
   return base;
 }
 

@@ -1,0 +1,98 @@
+// ErrorCode -> RetryClass classification shared by the caller-side
+// resilient client and robust::GuardedExecutor (DESIGN.md §16). The table
+// is a constexpr switch with NO default: classify_raw returns -1 for an
+// unhandled code, and the static_assert below walks every value in
+// [0, kErrorCodeCount), so adding an ErrorCode without classifying it here
+// fails to compile instead of silently becoming retryable.
+#pragma once
+
+#include "src/common/error.h"
+
+namespace smm::resilient {
+
+enum class RetryClass {
+  /// Transient one-off (worker panic, flipped bit): retry immediately —
+  /// the failure says nothing about system load.
+  kRetryable = 0,
+  /// Capacity signal (shed, allocation pressure, spawn failure): retrying
+  /// immediately adds load to an overloaded system; back off first.
+  kRetryableAfterBackoff,
+  /// Deterministic or terminal: the same call will fail the same way
+  /// (bad arguments), or retrying is semantically wrong (cancelled,
+  /// deadline passed, shutting down, budget dry). Never retry.
+  kFatal,
+};
+
+constexpr const char* to_string(RetryClass c) {
+  switch (c) {
+    case RetryClass::kRetryable:
+      return "retryable";
+    case RetryClass::kRetryableAfterBackoff:
+      return "retryable-after-backoff";
+    case RetryClass::kFatal:
+      return "fatal";
+  }
+  return "?";
+}
+
+namespace detail {
+
+constexpr int classify_raw(ErrorCode code) {
+  switch (code) {
+    // Transient infrastructure faults: the request was unlucky, not the
+    // system unhealthy. Immediate retry is cheap and usually succeeds
+    // (the guarded executor's stage-1 experience, DESIGN.md §8).
+    case ErrorCode::kKernelFault:
+    case ErrorCode::kChecksumMismatch:
+    case ErrorCode::kWorkerPanic:
+    case ErrorCode::kPoolTimeout:
+    case ErrorCode::kDataCorrupted:
+    case ErrorCode::kCacheCorrupted:
+      return static_cast<int>(RetryClass::kRetryable);
+    // Capacity/pressure signals: the system is telling the caller to slow
+    // down. Retries must wait out the backoff or they amplify the spike.
+    case ErrorCode::kOverloaded:
+    case ErrorCode::kAlloc:
+    case ErrorCode::kArenaExhausted:
+    case ErrorCode::kCacheInsertFail:
+    case ErrorCode::kPrepackFallback:
+    case ErrorCode::kPoolSpawnFail:
+      return static_cast<int>(RetryClass::kRetryableAfterBackoff);
+    // Deterministic failures (same inputs -> same outcome) and terminal
+    // lifecycle states. kRetryBudgetExhausted is fatal by construction:
+    // it exists precisely so a dry budget cannot re-enter the retry loop.
+    case ErrorCode::kUnknown:
+    case ErrorCode::kPrecondition:
+    case ErrorCode::kBadShape:
+    case ErrorCode::kAlias:
+    case ErrorCode::kNonFinite:
+    case ErrorCode::kCancelled:
+    case ErrorCode::kDeadlineExceeded:
+    case ErrorCode::kShuttingDown:
+    case ErrorCode::kRetryBudgetExhausted:
+      return static_cast<int>(RetryClass::kFatal);
+  }
+  return -1;  // unclassified: trips the exhaustiveness static_assert
+}
+
+constexpr bool classification_is_exhaustive() {
+  for (int i = 0; i < kErrorCodeCount; ++i) {
+    if (classify_raw(static_cast<ErrorCode>(i)) < 0) return false;
+  }
+  return true;
+}
+
+static_assert(classification_is_exhaustive(),
+              "every ErrorCode must be classified in classify_raw(); a new "
+              "code was added to common/error.h without a RetryClass");
+
+}  // namespace detail
+
+/// Classify a failure for retry purposes. Total over ErrorCode (enforced
+/// at compile time), so callers never need a default branch.
+constexpr RetryClass classify(ErrorCode code) {
+  const int raw = detail::classify_raw(code);
+  return raw < 0 ? RetryClass::kFatal : static_cast<RetryClass>(raw);
+}
+
+}  // namespace smm::resilient

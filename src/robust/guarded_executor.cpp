@@ -9,6 +9,7 @@
 #include "src/core/smm.h"
 #include "src/libs/naive.h"
 #include "src/plan/native_executor.h"
+#include "src/resilient/retry_class.h"
 #include "src/robust/abft.h"
 #include "src/robust/health.h"
 
@@ -225,6 +226,13 @@ RunReport GuardedExecutor::run(T alpha, ConstMatrixView<T> a,
           finish(Outcome::kRecovered, "none", nullptr);
         return report;
       }
+      // Shared classification (src/resilient/retry_class.h): a fatal
+      // failure is deterministic — re-running the identical plan would
+      // fail identically, so spend the remaining retries on the rebuild
+      // and naive stages instead of burning them here.
+      if (resilient::classify(report.last_error) ==
+          resilient::RetryClass::kFatal)
+        break;
     }
   }
 

@@ -113,6 +113,11 @@ HealthSnapshot Health::read_counters() const {
   s.tune_replans = tune_replans.load(std::memory_order_relaxed);
   s.tune_table_hits = tune_table_hits.load(std::memory_order_relaxed);
   s.tune_table_stale = tune_table_stale.load(std::memory_order_relaxed);
+  s.retry_attempts = retry_attempts.load(std::memory_order_relaxed);
+  s.retry_successes = retry_successes.load(std::memory_order_relaxed);
+  s.retry_budget_exhausted =
+      retry_budget_exhausted.load(std::memory_order_relaxed);
+  s.limiter_dips = limiter_dips.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -193,6 +198,10 @@ void Health::reset() {
   tune_replans = 0;
   tune_table_hits = 0;
   tune_table_stale = 0;
+  retry_attempts = 0;
+  retry_successes = 0;
+  retry_budget_exhausted = 0;
+  limiter_dips = 0;
 }
 
 std::string HealthSnapshot::to_string() const {
@@ -219,7 +228,8 @@ std::string HealthSnapshot::to_string() const {
       "integrity_recomputed=%zu integrity_quarantines=%zu "
       "prepack_repacks=%zu plan_seal_rebuilds=%zu corrected_runs=%zu "
       "tune_samples=%zu tune_replans=%zu tune_table_hits=%zu "
-      "tune_table_stale=%zu",
+      "tune_table_stale=%zu retry_attempts=%zu retry_successes=%zu "
+      "retry_budget_exhausted=%zu limiter_dips=%zu",
       guarded_runs, clean_runs, retries, rebuild_fallbacks, naive_fallbacks,
       failures, checksum_rejections, worker_panics, alloc_failures,
       batched_items, batched_item_failures, batched_prepack_reuse,
@@ -238,7 +248,8 @@ std::string HealthSnapshot::to_string() const {
       integrity_detected, integrity_corrected, integrity_recomputed,
       integrity_quarantines, prepack_repacks, plan_seal_rebuilds,
       corrected_runs, tune_samples, tune_replans, tune_table_hits,
-      tune_table_stale);
+      tune_table_stale, retry_attempts, retry_successes,
+      retry_budget_exhausted, limiter_dips);
 }
 
 }  // namespace smm::robust

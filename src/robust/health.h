@@ -108,6 +108,13 @@ struct HealthSnapshot {
   std::size_t tune_replans = 0;      ///< epoch bumps (plan installs/reverts)
   std::size_t tune_table_hits = 0;   ///< classes warm-started from disk
   std::size_t tune_table_stale = 0;  ///< tables rejected (corrupt/foreign)
+  // Caller-side resilience (DESIGN.md §16): the retry budget and the
+  // adaptive concurrency limiter. Invariant (attempt bumped before its
+  // outcome can land): retry_successes <= retry_attempts.
+  std::size_t retry_attempts = 0;   ///< resubmissions by the resilient client
+  std::size_t retry_successes = 0;  ///< retries that reached ok
+  std::size_t retry_budget_exhausted = 0;  ///< dry-bucket fast-fails
+  std::size_t limiter_dips = 0;     ///< AIMD multiplicative decreases
 
   [[nodiscard]] std::string to_string() const;
 };
@@ -173,6 +180,10 @@ class Health {
   std::atomic<std::size_t> tune_replans{0};
   std::atomic<std::size_t> tune_table_hits{0};
   std::atomic<std::size_t> tune_table_stale{0};
+  std::atomic<std::size_t> retry_attempts{0};
+  std::atomic<std::size_t> retry_successes{0};
+  std::atomic<std::size_t> retry_budget_exhausted{0};
+  std::atomic<std::size_t> limiter_dips{0};
 
   /// Brackets a correlated multi-counter update: writer-exclusive (a
   /// mutex serializes transactions) with an odd/even sequence bump so

@@ -1,10 +1,10 @@
 #include "src/robust/integrity.h"
 
 #include <atomic>
-#include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "src/common/env.h"
 #include "src/plan/plan.h"
 
 namespace smm::integrity {
@@ -24,9 +24,7 @@ const char* to_string(AbftMode mode) {
 }
 
 AbftMode mode_from_env() {
-  const char* raw = std::getenv("SMMKIT_ABFT");
-  if (raw == nullptr) return AbftMode::kDetect;
-  const std::string v(raw);
+  const std::string v = env::read_string("SMMKIT_ABFT", "detect");
   if (v == "off") return AbftMode::kOff;
   if (v == "detect") return AbftMode::kDetect;
   if (v == "correct") return AbftMode::kCorrect;

@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "src/common/env.h"
 #include "src/common/str.h"
 #include "src/core/batched.h"
 #include "src/core/parallel_cost.h"
@@ -33,23 +34,6 @@ const char* to_string(Priority priority) {
 
 namespace {
 
-long env_long(const char* name, long fallback) {
-  const char* env = std::getenv(name);
-  if (env == nullptr || *env == '\0') return fallback;
-  char* end = nullptr;
-  const long v = std::strtol(env, &end, 10);
-  return (end != env && *end == '\0' && v >= 0) ? v : fallback;
-}
-
-double env_fraction(const char* name, double fallback) {
-  const char* env = std::getenv(name);
-  if (env == nullptr || *env == '\0') return fallback;
-  char* end = nullptr;
-  const double v = std::strtod(env, &end);
-  return (end != env && *end == '\0' && v >= 0.0 && v <= 1.0) ? v
-                                                              : fallback;
-}
-
 bool ranges_overlap(const std::pair<const void*, const void*>& x,
                     const std::pair<const void*, const void*>& y) {
   return x.first < y.second && y.first < x.second;
@@ -59,25 +43,25 @@ bool ranges_overlap(const std::pair<const void*, const void*>& x,
 
 ServiceOptions service_options_from_env(ServiceOptions base) {
   const long depth =
-      env_long("SMMKIT_QUEUE_DEPTH",
-               static_cast<long>(base.queue_depth));
+      env::read_long("SMMKIT_QUEUE_DEPTH",
+                     static_cast<long>(base.queue_depth));
   if (depth > 0) base.queue_depth = static_cast<std::size_t>(depth);
   base.default_deadline_ms =
-      env_long("SMMKIT_DEFAULT_DEADLINE_MS", base.default_deadline_ms);
+      env::read_long("SMMKIT_DEFAULT_DEADLINE_MS", base.default_deadline_ms);
   // SMMKIT_SHARDS applies through the shards==0 auto path (the ctor
   // resolves it via shard::default_shard_count), so an explicit
   // ServiceOptions::shards always wins over the environment.
   const long coalesce_depth =
-      env_long("SMMKIT_COALESCE_DEPTH",
-               static_cast<long>(base.coalesce_depth));
+      env::read_long("SMMKIT_COALESCE_DEPTH",
+                     static_cast<long>(base.coalesce_depth));
   if (coalesce_depth > 0)
     base.coalesce_depth = static_cast<std::size_t>(coalesce_depth);
   base.coalesce_window_us =
-      env_long("SMMKIT_COALESCE_WINDOW_US", base.coalesce_window_us);
-  const double low =
-      env_fraction("SMMKIT_SHED_LOW_WATERMARK", base.shed_low_watermark);
-  const double high =
-      env_fraction("SMMKIT_SHED_HIGH_WATERMARK", base.shed_high_watermark);
+      env::read_long("SMMKIT_COALESCE_WINDOW_US", base.coalesce_window_us);
+  const double low = env::read_fraction("SMMKIT_SHED_LOW_WATERMARK",
+                                        base.shed_low_watermark);
+  const double high = env::read_fraction("SMMKIT_SHED_HIGH_WATERMARK",
+                                         base.shed_high_watermark);
   // The ctor requires low <= high; an env pair that violates it is
   // ignored as a whole, like any other unparsable value — a
   // misconfigured scrape knob must not turn into a startup throw.
@@ -103,6 +87,15 @@ const Result& Ticket::wait() const& {
 }
 
 Result Ticket::wait() && { return static_cast<const Ticket&>(*this).wait(); }
+
+bool Ticket::wait_until(std::chrono::steady_clock::time_point deadline) const {
+  // Invalid tickets report "terminal": wait() surfaces the error and a
+  // timed-wait loop must not spin on a handle that can never complete.
+  if (state_ == nullptr) return true;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  return state_->cv.wait_until(lock, deadline,
+                               [&] { return state_->done; });
+}
 
 bool Ticket::done() const {
   if (state_ == nullptr) return false;
@@ -193,6 +186,14 @@ int SmmService::route_shard(index_t m, index_t n, index_t k,
   return shard::route(shard::shape_class_hash({m, n, k, scalar_id}),
                       static_cost_ns(m, n, k),
                       static_cast<int>(shards_.size()));
+}
+
+double SmmService::queue_fill() const {
+  const double capacity = static_cast<double>(options_.queue_depth) *
+                          static_cast<double>(shards_.size());
+  if (capacity <= 0.0) return 0.0;
+  const auto queued = total_queued_.load(std::memory_order_relaxed);
+  return static_cast<double>(queued) / capacity;
 }
 
 core::PlanCache& SmmService::shard_cache(Shard& shard) const {

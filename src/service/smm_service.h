@@ -201,6 +201,18 @@ class Ticket {
   const Result& wait() const&;
   Result wait() &&;
 
+  /// Block until terminal or the timeout passes. Returns true when the
+  /// request reached a terminal state within the wait (the result can
+  /// then be read with wait(), which no longer blocks); false on
+  /// timeout — the request is still in flight and the ticket stays
+  /// valid, so the caller may cancel, keep waiting, or race a retry.
+  /// An invalid ticket returns true (wait() reports the error).
+  template <typename Rep, typename Period>
+  bool wait_for(std::chrono::duration<Rep, Period> timeout) const {
+    return wait_until(std::chrono::steady_clock::now() + timeout);
+  }
+  bool wait_until(std::chrono::steady_clock::time_point deadline) const;
+
   [[nodiscard]] bool done() const;
 
  private:
@@ -326,6 +338,11 @@ class SmmService {
   [[nodiscard]] bool in_brownout() const {
     return brownout_.load(std::memory_order_relaxed);
   }
+  /// Fraction of the service's aggregate queue capacity currently
+  /// occupied: queued / (queue_depth × shards). A caller-side limiter
+  /// (smm::resilient, DESIGN.md §16) reads this as a congestion signal —
+  /// it is a relaxed snapshot, cheap enough for every submit decision.
+  [[nodiscard]] double queue_fill() const;
   /// Options with the auto knobs (shards, lanes) resolved.
   [[nodiscard]] const ServiceOptions& options() const { return options_; }
 

@@ -1,21 +1,16 @@
 #include "src/shard/shard.h"
 
 #include <algorithm>
-#include <cstdlib>
 
+#include "src/common/env.h"
 #include "src/model/parallel_runtime.h"
 
 namespace smm::shard {
 
 int default_shard_count() {
-  int shards = 8;  // the sim's Phytium 2000+ panel count
-  if (const char* env = std::getenv("SMMKIT_SHARDS");
-      env != nullptr && *env != '\0') {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0) shards = static_cast<int>(v);
-  }
-  return std::clamp(shards, 1, kMaxShards);
+  // Default: the sim's Phytium 2000+ panel count.
+  const long shards = env::read_positive_long("SMMKIT_SHARDS", 8);
+  return std::clamp(static_cast<int>(shards), 1, kMaxShards);
 }
 
 namespace {

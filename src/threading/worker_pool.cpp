@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <system_error>
 
+#include "src/common/env.h"
 #include "src/common/error.h"
 #include "src/common/fork_guard.h"
 #include "src/common/str.h"
@@ -58,14 +59,8 @@ WorkerPool::CurrentPoolBinding::~CurrentPoolBinding() {
 WorkerPool::WorkerPool(bool fork_guard) {
   // Generous default: the watchdog exists to catch dead workers, not slow
   // ones — a false positive poisons a healthy region mid-computation.
-  long ms = 30000;
-  if (const char* env = std::getenv("SMMKIT_POOL_TIMEOUT_MS");
-      env != nullptr && *env != '\0') {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 0) ms = v;
-  }
-  timeout_ms_.store(ms, std::memory_order_relaxed);
+  timeout_ms_.store(env::read_long("SMMKIT_POOL_TIMEOUT_MS", 30000),
+                    std::memory_order_relaxed);
 
   if (!fork_guard) return;
 

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
 #include <mutex>
 
+#include "src/common/env.h"
 #include "src/core/autotune.h"
 #include "src/core/parallel_cost.h"
 #include "src/core/parallel_select.h"
@@ -29,9 +29,7 @@ const char* to_string(Mode mode) {
 }
 
 Mode mode_from_env() {
-  const char* raw = std::getenv("SMMKIT_AUTOTUNE");
-  if (raw == nullptr) return Mode::kObserve;
-  const std::string v(raw);
+  const std::string v = env::read_string("SMMKIT_AUTOTUNE", "observe");
   if (v == "off") return Mode::kOff;
   if (v == "observe") return Mode::kObserve;
   if (v == "adapt") return Mode::kAdapt;
@@ -562,8 +560,7 @@ Tuner& tuner() {
   // otherwise trigger calibration.
   static Tuner* instance = [] {
     Tuner::Options options;
-    const char* dir = std::getenv("SMMKIT_TUNE_DIR");
-    if (dir != nullptr && dir[0] != '\0') options.table_dir = dir;
+    options.table_dir = env::read_string("SMMKIT_TUNE_DIR", "");
     auto* t = new Tuner{options};
     if (!options.table_dir.empty())
       t->load_table(Tuner::table_path(options.table_dir));

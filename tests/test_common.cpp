@@ -3,7 +3,10 @@
 #include <cstdint>
 #include <set>
 
+#include <cstdlib>
+
 #include "src/common/aligned_buffer.h"
+#include "src/common/env.h"
 #include "src/common/error.h"
 #include "src/common/rng.h"
 #include "src/common/str.h"
@@ -110,6 +113,69 @@ TEST(ErrorMacro, ThrowsWithContext) {
     EXPECT_NE(std::string(e.what()).find("should fail"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
   }
+}
+
+// ---- environment knobs (common/env.h) --------------------------------------
+//
+// Regression contract for the consolidated parser: a malformed knob is
+// IGNORED (the fallback wins) — it must never throw or abort at startup.
+// Before consolidation the service/shard/tune/failover layers each had a
+// private strtol wrapper; these tests pin the one shared policy.
+
+TEST(Env, ParseLongAcceptsWellFormedValues) {
+  EXPECT_EQ(env::parse_long("42", 7, 0), 42);
+  EXPECT_EQ(env::parse_long("0", 7, 0), 0);
+  EXPECT_EQ(env::parse_long("  8", 7, 0), 8);  // strtol skips whitespace
+  EXPECT_EQ(env::parse_long("1", 7, 1), 1);    // at the min bound
+}
+
+TEST(Env, ParseLongIgnoresMalformedValuesInsteadOfThrowing) {
+  // Every malformed shape falls back; none may throw.
+  EXPECT_EQ(env::parse_long(nullptr, 7, 0), 7);   // unset
+  EXPECT_EQ(env::parse_long("", 7, 0), 7);        // empty
+  EXPECT_EQ(env::parse_long("abc", 7, 0), 7);     // unparsable
+  EXPECT_EQ(env::parse_long("12x", 7, 0), 7);     // trailing garbage
+  EXPECT_EQ(env::parse_long("1.5", 7, 0), 7);     // not an integer
+  EXPECT_EQ(env::parse_long("-3", 7, 0), 7);      // below min (0)
+  EXPECT_EQ(env::parse_long("0", 7, 1), 7);       // below min (1)
+  EXPECT_EQ(env::parse_long("99999999999999999999", 7, 0), 7);  // overflow
+}
+
+TEST(Env, ParseDoubleAcceptsAndRangeChecks) {
+  EXPECT_DOUBLE_EQ(env::parse_double("0.25", 0.5, 0.0, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(env::parse_double("0", 0.5, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(env::parse_double("1", 0.5, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(env::parse_double(nullptr, 0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(env::parse_double("", 0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(env::parse_double("half", 0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(env::parse_double("0.5x", 0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(env::parse_double("1.5", 0.5, 0.0, 1.0), 0.5);   // > max
+  EXPECT_DOUBLE_EQ(env::parse_double("-0.1", 0.5, 0.0, 1.0), 0.5);  // < min
+  EXPECT_DOUBLE_EQ(env::parse_double("nan", 0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(env::parse_double("inf", 0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(Env, ReadersConsultTheProcessEnvironment) {
+  ::setenv("SMMKIT_TEST_ENV_KNOB", "12", 1);
+  EXPECT_EQ(env::read_long("SMMKIT_TEST_ENV_KNOB", 3), 12);
+  EXPECT_EQ(env::read_positive_long("SMMKIT_TEST_ENV_KNOB", 3), 12);
+  ::setenv("SMMKIT_TEST_ENV_KNOB", "0", 1);
+  EXPECT_EQ(env::read_long("SMMKIT_TEST_ENV_KNOB", 3), 0);
+  EXPECT_EQ(env::read_positive_long("SMMKIT_TEST_ENV_KNOB", 3), 3);  // > 0
+  ::setenv("SMMKIT_TEST_ENV_KNOB", "garbage", 1);
+  EXPECT_EQ(env::read_long("SMMKIT_TEST_ENV_KNOB", 3), 3);
+  ::setenv("SMMKIT_TEST_ENV_KNOB", "0.75", 1);
+  EXPECT_DOUBLE_EQ(env::read_fraction("SMMKIT_TEST_ENV_KNOB", 0.1), 0.75);
+  ::setenv("SMMKIT_TEST_ENV_KNOB", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env::read_fraction("SMMKIT_TEST_ENV_KNOB", 0.1), 0.1);
+  EXPECT_DOUBLE_EQ(env::read_double("SMMKIT_TEST_ENV_KNOB", 0.1), 2.5);
+  ::setenv("SMMKIT_TEST_ENV_KNOB", "hello", 1);
+  EXPECT_EQ(env::read_string("SMMKIT_TEST_ENV_KNOB", "fb"), "hello");
+  ::setenv("SMMKIT_TEST_ENV_KNOB", "", 1);
+  EXPECT_EQ(env::read_string("SMMKIT_TEST_ENV_KNOB", "fb"), "fb");
+  ::unsetenv("SMMKIT_TEST_ENV_KNOB");
+  EXPECT_EQ(env::read_long("SMMKIT_TEST_ENV_KNOB", 3), 3);
+  EXPECT_EQ(env::read_string("SMMKIT_TEST_ENV_KNOB", "fb"), "fb");
 }
 
 }  // namespace

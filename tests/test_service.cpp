@@ -208,6 +208,59 @@ TEST_F(ServiceTest, SubmittedWorkComputesCorrectResult) {
   svc.shutdown();
 }
 
+// ---- timed ticket waits (DESIGN.md §16) ------------------------------------
+
+TEST_F(ServiceTest, WaitForTimesOutOnInFlightWorkThenSeesCompletion) {
+  ServiceOptions options;
+  options.shards = 1;
+  options.lanes = 1;
+  SmmService svc(options);
+  Blocker blocker;
+  Ticket busy = svc.submit_batch(1.0, blocker.items, 0.0);
+  test::GemmProblem<double> p(32, 32, 32, 61);
+  p.reference(1.0, 0.0);
+  Ticket t = svc.submit(1.0, p.a.cview(), p.b.cview(), 0.0, p.c.view());
+  // Queued behind tens of ms of blocker: a 1 ms wait must time out and
+  // leave the ticket live (still cancellable / re-waitable).
+  EXPECT_FALSE(t.wait_for(std::chrono::milliseconds(1)));
+  EXPECT_TRUE(t.valid());
+  EXPECT_FALSE(t.done());
+  // The timeout-then-complete race: keep issuing short timed waits until
+  // one observes the terminal state. Each timed-out wait must leave the
+  // ticket intact for the next.
+  bool done = false;
+  for (int i = 0; i < 10000 && !done; ++i)
+    done = t.wait_for(std::chrono::milliseconds(2));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(t.done());
+  EXPECT_TRUE(t.wait().ok);  // no longer blocks
+  EXPECT_TRUE(p.check(32));
+  EXPECT_TRUE(busy.wait().ok);
+  svc.shutdown();
+}
+
+TEST_F(ServiceTest, WaitUntilInThePastReportsTerminalStateOnly) {
+  SmmService svc;
+  test::GemmProblem<double> p(24, 24, 24, 62);
+  Ticket t = svc.submit(1.0, p.a.cview(), p.b.cview(), 0.0, p.c.view());
+  t.wait();
+  // Already terminal: a lapsed deadline still returns true immediately.
+  EXPECT_TRUE(t.wait_until(std::chrono::steady_clock::now() -
+                           std::chrono::seconds(1)));
+  EXPECT_TRUE(t.wait_for(std::chrono::seconds(0)));
+  svc.shutdown();
+}
+
+TEST_F(ServiceTest, InvalidTicketTimedWaitReturnsImmediately) {
+  const Ticket t;
+  ASSERT_FALSE(t.valid());
+  // Matches wait(): an invalid ticket never blocks; the Result carries
+  // the error, the timed wait just reports "terminal".
+  EXPECT_TRUE(t.wait_for(std::chrono::hours(1)));
+  EXPECT_TRUE(t.wait_until(std::chrono::steady_clock::now() +
+                           std::chrono::hours(1)));
+}
+
 // ---- admission control -----------------------------------------------------
 
 TEST_F(ServiceTest, QueueDepthRejectsWithOverloaded) {
@@ -650,6 +703,13 @@ TEST_F(ServiceTest, SnapshotNeverTearsAcrossTransaction) {
                                                 std::memory_order_relaxed);
         robust::health().tune_replans.fetch_add(1,
                                                 std::memory_order_relaxed);
+        // The resilient client's correlated pair (DESIGN.md §16): a
+        // rescued call implies a prior retry attempt, so
+        // retry_successes <= retry_attempts must hold in every snapshot.
+        robust::health().retry_attempts.fetch_add(
+            1, std::memory_order_relaxed);
+        robust::health().retry_successes.fetch_add(
+            1, std::memory_order_relaxed);
       }
     });
   }
@@ -664,6 +724,8 @@ TEST_F(ServiceTest, SnapshotNeverTearsAcrossTransaction) {
         << "torn submitted/routed pair after " << reads << " reads";
     ASSERT_EQ(s.tune_samples, s.tune_replans)
         << "torn tune samples/replans pair after " << reads << " reads";
+    ASSERT_EQ(s.retry_attempts, s.retry_successes)
+        << "torn retry attempts/successes pair after " << reads << " reads";
     ++reads;
   }
   stop.store(true, std::memory_order_relaxed);
